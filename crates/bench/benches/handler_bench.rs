@@ -1,0 +1,70 @@
+//! T4b micro-bench: the instrumentation tax (paper §3: "low overhead",
+//! "ease of integration").
+//!
+//! Compares, for the same UPDATE message:
+//! * plain wire decode (the baseline cost every router pays),
+//! * the instrumented twin with **no** symbolic marking (integration
+//!   overhead when DiCE is idle),
+//! * the instrumented twin with full symbolic marking (cost while
+//!   exploring).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dice_bgp::{Asn, RouterConfig, RouterId};
+use dice_concolic::{ConcolicCtx, ConcolicProgram, SymInput};
+use dice_core::{mark_update, GrammarConfig, SymbolicUpdateHandler, UpdateGrammar};
+use dice_netsim::NodeId;
+use std::hint::black_box;
+
+fn setup() -> (RouterConfig, Vec<u8>) {
+    let cfg = RouterConfig::minimal(Asn(65001), RouterId(1)).with_neighbor(
+        NodeId(2),
+        Asn(65002),
+        "all",
+        "all",
+    );
+    let mut g = UpdateGrammar::new(GrammarConfig::for_peer(Asn(65002)), 9);
+    (cfg, g.generate())
+}
+
+fn bench_update_paths(c: &mut Criterion) {
+    let (cfg, bytes) = setup();
+    let mut group = c.benchmark_group("update_processing");
+
+    group.bench_function("wire_decode_only", |b| {
+        b.iter(|| black_box(dice_bgp::decode(black_box(&bytes))).unwrap());
+    });
+
+    group.bench_function("twin_concrete", |b| {
+        let mut handler = SymbolicUpdateHandler::new(cfg.clone(), NodeId(2));
+        b.iter(|| {
+            let mut ctx = ConcolicCtx::new(SymInput::all_concrete(bytes.clone()));
+            black_box(handler.run(&mut ctx))
+        });
+    });
+
+    group.bench_function("twin_symbolic", |b| {
+        let mut handler = SymbolicUpdateHandler::new(cfg.clone(), NodeId(2));
+        let mask = mark_update(&bytes);
+        b.iter(|| {
+            let mut ctx =
+                ConcolicCtx::new(SymInput::with_mask(bytes.clone(), mask.clone()));
+            black_box(handler.run(&mut ctx))
+        });
+    });
+
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_update_paths
+}
+criterion_main!(benches);

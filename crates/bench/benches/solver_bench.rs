@@ -1,0 +1,109 @@
+//! T4c micro-bench: solver cost on the constraint shapes the BGP handler
+//! actually produces (single-byte dispatch, 16-bit length bounds,
+//! multi-byte prefix masks), plus the budget ablation from DESIGN.md §6.4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dice_concolic::{BinOp, CmpOp, Constraint, ExprArena, Solver, SolverBudget};
+use std::hint::black_box;
+
+fn byte_eq_system(a: &mut ExprArena) -> Vec<Constraint> {
+    // Typical dispatch chain: in[0] != 1..7, in[0] == 0xF5.
+    let x = a.input(0);
+    let mut cons = Vec::new();
+    for k in 1..=7u64 {
+        let c = a.constant(8, k);
+        let e = a.cmp(CmpOp::Eq, x, c);
+        cons.push((e, false));
+    }
+    let target = a.constant(8, 0xF5);
+    let e = a.cmp(CmpOp::Eq, x, target);
+    cons.push((e, true));
+    cons
+}
+
+fn u16_bound_system(a: &mut ExprArena) -> Vec<Constraint> {
+    // The seeded-bug shape: (in[0]<<8|in[1]) >= 0x0F00 within a block bound.
+    let hi = a.input(0);
+    let lo = a.input(1);
+    let hi16 = a.zext(16, hi);
+    let lo16 = a.zext(16, lo);
+    let k8 = a.constant(16, 8);
+    let sh = a.bin(BinOp::Shl, 16, hi16, k8);
+    let word = a.bin(BinOp::Or, 16, sh, lo16);
+    let low = a.constant(16, 0x0F00);
+    let high = a.constant(16, 0x0FF0);
+    let c1 = a.cmp(CmpOp::Ult, word, low);
+    let c2 = a.cmp(CmpOp::Ule, word, high);
+    vec![(c1, false), (c2, true)]
+}
+
+fn prefix_mask_system(a: &mut ExprArena) -> Vec<Constraint> {
+    // NLRI policy shape: (addr & 0xFF000000) == 0x0A000000, len in [8,24].
+    let mut addr = a.constant(32, 0);
+    for k in 0..4u32 {
+        let byte = a.input(k);
+        let w = a.zext(32, byte);
+        let sh = a.constant(32, (24 - 8 * k) as u64);
+        let shifted = a.bin(BinOp::Shl, 32, w, sh);
+        addr = a.bin(BinOp::Or, 32, addr, shifted);
+    }
+    let mask = a.constant(32, 0xFF00_0000);
+    let masked = a.bin(BinOp::And, 32, addr, mask);
+    let want = a.constant(32, 0x0A00_0000);
+    let c1 = a.cmp(CmpOp::Eq, masked, want);
+    let len = a.input(4);
+    let lo = a.constant(8, 8);
+    let hi = a.constant(8, 24);
+    let c2 = a.cmp(CmpOp::Ule, lo, len);
+    let c3 = a.cmp(CmpOp::Ule, len, hi);
+    vec![(c1, true), (c2, true), (c3, true)]
+}
+
+fn bench_shapes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_shapes");
+    let shapes: Vec<(&str, fn(&mut ExprArena) -> Vec<Constraint>)> = vec![
+        ("byte_dispatch", byte_eq_system),
+        ("u16_length_bound", u16_bound_system),
+        ("prefix_mask", prefix_mask_system),
+    ];
+    for (name, build) in shapes {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut arena = ExprArena::new();
+                let cons = build(&mut arena);
+                let mut solver = Solver::new();
+                black_box(solver.solve(&arena, &cons, &|_| 0))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_budget_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_budget");
+    for budget in [1_000u64, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, &budget| {
+            b.iter(|| {
+                let mut arena = ExprArena::new();
+                let cons = prefix_mask_system(&mut arena);
+                let mut solver = Solver::with_budget(SolverBudget { max_steps: budget });
+                black_box(solver.solve(&arena, &cons, &|_| 0))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_shapes, bench_budget_ablation
+}
+criterion_main!(benches);

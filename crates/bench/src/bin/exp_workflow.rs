@@ -1,0 +1,131 @@
+//! **F3 — One DiCE round, phase by phase** (paper Figure 2: choose explorer
+//! → establish consistent shadow snapshot → explore inputs over cloned
+//! snapshots → check).
+//!
+//! Prints the timeline of a single round against the 27-router demo with
+//! wall and simulated timestamps per phase.
+
+use dice_bench::{fmt_nanos, maybe_write_json, Table};
+use dice_core::snapshot::take_consistent_snapshot;
+use dice_core::{
+    check::{default_checkers, flips_baseline, run_checkers, CheckContext},
+    mark_update, scenarios, GrammarConfig, SymbolicUpdateHandler, UpdateGrammar,
+};
+use dice_concolic::{explore, ExploreConfig};
+use dice_netsim::{NodeId, SimDuration, SimTime, Simulator};
+
+fn main() {
+    let mut table = Table::new(
+        "F3 — phase timeline of one DiCE round (27-router demo)",
+        &["phase", "wall (ms)", "simulated time", "notes"],
+    );
+    let wall0 = std::time::Instant::now();
+
+    // Phase 0: the deployed system.
+    let mut live = scenarios::demo27_system(3);
+    live.run_until_quiet(SimDuration::from_secs(5), SimTime::from_nanos(300_000_000_000));
+    table.row(vec![
+        "0 deployed system converged".into(),
+        wall0.elapsed().as_millis().to_string(),
+        live.now().to_string(),
+        "27 routers, Gao-Rexford policies".into(),
+    ]);
+
+    // Phase 1: consistent snapshot from the explorer.
+    let explorer = NodeId(5);
+    let peer = NodeId(2);
+    let (shadow, metrics) =
+        take_consistent_snapshot(&mut live, explorer, SimDuration::from_secs(30)).unwrap();
+    table.row(vec![
+        "1 shadow snapshot established".into(),
+        wall0.elapsed().as_millis().to_string(),
+        live.now().to_string(),
+        format!(
+            "{} checkpoints, {} in-flight msgs, CL took {}",
+            metrics.nodes,
+            metrics.in_flight,
+            fmt_nanos(metrics.sim_duration_nanos)
+        ),
+    ]);
+
+    // Phase 2: concolic exploration at the explorer node.
+    let router_cfg = shadow.nodes()[&explorer]
+        .as_any()
+        .downcast_ref::<dice_bgp::BgpRouter>()
+        .unwrap()
+        .config()
+        .clone();
+    let peer_asn = router_cfg.neighbor(peer).unwrap().asn;
+    let mut grammar = UpdateGrammar::new(GrammarConfig::for_peer(peer_asn), 8);
+    let seeds = vec![grammar.generate(), grammar.generate_large_unknown()];
+    let mut handler = SymbolicUpdateHandler::new(router_cfg, peer);
+    let exploration = explore(
+        &mut handler,
+        &seeds,
+        &mark_update,
+        &ExploreConfig { max_executions: 96, ..Default::default() },
+    );
+    table.row(vec![
+        "2 concolic exploration".into(),
+        wall0.elapsed().as_millis().to_string(),
+        live.now().to_string(),
+        format!(
+            "{} executions, {} distinct paths, {} solver queries",
+            exploration.executions.len(),
+            exploration.distinct_paths,
+            exploration.solver.queries
+        ),
+    ]);
+
+    // Phase 3: three clones explored input-by-input.
+    let topo = live.topology().clone();
+    let baseline = flips_baseline(&shadow);
+    let checkers = default_checkers(20);
+    let registry = dice_core::check::build_registry(
+        topo.node_ids().filter_map(|id| {
+            live.node(id)
+                .as_any()
+                .downcast_ref::<dice_bgp::BgpRouter>()
+                .map(|r| (id, r.config().clone()))
+        }),
+        99,
+    );
+    let mut verdicts = 0usize;
+    for (k, exec) in exploration.executions.iter().take(3).enumerate() {
+        let mut clone = Simulator::from_shadow(&shadow, &topo, k as u64);
+        clone.deliver_direct(peer, explorer, &exec.input);
+        let end = shadow.base_time() + SimDuration::from_secs(60);
+        let quiet = clone.run_until_quiet(SimDuration::from_secs(5), end);
+        let cx = CheckContext {
+            sim: &clone,
+            registry: &registry,
+            baseline_flips: &baseline,
+            quiet,
+            injected: true,
+        };
+        let report = run_checkers(&checkers, &cx);
+        verdicts += report.verdicts.len();
+        table.row(vec![
+            format!("3.{} clone explored", k + 1),
+            wall0.elapsed().as_millis().to_string(),
+            clone.now().to_string(),
+            format!(
+                "input {}B, quiesced={:?}, {} verdicts",
+                exec.input.len(),
+                quiet,
+                report.verdicts.len()
+            ),
+        ]);
+    }
+
+    // Phase 4: verdict aggregation through the narrow interface.
+    table.row(vec![
+        "4 verdicts aggregated".into(),
+        wall0.elapsed().as_millis().to_string(),
+        live.now().to_string(),
+        format!("{verdicts} local verdicts shared (digests + pass/fail only)"),
+    ]);
+
+    table.print();
+    maybe_write_json(&[&table]);
+}

@@ -1,0 +1,173 @@
+//! # dice-bench — the experiment harness
+//!
+//! One binary per table/figure of the evaluation (see DESIGN.md §4 and
+//! EXPERIMENTS.md):
+//!
+//! | target | experiment |
+//! |---|---|
+//! | `exp_demo27` | F1 — the 27-router Figure 1 demo |
+//! | `exp_detection` | T1 — detection of the three fault classes |
+//! | `exp_overhead` | T2 — checkpoint/snapshot overhead |
+//! | `exp_exploration` | F2 — concolic vs grammar vs random coverage |
+//! | `exp_code_config` | T3 — constraints scale with configuration |
+//! | `exp_workflow` | F3 — one round's phase timeline |
+//! | `exp_snapshot_consistency` | A1 — consistent vs uncoordinated snapshots |
+//!
+//! Criterion micro-benches (`snapshot_bench`, `handler_bench`,
+//! `solver_bench`) cover T4 (instrumentation and snapshot tax).
+//!
+//! Each binary prints a Markdown table to stdout and, when `--json PATH`
+//! is given, writes the raw rows as JSON for archival.
+
+use std::fmt::Write as _;
+
+/// A simple Markdown table builder for experiment output.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title and column names.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as Markdown.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n## {}\n", self.title);
+        let widths: Vec<usize> = self
+            .header
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain(std::iter::once(h.len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let line = |cells: &[String], out: &mut String| {
+            let mut s = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(s, " {:<w$} |", c, w = widths[i]);
+            }
+            let _ = writeln!(out, "{s}");
+        };
+        line(&self.header, &mut out);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(&sep, &mut out);
+        for r in &self.rows {
+            line(r, &mut out);
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// The rows as JSON (array of objects keyed by header).
+    pub fn to_json(&self) -> serde_json::Value {
+        let rows: Vec<serde_json::Value> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let obj: serde_json::Map<String, serde_json::Value> = self
+                    .header
+                    .iter()
+                    .zip(r)
+                    .map(|(h, c)| (h.clone(), serde_json::Value::String(c.clone())))
+                    .collect();
+                serde_json::Value::Object(obj)
+            })
+            .collect();
+        serde_json::json!({ "title": self.title, "rows": rows })
+    }
+}
+
+/// Write experiment artifacts as JSON when `--json PATH` was passed.
+pub fn maybe_write_json(tables: &[&Table]) {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            if let Some(path) = args.next() {
+                let v: Vec<serde_json::Value> = tables.iter().map(|t| t.to_json()).collect();
+                let body = serde_json::to_string_pretty(&v).expect("serializable");
+                std::fs::write(&path, body).unwrap_or_else(|e| {
+                    eprintln!("failed to write {path}: {e}");
+                });
+                eprintln!("wrote {path}");
+            }
+        }
+    }
+}
+
+/// Format a nanosecond count as a human duration string.
+pub fn fmt_nanos(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{}us", ns / 1_000)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_markdown() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "23456".into()]);
+        let md = t.render();
+        assert!(md.contains("## Demo"));
+        assert!(md.contains("| name  | value |"));
+        assert!(md.contains("| alpha | 1     |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut t = Table::new("J", &["k"]);
+        t.row(vec!["v".into()]);
+        let j = t.to_json();
+        assert_eq!(j["title"], "J");
+        assert_eq!(j["rows"][0]["k"], "v");
+    }
+
+    #[test]
+    fn nanos_formatting() {
+        assert_eq!(fmt_nanos(500), "500ns");
+        assert_eq!(fmt_nanos(1_500), "1us");
+        assert_eq!(fmt_nanos(2_500_000), "2.5ms");
+        assert_eq!(fmt_nanos(3_000_000_000), "3.00s");
+    }
+}

@@ -1,0 +1,854 @@
+//! The BGP speaker: a [`dice_netsim::Node`] implementing the full pipeline
+//! BIRD runs for each peer — session FSM, UPDATE parsing, import policy,
+//! decision process, export policy, and route propagation.
+//!
+//! The UPDATE path (`handle_update` → `recompute_and_propagate`) is the code
+//! DiCE's concolic twin mirrors branch-for-branch; keep the two in sync
+//! (see `dice-core/src/handler.rs`).
+
+use core::any::Any;
+use std::collections::BTreeSet;
+
+use dice_netsim::{Node, NodeApi, NodeId, SessionEvent, SimDuration};
+use serde::{Deserialize, Serialize};
+
+use crate::attrs::PathAttrs;
+use crate::config::RouterConfig;
+use crate::decision::{select, DecisionReason};
+use crate::fsm::{FsmEvent, PeerFsm, SessionState};
+use crate::rib::{AdjRibIn, AdjRibOut, LocRib, Route, Selected};
+use crate::types::{Community, Ipv4Addr, Ipv4Net};
+use crate::wire::{self, Message, NotificationMsg, OpenMsg, UpdateMsg};
+
+/// Timer token layout: `(peer_node_id << 8) | kind`.
+mod timer {
+    pub const KEEPALIVE: u64 = 1;
+    pub const HOLD: u64 = 2;
+    pub const DEFERRED_RESET: u64 = 3;
+
+    pub fn token(peer: u32, kind: u64) -> u64 {
+        ((peer as u64) << 8) | kind
+    }
+    pub fn split(token: u64) -> (u32, u64) {
+        ((token >> 8) as u32, token & 0xFF)
+    }
+}
+
+/// Aggregate protocol counters, used by checkers and experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouterStats {
+    /// UPDATE messages received.
+    pub updates_rx: u64,
+    /// UPDATE messages sent.
+    pub updates_tx: u64,
+    /// KEEPALIVEs received.
+    pub keepalives_rx: u64,
+    /// NOTIFICATIONs received.
+    pub notifications_rx: u64,
+    /// NOTIFICATIONs sent.
+    pub notifications_tx: u64,
+    /// Messages that failed to decode.
+    pub decode_errors: u64,
+    /// Announcements dropped by AS-path loop detection.
+    pub loop_rejects: u64,
+    /// Announcements dropped by import policy.
+    pub policy_rejects: u64,
+}
+
+/// A BIRD-like BGP router node.
+#[derive(Debug, Clone)]
+pub struct BgpRouter {
+    config: RouterConfig,
+    fsms: std::collections::BTreeMap<u32, PeerFsm>,
+    peer_router_ids: std::collections::BTreeMap<u32, u32>,
+    adj_in: AdjRibIn,
+    loc_rib: LocRib,
+    adj_out: AdjRibOut,
+    stats: RouterStats,
+}
+
+impl BgpRouter {
+    /// Build a router from a validated config.
+    pub fn new(config: RouterConfig) -> Self {
+        config.validate().expect("invalid router config");
+        BgpRouter {
+            config,
+            fsms: Default::default(),
+            peer_router_ids: Default::default(),
+            adj_in: AdjRibIn::default(),
+            loc_rib: LocRib::default(),
+            adj_out: AdjRibOut::default(),
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// This router's configuration.
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// The local RIB (best routes).
+    pub fn loc_rib(&self) -> &LocRib {
+        &self.loc_rib
+    }
+
+    /// The per-peer accepted routes.
+    pub fn adj_rib_in(&self) -> &AdjRibIn {
+        &self.adj_in
+    }
+
+    /// What this router last advertised to each peer.
+    pub fn adj_rib_out(&self) -> &AdjRibOut {
+        &self.adj_out
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// Session FSM state toward `peer`.
+    pub fn session_state(&self, peer: NodeId) -> SessionState {
+        self.fsms.get(&peer.0).map(|f| f.state).unwrap_or_default()
+    }
+
+    fn own_addr(&self) -> Ipv4Addr {
+        Ipv4Addr(self.config.router_id.0)
+    }
+
+    fn local_route(&self, prefix: &Ipv4Net) -> Option<Route> {
+        if self.config.networks.contains(prefix) {
+            Some(Route::local(PathAttrs::originated(self.own_addr())))
+        } else {
+            None
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Operator actions (invoked via `Simulator::invoke_node`)
+    // ------------------------------------------------------------------
+
+    /// Operator action: begin originating `prefix`. When `legitimate` the
+    /// prefix is also added to the owned set; a hijack is announcing without
+    /// owning.
+    pub fn announce_network(&mut self, prefix: Ipv4Net, legitimate: bool, api: &mut NodeApi<'_>) {
+        if !self.config.networks.contains(&prefix) {
+            self.config.networks.push(prefix);
+        }
+        if legitimate && !self.config.owned.contains(&prefix) {
+            self.config.owned.push(prefix);
+        }
+        api.trace("config", format!("announce {prefix} legitimate={legitimate}"));
+        self.recompute_and_propagate(prefix, api);
+    }
+
+    /// Operator action: stop originating `prefix`.
+    pub fn withdraw_network(&mut self, prefix: Ipv4Net, api: &mut NodeApi<'_>) {
+        self.config.networks.retain(|n| n != &prefix);
+        api.trace("config", format!("withdraw {prefix}"));
+        self.recompute_and_propagate(prefix, api);
+    }
+
+    /// Operator action: replace a named policy. Takes effect for routes
+    /// processed after the change (a session reset forces re-evaluation,
+    /// as with a hard clear on real routers).
+    pub fn replace_policy(&mut self, policy: crate::policy::Policy, api: &mut NodeApi<'_>) {
+        api.trace("config", format!("replace policy {}", policy.name));
+        self.config.policies.insert(policy.name.clone(), policy);
+    }
+
+    // ------------------------------------------------------------------
+    // Message handling
+    // ------------------------------------------------------------------
+
+    fn send_message(&mut self, to: NodeId, msg: &Message, api: &mut NodeApi<'_>, quiet: bool) {
+        let bytes = wire::encode(msg);
+        match msg {
+            Message::Update(_) => self.stats.updates_tx += 1,
+            Message::Notification(_) => self.stats.notifications_tx += 1,
+            _ => {}
+        }
+        if quiet {
+            api.send_quiet(to, bytes);
+        } else {
+            api.send(to, bytes);
+        }
+    }
+
+    fn protocol_error(
+        &mut self,
+        peer: NodeId,
+        code: u8,
+        subcode: u8,
+        reason: &str,
+        api: &mut NodeApi<'_>,
+    ) {
+        api.trace("notif", format!("to {peer}: {code}/{subcode} {reason}"));
+        let msg = Message::Notification(NotificationMsg { code, subcode, data: Vec::new() });
+        self.send_message(peer, &msg, api, false);
+        // Defer the transport reset slightly so the NOTIFICATION is
+        // delivered before the channel drops (mirrors TCP close semantics).
+        api.set_timer(
+            SimDuration::from_millis(10),
+            timer::token(peer.0, timer::DEFERRED_RESET),
+        );
+    }
+
+    fn on_established(&mut self, peer: NodeId, api: &mut NodeApi<'_>) {
+        api.trace("session", format!("established with {peer}"));
+        let snapshot: Vec<(Ipv4Net, Route)> = self
+            .loc_rib
+            .iter()
+            .map(|(p, s)| (*p, s.route.clone()))
+            .collect();
+        for (prefix, route) in snapshot {
+            self.export_route(peer, prefix, &route, api);
+        }
+    }
+
+    /// The seeded programming error (see [`crate::config::BugSwitches`]):
+    /// returns true when the handler must "crash".
+    fn bug_attr_overflow_trips(&self, attrs: &PathAttrs) -> bool {
+        self.config.bugs.attr_overflow_crash
+            && attrs
+                .unknown
+                .iter()
+                .any(|raw| raw.code >= 0xF0 && raw.value.len() >= 0x90)
+    }
+
+    fn handle_update(&mut self, peer: NodeId, upd: UpdateMsg, api: &mut NodeApi<'_>) {
+        self.stats.updates_rx += 1;
+        let neighbor = match self.config.neighbor(peer) {
+            Some(n) => n.clone(),
+            None => return,
+        };
+        let mut affected: BTreeSet<Ipv4Net> = BTreeSet::new();
+
+        for w in &upd.withdrawn {
+            if self.adj_in.remove(peer, w) {
+                affected.insert(*w);
+            }
+        }
+
+        if let Some(attrs) = &upd.attrs {
+            if !upd.nlri.is_empty() {
+                if self.bug_attr_overflow_trips(attrs) {
+                    api.crash("seeded bug: unknown-attribute length overflow in update handler");
+                    return;
+                }
+                if attrs.as_path.contains(self.config.asn) {
+                    // AS-path loop: ignore the announcements (RFC 4271 §9).
+                    self.stats.loop_rejects += 1;
+                } else if attrs.as_path.first_asn() != Some(neighbor.asn) {
+                    // eBGP first-AS check (RFC 4271 §6.3).
+                    self.protocol_error(
+                        peer,
+                        wire::notif::UPDATE_ERROR,
+                        11,
+                        "first AS in path is not the peer AS",
+                        api,
+                    );
+                    return;
+                } else {
+                    let import = self.config.policies[&neighbor.import].clone();
+                    let peer_rid = self.peer_router_ids.get(&peer.0).copied().unwrap_or(peer.0);
+                    for p in &upd.nlri {
+                        match import.apply(p, attrs, self.config.asn) {
+                            Some(imported) => {
+                                self.adj_in.insert(
+                                    peer,
+                                    *p,
+                                    Route {
+                                        attrs: imported,
+                                        from_peer: Some(peer.0),
+                                        peer_router_id: peer_rid,
+                                    },
+                                );
+                                affected.insert(*p);
+                            }
+                            None => {
+                                self.stats.policy_rejects += 1;
+                                if self.adj_in.remove(peer, p) {
+                                    affected.insert(*p);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        for p in affected {
+            self.recompute_and_propagate(p, api);
+        }
+    }
+
+    /// Phase 2 + 3 of the decision process for one prefix: select the best
+    /// route and push deltas to every established peer.
+    pub fn recompute_and_propagate(&mut self, prefix: Ipv4Net, api: &mut NodeApi<'_>) {
+        let mut candidates: Vec<Route> = Vec::new();
+        if let Some(local) = self.local_route(&prefix) {
+            candidates.push(local);
+        }
+        candidates.extend(self.adj_in.candidates(&prefix).cloned());
+
+        match select(candidates.iter()) {
+            Some((best, reason)) => {
+                let best = best.clone();
+                if self.loc_rib.install(prefix, Selected { route: best.clone(), reason }) {
+                    api.trace(
+                        "best",
+                        format!("{prefix} path[{}] lp{}", best.attrs.as_path, best.attrs.effective_local_pref()),
+                    );
+                    let peers: Vec<NodeId> = self.established_peers();
+                    for q in peers {
+                        self.export_route(q, prefix, &best, api);
+                    }
+                }
+            }
+            None => {
+                if self.loc_rib.withdraw(&prefix) {
+                    api.trace("best", format!("{prefix} unreachable"));
+                    let peers: Vec<NodeId> = self.established_peers();
+                    for q in peers {
+                        if self.adj_out.withdraw(q, &prefix) {
+                            let msg = Message::Update(UpdateMsg {
+                                withdrawn: vec![prefix],
+                                attrs: None,
+                                nlri: vec![],
+                            });
+                            self.send_message(q, &msg, api, false);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn established_peers(&self) -> Vec<NodeId> {
+        self.fsms
+            .iter()
+            .filter(|(_, f)| f.is_established())
+            .map(|(id, _)| NodeId(*id))
+            .collect()
+    }
+
+    /// Export `route` for `prefix` toward `q`, applying export policy and
+    /// eBGP attribute rewriting; sends a withdraw if policy now rejects.
+    fn export_route(&mut self, q: NodeId, prefix: Ipv4Net, route: &Route, api: &mut NodeApi<'_>) {
+        // Split horizon: never advertise a route back to the peer it came from.
+        if route.from_peer == Some(q.0) {
+            if self.adj_out.withdraw(q, &prefix) {
+                let msg = Message::Update(UpdateMsg {
+                    withdrawn: vec![prefix],
+                    attrs: None,
+                    nlri: vec![],
+                });
+                self.send_message(q, &msg, api, false);
+            }
+            return;
+        }
+        let neighbor = match self.config.neighbor(q) {
+            Some(n) => n.clone(),
+            None => return,
+        };
+        let export = self.config.policies[&neighbor.export].clone();
+        match export.apply(&prefix, &route.attrs, self.config.asn) {
+            Some(mut out) => {
+                // eBGP rewrite: prepend own AS, next-hop self, strip
+                // LOCAL_PREF and internal (own-ASN) communities.
+                out.as_path.prepend(self.config.asn, 1);
+                out.next_hop = self.own_addr();
+                out.local_pref = None;
+                let own = self.config.asn.0;
+                out.communities = out
+                    .communities
+                    .iter()
+                    .copied()
+                    .filter(|c: &Community| c.asn_part() != own)
+                    .collect();
+                if self.adj_out.advertise(q, prefix, out.clone()) {
+                    let msg = Message::Update(UpdateMsg {
+                        withdrawn: vec![],
+                        attrs: Some(out),
+                        nlri: vec![prefix],
+                    });
+                    self.send_message(q, &msg, api, false);
+                }
+            }
+            None => {
+                if self.adj_out.withdraw(q, &prefix) {
+                    let msg = Message::Update(UpdateMsg {
+                        withdrawn: vec![prefix],
+                        attrs: None,
+                        nlri: vec![],
+                    });
+                    self.send_message(q, &msg, api, false);
+                }
+            }
+        }
+    }
+
+    fn arm_session_timers(&mut self, peer: NodeId, api: &mut NodeApi<'_>) {
+        let fsm = self.fsms.entry(peer.0).or_default();
+        let hold = fsm.negotiated_hold;
+        if hold > 0 {
+            api.set_timer(
+                SimDuration::from_secs(hold as u64),
+                timer::token(peer.0, timer::HOLD),
+            );
+            api.set_timer(
+                SimDuration::from_secs(fsm.keepalive_secs().max(1) as u64),
+                timer::token(peer.0, timer::KEEPALIVE),
+            );
+        }
+    }
+}
+
+impl Node for BgpRouter {
+    fn on_start(&mut self, api: &mut NodeApi<'_>) {
+        for prefix in self.config.networks.clone() {
+            let route = Route::local(PathAttrs::originated(self.own_addr()));
+            self.loc_rib
+                .install(prefix, Selected { route, reason: DecisionReason::OnlyRoute });
+            api.trace("best", format!("{prefix} local"));
+        }
+    }
+
+    fn on_session(&mut self, peer: NodeId, ev: SessionEvent, api: &mut NodeApi<'_>) {
+        if self.config.neighbor(peer).is_none() {
+            return;
+        }
+        match ev {
+            SessionEvent::Up => {
+                let fsm = self.fsms.entry(peer.0).or_default();
+                fsm.on_transport_up();
+                let open = Message::Open(OpenMsg {
+                    version: 4,
+                    asn: self.config.asn,
+                    hold_time: self.config.hold_time,
+                    router_id: self.config.router_id,
+                    opt_params: vec![],
+                });
+                self.send_message(peer, &open, api, false);
+            }
+            SessionEvent::Down(reason) => {
+                api.trace("session", format!("down with {peer}: {reason:?}"));
+                if let Some(fsm) = self.fsms.get_mut(&peer.0) {
+                    fsm.on_transport_down();
+                }
+                api.cancel_timer(timer::token(peer.0, timer::KEEPALIVE));
+                api.cancel_timer(timer::token(peer.0, timer::HOLD));
+                api.cancel_timer(timer::token(peer.0, timer::DEFERRED_RESET));
+                let affected = self.adj_in.flush_peer(peer);
+                self.adj_out.flush_peer(peer);
+                for p in affected {
+                    self.recompute_and_propagate(p, api);
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, data: &[u8], api: &mut NodeApi<'_>) {
+        let neighbor = match self.config.neighbor(from) {
+            Some(n) => n.clone(),
+            None => return,
+        };
+        let msg = match wire::decode(data) {
+            Ok((msg, _)) => msg,
+            Err(e) => {
+                self.stats.decode_errors += 1;
+                let (code, subcode) = e.notification_codes();
+                self.protocol_error(from, code, subcode, &format!("decode: {e}"), api);
+                return;
+            }
+        };
+        // Any valid message refreshes the hold timer.
+        if let Some(fsm) = self.fsms.get(&from.0) {
+            if fsm.negotiated_hold > 0 {
+                api.set_timer(
+                    SimDuration::from_secs(fsm.negotiated_hold as u64),
+                    timer::token(from.0, timer::HOLD),
+                );
+            }
+        }
+        match msg {
+            Message::Open(open) => {
+                let asn_ok = open.asn == neighbor.asn;
+                let my_hold = self.config.hold_time;
+                let fsm = self.fsms.entry(from.0).or_default();
+                match fsm.on_open(asn_ok, my_hold, open.hold_time) {
+                    FsmEvent::None => {
+                        self.peer_router_ids.insert(from.0, open.router_id.0);
+                        self.send_message(from, &Message::Keepalive, api, true);
+                        self.arm_session_timers(from, api);
+                    }
+                    FsmEvent::ProtocolError { code, subcode, reason } => {
+                        self.protocol_error(from, code, subcode, reason, api);
+                    }
+                    FsmEvent::SessionEstablished => unreachable!("OPEN cannot establish"),
+                }
+            }
+            Message::Keepalive => {
+                self.stats.keepalives_rx += 1;
+                let fsm = self.fsms.entry(from.0).or_default();
+                match fsm.on_keepalive() {
+                    FsmEvent::SessionEstablished => self.on_established(from, api),
+                    FsmEvent::None => {}
+                    FsmEvent::ProtocolError { code, subcode, reason } => {
+                        self.protocol_error(from, code, subcode, reason, api);
+                    }
+                }
+            }
+            Message::Update(upd) => {
+                let fsm = self.fsms.entry(from.0).or_default();
+                match fsm.on_update() {
+                    FsmEvent::None => self.handle_update(from, upd, api),
+                    FsmEvent::ProtocolError { code, subcode, reason } => {
+                        self.protocol_error(from, code, subcode, reason, api);
+                    }
+                    FsmEvent::SessionEstablished => unreachable!("UPDATE cannot establish"),
+                }
+            }
+            Message::Notification(n) => {
+                self.stats.notifications_rx += 1;
+                api.trace("notif", format!("from {from}: {}/{}", n.code, n.subcode));
+                api.reset_session(from);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, api: &mut NodeApi<'_>) {
+        let (peer, kind) = timer::split(token);
+        let peer = NodeId(peer);
+        match kind {
+            timer::KEEPALIVE => {
+                let (established, interval) = match self.fsms.get(&peer.0) {
+                    Some(f) => (f.is_established() || f.state == SessionState::OpenConfirm, f.keepalive_secs()),
+                    None => (false, 0),
+                };
+                if established && interval > 0 {
+                    self.send_message(peer, &Message::Keepalive, api, true);
+                    api.set_timer(
+                        SimDuration::from_secs(interval.max(1) as u64),
+                        timer::token(peer.0, timer::KEEPALIVE),
+                    );
+                }
+            }
+            timer::HOLD => {
+                let relevant = self
+                    .fsms
+                    .get(&peer.0)
+                    .map(|f| f.state != SessionState::Idle)
+                    .unwrap_or(false);
+                if relevant {
+                    self.protocol_error(
+                        peer,
+                        wire::notif::HOLD_EXPIRED,
+                        0,
+                        "hold timer expired",
+                        api,
+                    );
+                }
+            }
+            timer::DEFERRED_RESET => {
+                api.reset_session(peer);
+            }
+            _ => {}
+        }
+    }
+
+    fn clone_node(&self) -> Box<dyn Node> {
+        Box::new(self.clone())
+    }
+
+    fn state_size(&self) -> usize {
+        self.adj_in.approx_bytes()
+            + self.loc_rib.approx_bytes()
+            + self.adj_out.approx_bytes()
+            + self.fsms.len() * 16
+            + 256 // config estimate
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use crate::types::{net, Asn, RouterId};
+    use dice_netsim::{LinkParams, SimTime, Simulator, Topology};
+
+    /// Convenience: a router config for node `i` (AS 65000+i) peering with
+    /// all `neighbors`, accept-all policies.
+    pub(crate) fn simple_config(i: u32, neighbors: &[u32]) -> RouterConfig {
+        let mut cfg = RouterConfig::minimal(Asn(65000 + i as u16), RouterId(0x0A000000 + i));
+        for &n in neighbors {
+            cfg = cfg.with_neighbor(NodeId(n), Asn(65000 + n as u16), "all", "all");
+        }
+        cfg
+    }
+
+    fn build_sim(n: usize, edges: &[(u32, u32)], configs: Vec<RouterConfig>) -> Simulator {
+        let mut topo = Topology::with_nodes(n);
+        for &(a, b) in edges {
+            topo.add_edge(
+                NodeId(a),
+                NodeId(b),
+                LinkParams::fixed(dice_netsim::SimDuration::from_millis(5)),
+                dice_netsim::Relationship::Unlabeled,
+            );
+        }
+        let mut sim = Simulator::new(topo, 7);
+        for (i, cfg) in configs.into_iter().enumerate() {
+            sim.set_node(NodeId(i as u32), Box::new(BgpRouter::new(cfg)));
+        }
+        sim.start();
+        sim
+    }
+
+    fn router(sim: &Simulator, i: u32) -> &BgpRouter {
+        sim.node(NodeId(i)).as_any().downcast_ref::<BgpRouter>().unwrap()
+    }
+
+    #[test]
+    fn two_routers_exchange_routes() {
+        let cfg0 = simple_config(0, &[1]).with_network(net("10.0.0.0/8"));
+        let cfg1 = simple_config(1, &[0]).with_network(net("20.0.0.0/8"));
+        let mut sim = build_sim(2, &[(0, 1)], vec![cfg0, cfg1]);
+        sim.run_until(SimTime::from_nanos(5_000_000_000));
+
+        let r0 = router(&sim, 0);
+        let r1 = router(&sim, 1);
+        assert!(r0.session_state(NodeId(1)) == SessionState::Established);
+        assert!(r1.session_state(NodeId(0)) == SessionState::Established);
+        // Each learned the other's prefix.
+        assert!(r0.loc_rib().best(&net("20.0.0.0/8")).is_some());
+        assert!(r1.loc_rib().best(&net("10.0.0.0/8")).is_some());
+        // AS path is the peer's AS.
+        let learned = &r0.loc_rib().best(&net("20.0.0.0/8")).unwrap().route;
+        assert_eq!(learned.attrs.as_path.first_asn(), Some(Asn(65001)));
+        assert_eq!(learned.from_peer, Some(1));
+    }
+
+    #[test]
+    fn route_propagates_through_chain() {
+        // 0 - 1 - 2: node 0 originates; node 2 must learn via 1 with path
+        // 65001 65000.
+        let cfg0 = simple_config(0, &[1]).with_network(net("10.0.0.0/8"));
+        let cfg1 = simple_config(1, &[0, 2]);
+        let cfg2 = simple_config(2, &[1]);
+        let mut sim = build_sim(3, &[(0, 1), (1, 2)], vec![cfg0, cfg1, cfg2]);
+        sim.run_until(SimTime::from_nanos(8_000_000_000));
+        let r2 = router(&sim, 2);
+        let best = r2.loc_rib().best(&net("10.0.0.0/8")).expect("route propagated");
+        let asns: Vec<Asn> = best.route.attrs.as_path.all_asns().collect();
+        assert_eq!(asns, vec![Asn(65001), Asn(65000)]);
+    }
+
+    #[test]
+    fn withdrawal_propagates() {
+        let cfg0 = simple_config(0, &[1]).with_network(net("10.0.0.0/8"));
+        let cfg1 = simple_config(1, &[0, 2]);
+        let cfg2 = simple_config(2, &[1]);
+        let mut sim = build_sim(3, &[(0, 1), (1, 2)], vec![cfg0, cfg1, cfg2]);
+        sim.run_until(SimTime::from_nanos(8_000_000_000));
+        assert!(router(&sim, 2).loc_rib().best(&net("10.0.0.0/8")).is_some());
+
+        // Operator withdraws the network on node 0.
+        sim.invoke_node(NodeId(0), |node, api| {
+            let r = node.as_any_mut().downcast_mut::<BgpRouter>().unwrap();
+            r.withdraw_network(net("10.0.0.0/8"), api);
+        });
+        sim.run_until(SimTime::from_nanos(16_000_000_000));
+        assert!(router(&sim, 2).loc_rib().best(&net("10.0.0.0/8")).is_none());
+        assert!(router(&sim, 1).loc_rib().best(&net("10.0.0.0/8")).is_none());
+    }
+
+    #[test]
+    fn loop_prevention_blocks_own_as() {
+        let cfg0 = simple_config(0, &[1]).with_network(net("10.0.0.0/8"));
+        let cfg1 = simple_config(1, &[0]);
+        let mut sim = build_sim(2, &[(0, 1)], vec![cfg0, cfg1]);
+        sim.run_until(SimTime::from_nanos(5_000_000_000));
+
+        // Inject an update whose AS path already contains node 0's AS
+        // (65000), as if 1 were re-exporting a route learned from 0.
+        let attrs = PathAttrs {
+            as_path: crate::attrs::AsPath::sequence([65001, 65000]),
+            next_hop: Ipv4Addr(0x0A000002),
+            ..Default::default()
+        };
+        let msg = Message::Update(UpdateMsg {
+            withdrawn: vec![],
+            attrs: Some(attrs),
+            nlri: vec![net("33.0.0.0/8")],
+        });
+        sim.deliver_direct(NodeId(1), NodeId(0), &wire::encode(&msg));
+        let r0 = router(&sim, 0);
+        assert_eq!(r0.stats().loop_rejects, 1);
+        assert!(
+            r0.loc_rib().best(&net("33.0.0.0/8")).is_none(),
+            "looped announcement must not be installed"
+        );
+        // Own prefix stays locally originated.
+        let best = r0.loc_rib().best(&net("10.0.0.0/8")).unwrap();
+        assert!(best.route.from_peer.is_none());
+    }
+
+    #[test]
+    fn import_policy_filters_prefix() {
+        // Node 1 rejects 10/8 at import.
+        let cfg0 = simple_config(0, &[1])
+            .with_network(net("10.0.0.0/8"))
+            .with_network(net("20.0.0.0/8"));
+        let mut cfg1 = simple_config(1, &[0]);
+        cfg1 = cfg1.with_policy(Policy {
+            name: "no10".into(),
+            rules: vec![crate::policy::Rule::reject(vec![crate::policy::Match::PrefixIn(
+                vec![crate::policy::PrefixFilter::or_longer(net("10.0.0.0/8"))],
+            )])],
+            default: crate::policy::Verdict::Accept,
+        });
+        cfg1.neighbors[0].import = "no10".into();
+        let mut sim = build_sim(2, &[(0, 1)], vec![cfg0, cfg1]);
+        sim.run_until(SimTime::from_nanos(6_000_000_000));
+        let r1 = router(&sim, 1);
+        assert!(r1.loc_rib().best(&net("10.0.0.0/8")).is_none(), "filtered at import");
+        assert!(r1.loc_rib().best(&net("20.0.0.0/8")).is_some(), "other prefix accepted");
+        assert!(r1.stats().policy_rejects > 0);
+    }
+
+    #[test]
+    fn seeded_bug_crashes_router() {
+        let cfg0 = simple_config(0, &[1]);
+        let mut cfg1 = simple_config(1, &[0]);
+        cfg1.bugs.attr_overflow_crash = true;
+        let mut sim = build_sim(2, &[(0, 1)], vec![cfg0, cfg1]);
+        sim.run_until(SimTime::from_nanos(5_000_000_000));
+
+        // Craft the killer update: unknown transitive attr 0xF5 with a
+        // 0x90-byte value.
+        let mut attrs = PathAttrs {
+            as_path: crate::attrs::AsPath::sequence([65000]),
+            next_hop: Ipv4Addr(0x0A000001),
+            ..Default::default()
+        };
+        attrs.unknown.push(crate::attrs::RawAttr {
+            flags: crate::attrs::flags::OPTIONAL | crate::attrs::flags::TRANSITIVE,
+            code: 0xF5,
+            value: vec![0xAA; 0x90],
+        });
+        let msg = Message::Update(UpdateMsg {
+            withdrawn: vec![],
+            attrs: Some(attrs),
+            nlri: vec![net("99.0.0.0/8")],
+        });
+        let bytes = wire::encode(&msg);
+        sim.deliver_direct(NodeId(0), NodeId(1), &bytes);
+        assert!(sim.crashed(NodeId(1)).is_some(), "seeded bug must crash the node");
+    }
+
+    #[test]
+    fn same_update_without_bug_is_harmless() {
+        let cfg0 = simple_config(0, &[1]);
+        let cfg1 = simple_config(1, &[0]); // bug switch off
+        let mut sim = build_sim(2, &[(0, 1)], vec![cfg0, cfg1]);
+        sim.run_until(SimTime::from_nanos(5_000_000_000));
+        let mut attrs = PathAttrs {
+            as_path: crate::attrs::AsPath::sequence([65000]),
+            next_hop: Ipv4Addr(0x0A000001),
+            ..Default::default()
+        };
+        attrs.unknown.push(crate::attrs::RawAttr {
+            flags: crate::attrs::flags::OPTIONAL | crate::attrs::flags::TRANSITIVE,
+            code: 0xF5,
+            value: vec![0xAA; 0x90],
+        });
+        let msg = Message::Update(UpdateMsg {
+            withdrawn: vec![],
+            attrs: Some(attrs),
+            nlri: vec![net("99.0.0.0/8")],
+        });
+        sim.deliver_direct(NodeId(0), NodeId(1), &wire::encode(&msg));
+        assert!(sim.crashed(NodeId(1)).is_none());
+        assert!(router(&sim, 1).loc_rib().best(&net("99.0.0.0/8")).is_some());
+    }
+
+    #[test]
+    fn garbage_message_triggers_notification_and_reset() {
+        let cfg0 = simple_config(0, &[1]);
+        let cfg1 = simple_config(1, &[0]);
+        let mut sim = build_sim(2, &[(0, 1)], vec![cfg0, cfg1]);
+        sim.run_until(SimTime::from_nanos(5_000_000_000));
+        assert_eq!(router(&sim, 1).session_state(NodeId(0)), SessionState::Established);
+        sim.deliver_direct(NodeId(0), NodeId(1), &[0u8; 40]);
+        assert_eq!(router(&sim, 1).stats().decode_errors, 1);
+        // The deferred reset tears the session down...
+        sim.run_until(SimTime::from_nanos(6_000_000_000));
+        assert_eq!(router(&sim, 1).session_state(NodeId(0)), SessionState::Idle);
+        // ...and auto-reconnect re-establishes it.
+        sim.run_until(SimTime::from_nanos(20_000_000_000));
+        assert_eq!(router(&sim, 1).session_state(NodeId(0)), SessionState::Established);
+    }
+
+    #[test]
+    fn session_loss_flushes_learned_routes() {
+        let cfg0 = simple_config(0, &[1]).with_network(net("10.0.0.0/8"));
+        let cfg1 = simple_config(1, &[0]);
+        let mut sim = build_sim(2, &[(0, 1)], vec![cfg0, cfg1]);
+        sim.run_until(SimTime::from_nanos(5_000_000_000));
+        assert!(router(&sim, 1).loc_rib().best(&net("10.0.0.0/8")).is_some());
+        sim.inject_link_down(NodeId(0), NodeId(1));
+        sim.run_until(SimTime::from_nanos(6_000_000_000));
+        assert!(router(&sim, 1).loc_rib().best(&net("10.0.0.0/8")).is_none());
+    }
+
+    #[test]
+    fn hijack_draws_traffic_with_longer_prefix() {
+        // 0 owns 10.0/16 and announces it; 2 (attacker) announces 10.0.0/24
+        // (more specific). Node 1 prefers the more specific for covered
+        // addresses — modeled here by both being installed as distinct
+        // prefixes.
+        let cfg0 = simple_config(0, &[1]).with_network(net("10.0.0.0/16"));
+        let cfg1 = simple_config(1, &[0, 2]);
+        let cfg2 = simple_config(2, &[1]);
+        let mut sim = build_sim(3, &[(0, 1), (1, 2)], vec![cfg0, cfg1, cfg2]);
+        sim.run_until(SimTime::from_nanos(8_000_000_000));
+        // Attacker action: announce a prefix it does not own.
+        sim.invoke_node(NodeId(2), |node, api| {
+            let r = node.as_any_mut().downcast_mut::<BgpRouter>().unwrap();
+            r.announce_network(net("10.0.0.0/24"), false, api);
+        });
+        sim.run_until(SimTime::from_nanos(16_000_000_000));
+        let r1 = router(&sim, 1);
+        let hijacked = r1.loc_rib().best(&net("10.0.0.0/24")).expect("hijack visible");
+        assert_eq!(hijacked.route.attrs.as_path.origin_asn(), Some(Asn(65002)));
+        // Legitimate covering route still present.
+        assert!(r1.loc_rib().best(&net("10.0.0.0/16")).is_some());
+    }
+
+    #[test]
+    fn state_size_grows_with_rib() {
+        let cfg0 = simple_config(0, &[1]);
+        let mut many = simple_config(1, &[0]);
+        for i in 0..64u32 {
+            many = many.with_network(Ipv4Net::new(0x0B000000 + (i << 8), 24));
+        }
+        let r_small = BgpRouter::new(cfg0);
+        let r_big = BgpRouter::new(many.clone());
+        // Populate loc-rib via on_start.
+        let mut sim = build_sim(2, &[(0, 1)], vec![simple_config(0, &[1]), many]);
+        sim.run_until(SimTime::from_nanos(1_000_000));
+        let big_size = router(&sim, 1).state_size();
+        assert!(big_size > r_small.state_size());
+        let _ = r_big;
+    }
+}

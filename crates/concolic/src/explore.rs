@@ -1,0 +1,530 @@
+//! Path exploration strategies over a concolic program.
+//!
+//! Implements the Oasis-style loop: run an input, take its path condition,
+//! negate branch constraints, solve, and enqueue the resulting inputs.
+//! Two search orders are provided — plain **DFS negation** and SAGE-style
+//! **generational search** scored by predicted new branch coverage — plus a
+//! **random-mutation** baseline used by the paper-shape experiment
+//! "concolic > grammar > random".
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use crate::ctx::{BranchRec, ConcolicCtx, SymInput};
+use crate::solve::{negation_query, SolveResult, Solver, SolverBudget, SolverStats};
+
+/// Outcome of one program execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Input processed to completion.
+    Ok,
+    /// Input rejected by validation (with the stage that rejected it).
+    Rejected(String),
+    /// Input crashed the program — a fault candidate.
+    Crash(String),
+}
+
+/// A program under concolic test. Reads its input through the context.
+pub trait ConcolicProgram {
+    /// Execute once over `ctx`'s input, recording branches into `ctx`.
+    fn run(&mut self, ctx: &mut ConcolicCtx) -> RunStatus;
+}
+
+impl<F: FnMut(&mut ConcolicCtx) -> RunStatus> ConcolicProgram for F {
+    fn run(&mut self, ctx: &mut ConcolicCtx) -> RunStatus {
+        self(ctx)
+    }
+}
+
+/// Branch-coverage ledger: which (site, direction) pairs have been seen.
+#[derive(Debug, Clone, Default)]
+pub struct Coverage {
+    seen: BTreeSet<(u32, bool)>,
+}
+
+impl Coverage {
+    /// Record a path; returns how many previously unseen (site, direction)
+    /// pairs it contributed.
+    pub fn add_path(&mut self, path: &[BranchRec]) -> usize {
+        let mut new = 0;
+        for b in path {
+            if self.seen.insert((b.site.0, b.taken)) {
+                new += 1;
+            }
+        }
+        new
+    }
+
+    /// Whether a (site, direction) pair has been covered.
+    pub fn covered(&self, site: u32, taken: bool) -> bool {
+        self.seen.contains(&(site, taken))
+    }
+
+    /// Total covered (site, direction) pairs.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether nothing has been covered.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+/// Search order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Negate deepest-first, LIFO worklist.
+    Dfs,
+    /// SAGE-style generational search with coverage-guided scoring.
+    Generational,
+}
+
+/// Exploration configuration.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Search order.
+    pub strategy: Strategy,
+    /// Stop after this many program executions.
+    pub max_executions: usize,
+    /// Per-query solver budget.
+    pub solver_budget: SolverBudget,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            strategy: Strategy::Generational,
+            max_executions: 256,
+            solver_budget: SolverBudget::default(),
+        }
+    }
+}
+
+/// One executed input and what happened.
+#[derive(Debug, Clone)]
+pub struct ExecutionRecord {
+    /// The concrete input bytes.
+    pub input: Vec<u8>,
+    /// Oracle pseudo-byte overrides active for this run.
+    pub oracles: BTreeMap<u32, u8>,
+    /// Outcome.
+    pub status: RunStatus,
+    /// Number of recorded (symbolic) branches.
+    pub path_len: usize,
+    /// Path signature (distinct-path accounting).
+    pub path_sig: u64,
+    /// Previously unseen (site, direction) pairs this run covered.
+    pub new_coverage: usize,
+}
+
+/// The result of an exploration session.
+#[derive(Debug, Clone, Default)]
+pub struct ExplorationReport {
+    /// Every execution, in order.
+    pub executions: Vec<ExecutionRecord>,
+    /// Cumulative covered pairs after each execution (for coverage curves).
+    pub coverage_timeline: Vec<usize>,
+    /// Distinct path signatures observed.
+    pub distinct_paths: usize,
+    /// Indices (into `executions`) of crashing runs.
+    pub crashes: Vec<usize>,
+    /// Aggregate solver statistics.
+    pub solver: SolverStats,
+}
+
+impl ExplorationReport {
+    /// Final branch coverage.
+    pub fn final_coverage(&self) -> usize {
+        self.coverage_timeline.last().copied().unwrap_or(0)
+    }
+
+    /// Index of the first crash, if any.
+    pub fn first_crash(&self) -> Option<usize> {
+        self.crashes.first().copied()
+    }
+}
+
+struct WorkItem {
+    bytes: Vec<u8>,
+    oracles: BTreeMap<u32, u8>,
+    bound: usize,
+    score: i64,
+    seq: u64,
+}
+
+/// Concolic exploration of `program` from the given seed inputs.
+///
+/// `marker` decides which bytes of an input are symbolic (DiCE's
+/// symbolic-marking policy). Seeds play the role of Oasis's test-suite
+/// inputs: exploration starts from known-interesting messages rather than
+/// from scratch.
+pub fn explore(
+    program: &mut dyn ConcolicProgram,
+    seeds: &[Vec<u8>],
+    marker: &dyn Fn(&[u8]) -> Vec<bool>,
+    config: &ExploreConfig,
+) -> ExplorationReport {
+    let mut solver = Solver::with_budget(config.solver_budget);
+    let mut coverage = Coverage::default();
+    let mut report = ExplorationReport::default();
+    let mut seen_paths: BTreeSet<u64> = BTreeSet::new();
+    // Dedup by *synthesized input*, not by path skeleton: two different
+    // inputs can share an identical (site, polarity) branch skeleton while
+    // their negated children differ (e.g. same parse shape, different
+    // attribute payloads) — skeleton-keyed dedup silently drops one of them.
+    let mut attempted: HashSet<u64> = HashSet::new();
+    let mut queue: Vec<WorkItem> = Vec::new();
+    let mut seq = 0u64;
+
+    for seed in seeds {
+        attempted.insert(input_key(seed, &BTreeMap::new()));
+        queue.push(WorkItem {
+            bytes: seed.clone(),
+            oracles: BTreeMap::new(),
+            bound: 0,
+            score: i64::MAX, // seeds always run first
+            seq,
+        });
+        seq += 1;
+    }
+
+    let mut pops = 0u64;
+    while report.executions.len() < config.max_executions {
+        let item = match config.strategy {
+            Strategy::Dfs => queue.pop(),
+            Strategy::Generational => {
+                if queue.is_empty() {
+                    None
+                } else {
+                    pops += 1;
+                    // Anti-starvation: every second pop takes the *oldest*
+                    // pending item regardless of score. Coverage-guided
+                    // scoring alone starves deep children whose target
+                    // polarity was covered on an unrelated (and
+                    // unsatisfiable-onward) path — exactly the shape of
+                    // guarded-bug reachability.
+                    let pick = if pops % 2 == 0 {
+                        queue
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, w)| w.seq)
+                            .map(|(i, _)| i)
+                            .unwrap()
+                    } else {
+                        // Highest score first; FIFO within equal scores.
+                        queue
+                            .iter()
+                            .enumerate()
+                            .max_by(|(_, a), (_, b)| {
+                                a.score.cmp(&b.score).then(b.seq.cmp(&a.seq))
+                            })
+                            .map(|(i, _)| i)
+                            .unwrap()
+                    };
+                    Some(queue.swap_remove(pick))
+                }
+            }
+        };
+        let Some(item) = item else { break };
+
+        let mask = marker(&item.bytes);
+        let input = SymInput::with_mask(item.bytes.clone(), mask);
+        let mut ctx = ConcolicCtx::with_oracles(input, item.oracles.clone());
+        let status = program.run(&mut ctx);
+
+        let sig = ctx.path_signature();
+        let new_cov = coverage.add_path(ctx.path());
+        seen_paths.insert(sig); // distinct-path metric only
+        if matches!(status, RunStatus::Crash(_)) {
+            report.crashes.push(report.executions.len());
+        }
+        report.executions.push(ExecutionRecord {
+            input: item.bytes.clone(),
+            oracles: item.oracles.clone(),
+            status,
+            path_len: ctx.path().len(),
+            path_sig: sig,
+            new_coverage: new_cov,
+        });
+        report.coverage_timeline.push(coverage.len());
+
+        // Expand children: negate each branch after the inherited bound.
+        // Note: expansion is NOT gated on path novelty — two different
+        // inputs can share a branch skeleton yet yield different children;
+        // the input-key dedup above suppresses true duplicates.
+        let path: Vec<BranchRec> = ctx.path().to_vec();
+        let input_len = item.bytes.len();
+        for i in item.bound..path.len() {
+            let q = negation_query(&path, i);
+            let seed_bytes = item.bytes.clone();
+            let seed_oracles = item.oracles.clone();
+            let seed_fn = move |idx: u32| -> u8 {
+                if (idx as usize) < seed_bytes.len() {
+                    seed_bytes[idx as usize]
+                } else {
+                    seed_oracles.get(&idx).copied().unwrap_or(0)
+                }
+            };
+            match solver.solve(ctx.arena(), &q, &seed_fn) {
+                SolveResult::Sat(model) => {
+                    let mut bytes = item.bytes.clone();
+                    let mut oracles = item.oracles.clone();
+                    for (&idx, &val) in &model {
+                        if (idx as usize) < input_len {
+                            bytes[idx as usize] = val;
+                        } else {
+                            oracles.insert(idx, val);
+                        }
+                    }
+                    if !attempted.insert(input_key(&bytes, &oracles)) {
+                        continue; // this exact input is already queued or ran
+                    }
+                    let target_uncovered = !coverage.covered(path[i].site.0, !path[i].taken);
+                    let score = if target_uncovered { 1_000 } else { 500 } - i as i64;
+                    queue.push(WorkItem { bytes, oracles, bound: i + 1, score, seq });
+                    seq += 1;
+                }
+                SolveResult::Unsat | SolveResult::Unknown => {}
+            }
+        }
+    }
+
+    report.distinct_paths = seen_paths.len();
+    report.solver = solver.stats;
+    report
+}
+
+/// Identity of a concrete input: bytes plus oracle overlay (FNV-1a).
+fn input_key(bytes: &[u8], oracles: &BTreeMap<u32, u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    for (&k, &v) in oracles {
+        h ^= ((k as u64) << 8) | v as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Random-mutation fuzzing baseline: same coverage accounting, no solver.
+/// Deterministic in `rng_seed`.
+pub fn random_fuzz(
+    program: &mut dyn ConcolicProgram,
+    seeds: &[Vec<u8>],
+    marker: &dyn Fn(&[u8]) -> Vec<bool>,
+    max_executions: usize,
+    rng_seed: u64,
+) -> ExplorationReport {
+    let mut state = rng_seed | 1;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut coverage = Coverage::default();
+    let mut report = ExplorationReport::default();
+    let mut seen_paths = BTreeSet::new();
+
+    for n in 0..max_executions {
+        let base = &seeds[n % seeds.len()];
+        let mut bytes = base.clone();
+        if n >= seeds.len() && !bytes.is_empty() {
+            // Mutate 1-4 random bytes.
+            let flips = 1 + (rnd() % 4) as usize;
+            for _ in 0..flips {
+                let i = (rnd() as usize) % bytes.len();
+                bytes[i] = rnd() as u8;
+            }
+        }
+        let mask = marker(&bytes);
+        let mut ctx = ConcolicCtx::new(SymInput::with_mask(bytes.clone(), mask));
+        let status = program.run(&mut ctx);
+        let sig = ctx.path_signature();
+        seen_paths.insert(sig);
+        let new_cov = coverage.add_path(ctx.path());
+        if matches!(status, RunStatus::Crash(_)) {
+            report.crashes.push(report.executions.len());
+        }
+        report.executions.push(ExecutionRecord {
+            input: bytes,
+            oracles: BTreeMap::new(),
+            status,
+            path_len: ctx.path().len(),
+            path_sig: sig,
+            new_coverage: new_cov,
+        });
+        report.coverage_timeline.push(coverage.len());
+    }
+    report.distinct_paths = seen_paths.len();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::SiteId;
+
+    /// A toy parser with a deep guarded branch structure:
+    ///   in[0] must be 0x42 (magic), in[1] selects 4 commands,
+    ///   command 3 with in[2] >= 0xF0 crashes.
+    fn toy_program(ctx: &mut ConcolicCtx) -> RunStatus {
+        if !ctx.in_bounds(2) {
+            return RunStatus::Rejected("short".into());
+        }
+        let magic = ctx.read_u8(0);
+        let is_magic = ctx.eq_const(magic, 0x42);
+        if !ctx.branch(SiteId(1), is_magic) {
+            return RunStatus::Rejected("bad magic".into());
+        }
+        let cmd = ctx.read_u8(1);
+        let c3 = ctx.eq_const(cmd, 3);
+        if ctx.branch(SiteId(2), c3) {
+            let arg = ctx.read_u8(2);
+            let big = ctx.uge_const(arg, 0xF0);
+            if ctx.branch(SiteId(3), big) {
+                return RunStatus::Crash("overflow".into());
+            }
+            return RunStatus::Ok;
+        }
+        let c2 = ctx.eq_const(cmd, 2);
+        if ctx.branch(SiteId(4), c2) {
+            return RunStatus::Ok;
+        }
+        RunStatus::Ok
+    }
+
+    fn all_symbolic(bytes: &[u8]) -> Vec<bool> {
+        vec![true; bytes.len()]
+    }
+
+    #[test]
+    fn concolic_finds_the_deep_crash() {
+        // Seed does not even pass the magic check.
+        let seeds = vec![vec![0u8, 0, 0]];
+        let cfg = ExploreConfig { max_executions: 64, ..Default::default() };
+        let report = explore(&mut toy_program, &seeds, &all_symbolic, &cfg);
+        assert!(
+            report.first_crash().is_some(),
+            "generational search must reach the guarded crash"
+        );
+        // The crashing input satisfies the chain of constraints.
+        let crash = &report.executions[report.first_crash().unwrap()];
+        assert_eq!(crash.input[0], 0x42);
+        assert_eq!(crash.input[1], 3);
+        assert!(crash.input[2] >= 0xF0);
+    }
+
+    #[test]
+    fn dfs_also_finds_it() {
+        let seeds = vec![vec![0u8, 0, 0]];
+        let cfg = ExploreConfig {
+            strategy: Strategy::Dfs,
+            max_executions: 64,
+            ..Default::default()
+        };
+        let report = explore(&mut toy_program, &seeds, &all_symbolic, &cfg);
+        assert!(report.first_crash().is_some());
+    }
+
+    #[test]
+    fn coverage_grows_monotonically() {
+        let seeds = vec![vec![0u8, 0, 0]];
+        let cfg = ExploreConfig { max_executions: 32, ..Default::default() };
+        let report = explore(&mut toy_program, &seeds, &all_symbolic, &cfg);
+        for w in report.coverage_timeline.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(report.final_coverage() >= 6, "should cover most polarities");
+    }
+
+    #[test]
+    fn random_fuzz_is_much_weaker() {
+        let seeds = vec![vec![0u8, 0, 0]];
+        let random = random_fuzz(&mut toy_program, &seeds, &all_symbolic, 64, 1234);
+        let cfg = ExploreConfig { max_executions: 64, ..Default::default() };
+        let concolic = explore(&mut toy_program, &seeds, &all_symbolic, &cfg);
+        // Random mutation must not beat concolic coverage on this program
+        // (magic byte is a 1/256 shot per mutation).
+        assert!(concolic.final_coverage() >= random.final_coverage());
+        assert!(concolic.first_crash().is_some());
+        assert!(random.first_crash().is_none(), "random should not find the crash in 64 runs");
+    }
+
+    #[test]
+    fn distinct_paths_counted() {
+        let seeds = vec![vec![0x42u8, 0, 0]];
+        let cfg = ExploreConfig { max_executions: 32, ..Default::default() };
+        let report = explore(&mut toy_program, &seeds, &all_symbolic, &cfg);
+        assert!(report.distinct_paths >= 3);
+        assert!(report.distinct_paths <= report.executions.len());
+    }
+
+    #[test]
+    fn oracle_branches_explored() {
+        // Program whose behavior depends only on an oracle condition.
+        fn oracle_prog(ctx: &mut ConcolicCtx) -> RunStatus {
+            let pref = ctx.oracle_bool(false);
+            if ctx.branch(SiteId(10), pref) {
+                RunStatus::Crash("preferred-path fault".into())
+            } else {
+                RunStatus::Ok
+            }
+        }
+        let seeds = vec![vec![0u8; 2]];
+        let cfg = ExploreConfig { max_executions: 8, ..Default::default() };
+        let report = explore(&mut oracle_prog, &seeds, &all_symbolic, &cfg);
+        assert!(
+            report.first_crash().is_some(),
+            "negating the oracle branch must flip route preference"
+        );
+        // The crashing run carries an oracle override.
+        let crash = &report.executions[report.first_crash().unwrap()];
+        assert!(!crash.oracles.is_empty());
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let seeds = vec![vec![0u8, 0, 0]];
+        let cfg = ExploreConfig { max_executions: 40, ..Default::default() };
+        let a = explore(&mut toy_program, &seeds, &all_symbolic, &cfg);
+        let b = explore(&mut toy_program, &seeds, &all_symbolic, &cfg);
+        assert_eq!(a.executions.len(), b.executions.len());
+        assert_eq!(a.final_coverage(), b.final_coverage());
+        assert_eq!(a.distinct_paths, b.distinct_paths);
+        for (x, y) in a.executions.iter().zip(&b.executions) {
+            assert_eq!(x.input, y.input);
+            assert_eq!(x.path_sig, y.path_sig);
+        }
+    }
+
+    #[test]
+    fn respects_execution_budget() {
+        let seeds = vec![vec![0u8, 0, 0]];
+        let cfg = ExploreConfig { max_executions: 5, ..Default::default() };
+        let report = explore(&mut toy_program, &seeds, &all_symbolic, &cfg);
+        assert!(report.executions.len() <= 5);
+    }
+
+    #[test]
+    fn partial_symbolic_marking_limits_search() {
+        // Only byte 0 symbolic: the crash (needs bytes 1 and 2) is
+        // unreachable, but the magic branch is still explored.
+        let marker = |bytes: &[u8]| {
+            let mut m = vec![false; bytes.len()];
+            if !m.is_empty() {
+                m[0] = true;
+            }
+            m
+        };
+        let seeds = vec![vec![0u8, 3, 0xF5]];
+        let cfg = ExploreConfig { max_executions: 32, ..Default::default() };
+        let report = explore(&mut toy_program, &seeds, &marker, &cfg);
+        assert!(report.first_crash().is_some(), "bytes 1,2 already set by seed");
+        let seeds2 = vec![vec![0u8, 0, 0]];
+        let report2 = explore(&mut toy_program, &seeds2, &marker, &cfg);
+        assert!(report2.first_crash().is_none(), "cannot steer concrete bytes");
+    }
+}

@@ -1,0 +1,788 @@
+//! Hash-consed symbolic expressions over input bytes.
+//!
+//! Expressions form a DAG stored in an arena; nodes are deduplicated so the
+//! same sub-expression is represented once. Word values carry an explicit
+//! bit width (8/16/32/64) and all arithmetic is modular in that width, which
+//! matches how the instrumented parsers compute on the wire bytes.
+
+use std::collections::HashMap;
+
+/// Index of an expression in its arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ExprId(pub u32);
+
+/// Binary word operators (modular in the node's width).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+}
+
+/// Word comparison operators (unsigned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Ult,
+    Ule,
+}
+
+/// Boolean connectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BoolOp {
+    And,
+    Or,
+}
+
+/// An expression node. Word nodes produce `bits`-wide unsigned values;
+/// comparison and boolean nodes produce truth values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A constant word.
+    Const {
+        /// Width in bits (8..=64).
+        bits: u8,
+        /// Value, already masked to `bits`.
+        val: u64,
+    },
+    /// The `idx`-th symbolic input byte (8 bits wide).
+    Input {
+        /// Byte position in the program input.
+        idx: u32,
+    },
+    /// Binary word operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Result width.
+        bits: u8,
+        /// Left operand.
+        a: ExprId,
+        /// Right operand.
+        b: ExprId,
+    },
+    /// Zero-extend a narrower word.
+    ZExt {
+        /// Target width.
+        bits: u8,
+        /// Operand.
+        a: ExprId,
+    },
+    /// Comparison producing a boolean.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        a: ExprId,
+        /// Right operand.
+        b: ExprId,
+    },
+    /// Boolean negation.
+    Not(ExprId),
+    /// Boolean connective.
+    Bool {
+        /// Connective.
+        op: BoolOp,
+        /// Left operand.
+        a: ExprId,
+        /// Right operand.
+        b: ExprId,
+    },
+}
+
+fn mask(bits: u8) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Hash-consing arena of expressions.
+#[derive(Debug, Default, Clone)]
+pub struct ExprArena {
+    nodes: Vec<Expr>,
+    cache: HashMap<Expr, ExprId>,
+}
+
+impl ExprArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Intern a node.
+    pub fn intern(&mut self, e: Expr) -> ExprId {
+        if let Some(&id) = self.cache.get(&e) {
+            return id;
+        }
+        let id = ExprId(self.nodes.len() as u32);
+        self.nodes.push(e);
+        self.cache.insert(e, id);
+        id
+    }
+
+    /// Fetch a node.
+    pub fn get(&self, id: ExprId) -> Expr {
+        self.nodes[id.0 as usize]
+    }
+
+    /// Intern a constant.
+    pub fn constant(&mut self, bits: u8, val: u64) -> ExprId {
+        self.intern(Expr::Const { bits, val: val & mask(bits) })
+    }
+
+    /// Intern an input byte reference.
+    pub fn input(&mut self, idx: u32) -> ExprId {
+        self.intern(Expr::Input { idx })
+    }
+
+    /// Build a binary op with constant folding.
+    pub fn bin(&mut self, op: BinOp, bits: u8, a: ExprId, b: ExprId) -> ExprId {
+        if let (Expr::Const { val: va, .. }, Expr::Const { val: vb, .. }) =
+            (self.get(a), self.get(b))
+        {
+            let v = eval_bin(op, bits, va, vb);
+            return self.constant(bits, v);
+        }
+        self.intern(Expr::Bin { op, bits, a, b })
+    }
+
+    /// Build a zero-extension with folding.
+    pub fn zext(&mut self, bits: u8, a: ExprId) -> ExprId {
+        if let Expr::Const { val, .. } = self.get(a) {
+            return self.constant(bits, val);
+        }
+        self.intern(Expr::ZExt { bits, a })
+    }
+
+    /// Build a comparison with folding.
+    pub fn cmp(&mut self, op: CmpOp, a: ExprId, b: ExprId) -> ExprId {
+        if let (Expr::Const { val: va, .. }, Expr::Const { val: vb, .. }) =
+            (self.get(a), self.get(b))
+        {
+            let t = eval_cmp(op, va, vb);
+            return self.constant(1, t as u64);
+        }
+        self.intern(Expr::Cmp { op, a, b })
+    }
+
+    /// Build a boolean negation, collapsing double negation.
+    pub fn not(&mut self, a: ExprId) -> ExprId {
+        match self.get(a) {
+            Expr::Not(inner) => inner,
+            Expr::Const { val, .. } => self.constant(1, (val == 0) as u64),
+            _ => self.intern(Expr::Not(a)),
+        }
+    }
+
+    /// Build a boolean connective with folding.
+    pub fn boolean(&mut self, op: BoolOp, a: ExprId, b: ExprId) -> ExprId {
+        if let (Expr::Const { val: va, .. }, Expr::Const { val: vb, .. }) =
+            (self.get(a), self.get(b))
+        {
+            let t = match op {
+                BoolOp::And => va != 0 && vb != 0,
+                BoolOp::Or => va != 0 || vb != 0,
+            };
+            return self.constant(1, t as u64);
+        }
+        self.intern(Expr::Bool { op, a, b })
+    }
+
+    /// Evaluate `id` under an assignment of input bytes. Returns `None`
+    /// when a referenced input byte is unassigned.
+    pub fn eval(&self, id: ExprId, lookup: &dyn Fn(u32) -> Option<u64>) -> Option<u64> {
+        match self.get(id) {
+            Expr::Const { val, .. } => Some(val),
+            Expr::Input { idx } => lookup(idx),
+            Expr::Bin { op, bits, a, b } => {
+                let va = self.eval(a, lookup)?;
+                let vb = self.eval(b, lookup)?;
+                Some(eval_bin(op, bits, va, vb))
+            }
+            Expr::ZExt { a, .. } => self.eval(a, lookup),
+            Expr::Cmp { op, a, b } => {
+                let va = self.eval(a, lookup)?;
+                let vb = self.eval(b, lookup)?;
+                Some(eval_cmp(op, va, vb) as u64)
+            }
+            Expr::Not(a) => Some((self.eval(a, lookup)? == 0) as u64),
+            Expr::Bool { op, a, b } => {
+                // Short-circuit so partially-assigned inputs still decide
+                // when one side is conclusive.
+                let va = self.eval(a, lookup);
+                let vb = self.eval(b, lookup);
+                match (op, va, vb) {
+                    (BoolOp::And, Some(0), _) | (BoolOp::And, _, Some(0)) => Some(0),
+                    (BoolOp::Or, Some(x), _) if x != 0 => Some(1),
+                    (BoolOp::Or, _, Some(x)) if x != 0 => Some(1),
+                    (_, Some(x), Some(y)) => Some(match op {
+                        BoolOp::And => ((x != 0) && (y != 0)) as u64,
+                        BoolOp::Or => ((x != 0) || (y != 0)) as u64,
+                    }),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Ternary (known-bits) evaluation under a *partial* assignment:
+    /// returns a word whose `known` mask says which result bits are already
+    /// determined. This lets the solver refute constraints like
+    /// `(addr & 0xFF000000) == K` as soon as the single relevant byte is
+    /// assigned, instead of enumerating the irrelevant ones.
+    pub fn eval3(&self, id: ExprId, lookup: &dyn Fn(u32) -> Option<u64>) -> Ternary {
+        match self.get(id) {
+            Expr::Const { bits, val } => Ternary { known: mask(bits), val, bits },
+            Expr::Input { idx } => match lookup(idx) {
+                Some(v) => Ternary { known: 0xFF, val: v & 0xFF, bits: 8 },
+                None => Ternary { known: 0, val: 0, bits: 8 },
+            },
+            Expr::ZExt { bits, a } => {
+                let inner = self.eval3(a, lookup);
+                // Upper bits become known zeros.
+                Ternary {
+                    known: inner.known | (mask(bits) & !mask(inner.bits)),
+                    val: inner.val,
+                    bits,
+                }
+            }
+            Expr::Bin { op, bits, a, b } => {
+                let x = self.eval3(a, lookup);
+                let y = self.eval3(b, lookup);
+                let m = mask(bits);
+                match op {
+                    BinOp::And => {
+                        let known = (x.known & y.known)
+                            | (x.known & !x.val)
+                            | (y.known & !y.val);
+                        Ternary { known: known & m, val: x.val & y.val & known & m, bits }
+                    }
+                    BinOp::Or => {
+                        let known = (x.known & y.known)
+                            | (x.known & x.val)
+                            | (y.known & y.val);
+                        Ternary { known: known & m, val: (x.val | y.val) & known & m, bits }
+                    }
+                    BinOp::Xor => {
+                        let known = x.known & y.known & m;
+                        Ternary { known, val: (x.val ^ y.val) & known, bits }
+                    }
+                    BinOp::Shl | BinOp::Shr => {
+                        if y.known == mask(y.bits) {
+                            let sh = y.val;
+                            if sh >= 64 {
+                                return Ternary { known: m, val: 0, bits };
+                            }
+                            let (known, val) = if op == BinOp::Shl {
+                                // Low bits become known zeros.
+                                (((x.known << sh) | mask(sh as u8)) & m, (x.val << sh) & m)
+                            } else {
+                                // High bits become known zeros within width.
+                                (
+                                    ((x.known >> sh) | (m & !(m >> sh))) & m,
+                                    (x.val >> sh) & m,
+                                )
+                            };
+                            Ternary { known, val: val & known, bits }
+                        } else {
+                            Ternary { known: 0, val: 0, bits }
+                        }
+                    }
+                    BinOp::Add | BinOp::Sub | BinOp::Mul => {
+                        // Exact only under full knowledge (carries spread).
+                        if x.known == mask(x.bits) && y.known == mask(y.bits) {
+                            let v = eval_bin(op, bits, x.val, y.val);
+                            Ternary { known: m, val: v, bits }
+                        } else {
+                            Ternary { known: 0, val: 0, bits }
+                        }
+                    }
+                }
+            }
+            Expr::Cmp { op, a, b } => {
+                let x = self.eval3(a, lookup);
+                let y = self.eval3(b, lookup);
+                let t = match op {
+                    CmpOp::Eq => match ternary_eq(&x, &y) {
+                        Some(true) => Ternary::known_bool(true),
+                        Some(false) => Ternary::known_bool(false),
+                        None => Ternary::unknown_bool(),
+                    },
+                    CmpOp::Ne => match ternary_eq(&x, &y) {
+                        Some(true) => Ternary::known_bool(false),
+                        Some(false) => Ternary::known_bool(true),
+                        None => Ternary::unknown_bool(),
+                    },
+                    CmpOp::Ult => match ternary_cmp_lt(&x, &y, false) {
+                        Some(v) => Ternary::known_bool(v),
+                        None => Ternary::unknown_bool(),
+                    },
+                    CmpOp::Ule => match ternary_cmp_lt(&x, &y, true) {
+                        Some(v) => Ternary::known_bool(v),
+                        None => Ternary::unknown_bool(),
+                    },
+                };
+                t
+            }
+            Expr::Not(a) => {
+                let x = self.eval3(a, lookup);
+                if x.known & 1 == 1 {
+                    Ternary::known_bool(x.val & 1 == 0)
+                } else {
+                    Ternary::unknown_bool()
+                }
+            }
+            Expr::Bool { op, a, b } => {
+                let x = self.eval3(a, lookup);
+                let y = self.eval3(b, lookup);
+                let xv = x.as_bool();
+                let yv = y.as_bool();
+                match op {
+                    BoolOp::And => match (xv, yv) {
+                        (Some(false), _) | (_, Some(false)) => Ternary::known_bool(false),
+                        (Some(true), Some(true)) => Ternary::known_bool(true),
+                        _ => Ternary::unknown_bool(),
+                    },
+                    BoolOp::Or => match (xv, yv) {
+                        (Some(true), _) | (_, Some(true)) => Ternary::known_bool(true),
+                        (Some(false), Some(false)) => Ternary::known_bool(false),
+                        _ => Ternary::unknown_bool(),
+                    },
+                }
+            }
+        }
+    }
+
+    /// Collect the distinct input-byte indices referenced by `id`.
+    pub fn vars(&self, id: ExprId) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.collect_vars(id, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_vars(&self, id: ExprId, out: &mut Vec<u32>) {
+        match self.get(id) {
+            Expr::Const { .. } => {}
+            Expr::Input { idx } => out.push(idx),
+            Expr::Bin { a, b, .. } | Expr::Cmp { a, b, .. } | Expr::Bool { a, b, .. } => {
+                self.collect_vars(a, out);
+                self.collect_vars(b, out);
+            }
+            Expr::ZExt { a, .. } | Expr::Not(a) => self.collect_vars(a, out),
+        }
+    }
+
+    /// Pretty-print an expression (for diagnostics and reports).
+    pub fn render(&self, id: ExprId) -> String {
+        match self.get(id) {
+            Expr::Const { val, bits } => format!("{val}:{bits}"),
+            Expr::Input { idx } => format!("in[{idx}]"),
+            Expr::Bin { op, a, b, .. } => {
+                let s = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::And => "&",
+                    BinOp::Or => "|",
+                    BinOp::Xor => "^",
+                    BinOp::Shl => "<<",
+                    BinOp::Shr => ">>",
+                };
+                format!("({} {} {})", self.render(a), s, self.render(b))
+            }
+            Expr::ZExt { a, bits } => format!("zext{}({})", bits, self.render(a)),
+            Expr::Cmp { op, a, b } => {
+                let s = match op {
+                    CmpOp::Eq => "==",
+                    CmpOp::Ne => "!=",
+                    CmpOp::Ult => "<",
+                    CmpOp::Ule => "<=",
+                };
+                format!("({} {} {})", self.render(a), s, self.render(b))
+            }
+            Expr::Not(a) => format!("!{}", self.render(a)),
+            Expr::Bool { op, a, b } => {
+                let s = match op {
+                    BoolOp::And => "&&",
+                    BoolOp::Or => "||",
+                };
+                format!("({} {} {})", self.render(a), s, self.render(b))
+            }
+        }
+    }
+}
+
+/// A partially known word: bit `i` is determined iff `known` bit `i` is set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ternary {
+    /// Which bits are determined.
+    pub known: u64,
+    /// Values of the determined bits (zero elsewhere).
+    pub val: u64,
+    /// Word width.
+    pub bits: u8,
+}
+
+impl Ternary {
+    fn known_bool(v: bool) -> Ternary {
+        Ternary { known: 1, val: v as u64, bits: 1 }
+    }
+    fn unknown_bool() -> Ternary {
+        Ternary { known: 0, val: 0, bits: 1 }
+    }
+    /// Truthiness, if determined.
+    pub fn as_bool(&self) -> Option<bool> {
+        if self.known & 1 == 1 {
+            Some(self.val & 1 == 1)
+        } else {
+            // A word with any known-one bit is definitely truthy.
+            if self.val & self.known != 0 {
+                Some(true)
+            } else if self.known == mask(self.bits) {
+                Some(self.val != 0)
+            } else {
+                None
+            }
+        }
+    }
+    /// Smallest value consistent with the known bits.
+    pub fn min(&self) -> u64 {
+        self.val & self.known
+    }
+    /// Largest value consistent with the known bits.
+    pub fn max(&self) -> u64 {
+        (self.val & self.known) | (mask(self.bits) & !self.known)
+    }
+}
+
+/// Definite equality verdict between two partially known words, if any.
+fn ternary_eq(a: &Ternary, b: &Ternary) -> Option<bool> {
+    let both = a.known & b.known;
+    if (a.val ^ b.val) & both != 0 {
+        return Some(false); // a determined bit differs
+    }
+    let w = mask(a.bits.max(b.bits));
+    if a.known & w == w && b.known & w == w {
+        return Some(true);
+    }
+    None
+}
+
+/// Definite `a < b` (or `a <= b` when `or_eq`) verdict, if any, via bounds.
+fn ternary_cmp_lt(a: &Ternary, b: &Ternary, or_eq: bool) -> Option<bool> {
+    if or_eq {
+        if a.max() <= b.min() {
+            return Some(true);
+        }
+        if a.min() > b.max() {
+            return Some(false);
+        }
+    } else {
+        if a.max() < b.min() {
+            return Some(true);
+        }
+        if a.min() >= b.max() {
+            return Some(false);
+        }
+    }
+    None
+}
+
+fn eval_bin(op: BinOp, bits: u8, a: u64, b: u64) -> u64 {
+    let m = mask(bits);
+    let v = match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => {
+            if b >= 64 {
+                0
+            } else {
+                a << b
+            }
+        }
+        BinOp::Shr => {
+            if b >= 64 {
+                0
+            } else {
+                a >> b
+            }
+        }
+    };
+    v & m
+}
+
+fn eval_cmp(op: CmpOp, a: u64, b: u64) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Ult => a < b,
+        CmpOp::Ule => a <= b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut a = ExprArena::new();
+        let c1 = a.constant(8, 5);
+        let c2 = a.constant(8, 5);
+        assert_eq!(c1, c2);
+        assert_eq!(a.len(), 1);
+        let i1 = a.input(3);
+        let i2 = a.input(3);
+        assert_eq!(i1, i2);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut a = ExprArena::new();
+        let x = a.constant(8, 200);
+        let y = a.constant(8, 100);
+        let sum = a.bin(BinOp::Add, 8, x, y);
+        assert_eq!(a.get(sum), Expr::Const { bits: 8, val: 44 }, "modular add folds");
+        let cmp = a.cmp(CmpOp::Ult, y, x);
+        assert_eq!(a.get(cmp), Expr::Const { bits: 1, val: 1 });
+    }
+
+    #[test]
+    fn eval_with_assignment() {
+        let mut a = ExprArena::new();
+        let i0 = a.input(0);
+        let i1 = a.input(1);
+        let hi = a.zext(16, i0);
+        let lo = a.zext(16, i1);
+        let k8 = a.constant(16, 8);
+        let shifted = a.bin(BinOp::Shl, 16, hi, k8);
+        let word = a.bin(BinOp::Or, 16, shifted, lo);
+        let val = a
+            .eval(word, &|idx| Some(if idx == 0 { 0x12 } else { 0x34 }))
+            .unwrap();
+        assert_eq!(val, 0x1234);
+    }
+
+    #[test]
+    fn eval_partial_assignment_is_none() {
+        let mut a = ExprArena::new();
+        let i0 = a.input(0);
+        let i9 = a.input(9);
+        let sum = a.bin(BinOp::Add, 8, i0, i9);
+        let r = a.eval(sum, &|idx| if idx == 0 { Some(1) } else { None });
+        assert_eq!(r, None);
+    }
+
+    #[test]
+    fn bool_short_circuit() {
+        let mut a = ExprArena::new();
+        let i0 = a.input(0);
+        let k = a.constant(8, 5);
+        let undecidable = a.cmp(CmpOp::Eq, i0, k);
+        let fals = a.constant(1, 0);
+        let tru = a.constant(1, 1);
+        let and = a.boolean(BoolOp::And, undecidable, fals);
+        // `x && false` is decidable without knowing x.
+        assert_eq!(a.eval(and, &|_| None), Some(0));
+        let or = a.boolean(BoolOp::Or, tru, undecidable);
+        assert_eq!(a.eval(or, &|_| None), Some(1));
+    }
+
+    #[test]
+    fn double_negation_collapses() {
+        let mut a = ExprArena::new();
+        let i0 = a.input(0);
+        let k = a.constant(8, 7);
+        let c = a.cmp(CmpOp::Eq, i0, k);
+        let n = a.not(c);
+        let nn = a.not(n);
+        assert_eq!(nn, c);
+    }
+
+    #[test]
+    fn vars_collected() {
+        let mut a = ExprArena::new();
+        let i2 = a.input(2);
+        let i7 = a.input(7);
+        let s = a.bin(BinOp::Xor, 8, i2, i7);
+        let k = a.constant(8, 1);
+        let c = a.cmp(CmpOp::Ne, s, k);
+        assert_eq!(a.vars(c), vec![2, 7]);
+    }
+
+    #[test]
+    fn shift_overflow_is_zero() {
+        assert_eq!(eval_bin(BinOp::Shl, 8, 1, 64), 0);
+        assert_eq!(eval_bin(BinOp::Shr, 8, 0xFF, 64), 0);
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let mut a = ExprArena::new();
+        let i0 = a.input(0);
+        let k = a.constant(8, 2);
+        let c = a.cmp(CmpOp::Ule, i0, k);
+        assert_eq!(a.render(c), "(in[0] <= 2:8)");
+    }
+
+    // ---- ternary (known-bits) evaluation -------------------------------
+
+    /// Build `(addr32 & mask) == want` over 4 input bytes.
+    fn masked_eq(a: &mut ExprArena, maskv: u64, want: u64) -> ExprId {
+        let mut addr = a.constant(32, 0);
+        for k in 0..4u32 {
+            let byte = a.input(k);
+            let w = a.zext(32, byte);
+            let sh = a.constant(32, (24 - 8 * k) as u64);
+            let shifted = a.bin(BinOp::Shl, 32, w, sh);
+            addr = a.bin(BinOp::Or, 32, addr, shifted);
+        }
+        let m = a.constant(32, maskv);
+        let masked = a.bin(BinOp::And, 32, addr, m);
+        let k = a.constant(32, want);
+        a.cmp(CmpOp::Eq, masked, k)
+    }
+
+    #[test]
+    fn eval3_refutes_from_single_relevant_byte() {
+        let mut a = ExprArena::new();
+        let c = masked_eq(&mut a, 0xFF00_0000, 0x0A00_0000);
+        // Only byte 0 assigned, wrong value: definitely false.
+        let t = a.eval3(c, &|i| if i == 0 { Some(0x0B) } else { None });
+        assert_eq!(t.as_bool(), Some(false));
+        // Only byte 0 assigned, right value: bytes 1-3 are masked out, so
+        // the comparison is already definitely true.
+        let t = a.eval3(c, &|i| if i == 0 { Some(0x0A) } else { None });
+        assert_eq!(t.as_bool(), Some(true));
+    }
+
+    #[test]
+    fn eval3_is_undecided_when_relevant_bits_unknown() {
+        let mut a = ExprArena::new();
+        let c = masked_eq(&mut a, 0xFFFF_0000, 0x0A01_0000);
+        // Byte 0 right, byte 1 unknown: undecided.
+        let t = a.eval3(c, &|i| if i == 0 { Some(0x0A) } else { None });
+        assert_eq!(t.as_bool(), None);
+    }
+
+    #[test]
+    fn eval3_bounds_decide_comparisons() {
+        let mut a = ExprArena::new();
+        let x = a.input(0);
+        let x16 = a.zext(16, x);
+        let k8 = a.constant(16, 8);
+        let sh = a.bin(BinOp::Shl, 16, x16, k8);
+        let big = a.constant(16, 0x0100);
+        // (x << 8) >= 0x0100 iff x >= 1; with x unknown the range is
+        // [0, 0xFF00], so the comparison is undecided...
+        let c = a.cmp(CmpOp::Ule, big, sh);
+        assert_eq!(a.eval3(c, &|_| None).as_bool(), None);
+        // ...and decided once x is known.
+        assert_eq!(a.eval3(c, &|_| Some(2)).as_bool(), Some(true));
+        assert_eq!(a.eval3(c, &|_| Some(0)).as_bool(), Some(false));
+    }
+
+    #[test]
+    fn eval3_agrees_with_eval_on_full_assignments() {
+        // Randomized consistency: under a full assignment, eval3 must be
+        // fully known and equal to eval.
+        let mut state = 0xDEADBEEFu64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..200 {
+            let mut a = ExprArena::new();
+            let x = a.input(0);
+            let y = a.input(1);
+            let k = a.constant(8, rnd() % 256);
+            let op = match rnd() % 8 {
+                0 => BinOp::Add,
+                1 => BinOp::Sub,
+                2 => BinOp::Mul,
+                3 => BinOp::And,
+                4 => BinOp::Or,
+                5 => BinOp::Xor,
+                6 => BinOp::Shl,
+                _ => BinOp::Shr,
+            };
+            let mixed = a.bin(op, 8, x, y);
+            let c = a.cmp(
+                match rnd() % 4 {
+                    0 => CmpOp::Eq,
+                    1 => CmpOp::Ne,
+                    2 => CmpOp::Ult,
+                    _ => CmpOp::Ule,
+                },
+                mixed,
+                k,
+            );
+            let b0 = rnd() % 256;
+            let b1 = rnd() % 256;
+            let full = |i: u32| Some(if i == 0 { b0 } else { b1 });
+            let exact = a.eval(c, &full).unwrap();
+            let t = a.eval3(c, &full);
+            assert_eq!(
+                t.as_bool(),
+                Some(exact != 0),
+                "eval3 disagrees on full assignment"
+            );
+        }
+    }
+
+    #[test]
+    fn eval3_never_wrongly_decides_partial_assignments() {
+        // Soundness: if eval3 decides under a partial assignment, every
+        // completion must agree.
+        let mut a = ExprArena::new();
+        let x = a.input(0);
+        let y = a.input(1);
+        let anded = a.bin(BinOp::And, 8, x, y);
+        let k = a.constant(8, 0xF0);
+        let c = a.cmp(CmpOp::Eq, anded, k);
+        // x = 0x0F makes (x & y) ≤ 0x0F ≠ 0xF0 for every y.
+        let t = a.eval3(c, &|i| if i == 0 { Some(0x0F) } else { None });
+        assert_eq!(t.as_bool(), Some(false));
+        for y_val in 0u64..256 {
+            let full = |i: u32| Some(if i == 0 { 0x0F } else { y_val });
+            assert_eq!(a.eval(c, &full), Some(0));
+        }
+    }
+
+    #[test]
+    fn ternary_min_max() {
+        let t = Ternary { known: 0xF0, val: 0xA0, bits: 8 };
+        assert_eq!(t.min(), 0xA0);
+        assert_eq!(t.max(), 0xAF);
+    }
+}

@@ -1,0 +1,505 @@
+//! Property checkers and the fault taxonomy.
+//!
+//! Checkers embody the paper's three fault classes:
+//!
+//! * **Programming errors** — a node crashed while processing an input
+//!   ([`CrashChecker`]).
+//! * **Policy conflicts** — persistent best-route oscillation / failure to
+//!   converge ([`OscillationChecker`], [`ConvergenceChecker`]); the classic
+//!   instance is the "bad gadget" preference cycle.
+//! * **Operator mistakes** — announced routes whose (prefix, origin) pair is
+//!   not attested, i.e. prefix hijacking by misconfiguration
+//!   ([`OriginAuthorityChecker`]).
+//!
+//! All checks are *local*: they read only the node's own state and the
+//! shared [`AttestationRegistry`] digests, and publish [`LocalVerdict`]s —
+//! the narrow interface that keeps federated domains' state confidential.
+
+use std::collections::BTreeMap;
+
+use dice_bgp::{BgpRouter, Ipv4Net};
+use dice_netsim::{NodeId, QuietOutcome, ShadowSnapshot, Simulator};
+use serde::{Deserialize, Serialize};
+
+use crate::interface::{AttestationRegistry, LocalVerdict};
+
+/// The paper's fault classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FaultClass {
+    /// A defect in the implementation (crash, assertion, memory error).
+    ProgrammingError,
+    /// Conflicting routing policies across domains (e.g. dispute cycles).
+    PolicyConflict,
+    /// A configuration change that violates global intent (e.g. hijack).
+    OperatorMistake,
+}
+
+impl core::fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FaultClass::ProgrammingError => write!(f, "programming-error"),
+            FaultClass::PolicyConflict => write!(f, "policy-conflict"),
+            FaultClass::OperatorMistake => write!(f, "operator-mistake"),
+        }
+    }
+}
+
+/// A detected fault with provenance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Classification.
+    pub class: FaultClass,
+    /// Node where the fault manifested (`u32::MAX` = system-wide).
+    pub node: u32,
+    /// Human-readable description (non-confidential).
+    pub detail: String,
+    /// Simulated time of detection.
+    pub at_nanos: u64,
+}
+
+impl FaultReport {
+    /// Dedup key: class + node + detail.
+    pub fn key(&self) -> (FaultClass, u32, String) {
+        (self.class, self.node, self.detail.clone())
+    }
+}
+
+/// Everything a checker may look at for one explored clone.
+pub struct CheckContext<'a> {
+    /// The clone after running the exploration horizon.
+    pub sim: &'a Simulator,
+    /// Shared attestation digests.
+    pub registry: &'a AttestationRegistry,
+    /// Per-(node, prefix) best-route flip counts at snapshot time.
+    pub baseline_flips: &'a BTreeMap<(u32, Ipv4Net), u64>,
+    /// Whether the clone quiesced within the horizon.
+    pub quiet: QuietOutcome,
+    /// Whether a synthetic exploration input was injected into this clone.
+    /// *State-based* properties (origin authority) are only meaningful on
+    /// the un-perturbed clone — synthetic announcements are by construction
+    /// unattested and would drown the signal; *input-triggered* properties
+    /// (crashes, divergence) are checked on every clone.
+    pub injected: bool,
+}
+
+impl<'a> CheckContext<'a> {
+    fn routers(&self) -> impl Iterator<Item = (NodeId, &'a BgpRouter)> + 'a {
+        let sim = self.sim;
+        sim.topology().node_ids().filter_map(move |id| {
+            if sim.crashed(id).is_some() {
+                return None;
+            }
+            sim.node(id).as_any().downcast_ref::<BgpRouter>().map(|r| (id, r))
+        })
+    }
+}
+
+/// A property checker producing local verdicts and fault reports.
+pub trait Checker: Send + Sync {
+    /// Stable identifier used in verdicts.
+    fn name(&self) -> &'static str;
+    /// Run the check over a clone.
+    fn check(&self, cx: &CheckContext<'_>) -> (Vec<LocalVerdict>, Vec<FaultReport>);
+}
+
+/// Detects crashed nodes (programming errors).
+#[derive(Debug, Default)]
+pub struct CrashChecker;
+
+impl Checker for CrashChecker {
+    fn name(&self) -> &'static str {
+        "crash"
+    }
+
+    fn check(&self, cx: &CheckContext<'_>) -> (Vec<LocalVerdict>, Vec<FaultReport>) {
+        let mut verdicts = Vec::new();
+        let mut faults = Vec::new();
+        for id in cx.sim.topology().node_ids() {
+            match cx.sim.crashed(id) {
+                // Nodes absent from the snapshot scope are not crashes.
+                Some(reason) if reason == Simulator::OUTSIDE_SNAPSHOT => {}
+                Some(reason) => {
+                    verdicts.push(LocalVerdict::fail(id, self.name(), "node crashed"));
+                    faults.push(FaultReport {
+                        class: FaultClass::ProgrammingError,
+                        node: id.0,
+                        detail: format!("crash: {reason}"),
+                        at_nanos: cx.sim.now().as_nanos(),
+                    });
+                }
+                None => verdicts.push(LocalVerdict::pass(id, self.name())),
+            }
+        }
+        (verdicts, faults)
+    }
+}
+
+/// Detects persistent best-route oscillation (policy conflicts).
+#[derive(Debug)]
+pub struct OscillationChecker {
+    /// Flips (beyond baseline) for one prefix that count as oscillation.
+    /// Must sit above transient convergence churn (a handful of flips per
+    /// injected announcement) and below dispute-cycle livelock (hundreds).
+    pub threshold: u64,
+}
+
+impl Default for OscillationChecker {
+    fn default() -> Self {
+        OscillationChecker { threshold: 20 }
+    }
+}
+
+impl Checker for OscillationChecker {
+    fn name(&self) -> &'static str {
+        "oscillation"
+    }
+
+    fn check(&self, cx: &CheckContext<'_>) -> (Vec<LocalVerdict>, Vec<FaultReport>) {
+        let mut verdicts = Vec::new();
+        let mut faults = Vec::new();
+        for (id, router) in cx.routers() {
+            let mut worst: Option<(Ipv4Net, u64)> = None;
+            for (prefix, flips) in &router.loc_rib().flips {
+                let base = cx.baseline_flips.get(&(id.0, *prefix)).copied().unwrap_or(0);
+                let delta = flips.saturating_sub(base);
+                if delta >= self.threshold && worst.map(|(_, w)| delta > w).unwrap_or(true) {
+                    worst = Some((*prefix, delta));
+                }
+            }
+            match worst {
+                Some((prefix, delta)) => {
+                    verdicts.push(LocalVerdict::fail(
+                        id,
+                        self.name(),
+                        format!("route flapping on {prefix}"),
+                    ));
+                    faults.push(FaultReport {
+                        class: FaultClass::PolicyConflict,
+                        node: id.0,
+                        detail: format!("oscillation on {prefix} ({delta} flips)"),
+                        at_nanos: cx.sim.now().as_nanos(),
+                    });
+                }
+                None => verdicts.push(LocalVerdict::pass(id, self.name())),
+            }
+        }
+        (verdicts, faults)
+    }
+}
+
+/// Detects unattested route origins (operator mistakes / hijacks).
+#[derive(Debug, Default)]
+pub struct OriginAuthorityChecker;
+
+impl Checker for OriginAuthorityChecker {
+    fn name(&self) -> &'static str {
+        "origin-authority"
+    }
+
+    fn check(&self, cx: &CheckContext<'_>) -> (Vec<LocalVerdict>, Vec<FaultReport>) {
+        if cx.injected {
+            // Origin authority is a state property of the live system;
+            // synthetic inputs would be trivially (and meaninglessly)
+            // unattested.
+            return (Vec::new(), Vec::new());
+        }
+        let mut verdicts = Vec::new();
+        let mut faults = Vec::new();
+        for (id, router) in cx.routers() {
+            let own = router.config().asn;
+            let mut bad: Vec<String> = Vec::new();
+            for (prefix, sel) in router.loc_rib().iter() {
+                let origin = sel.route.attrs.as_path.origin_asn().unwrap_or(own);
+                if !cx.registry.is_attested(prefix, origin) {
+                    bad.push(format!("{prefix} originated by {origin} unattested"));
+                    faults.push(FaultReport {
+                        class: FaultClass::OperatorMistake,
+                        node: id.0,
+                        detail: format!("hijack: {prefix} via {origin}"),
+                        at_nanos: cx.sim.now().as_nanos(),
+                    });
+                }
+            }
+            if bad.is_empty() {
+                verdicts.push(LocalVerdict::pass(id, self.name()));
+            } else {
+                verdicts.push(LocalVerdict::fail(id, self.name(), bad.join("; ")));
+            }
+        }
+        (verdicts, faults)
+    }
+}
+
+/// Flags clones that failed to quiesce within the horizon.
+#[derive(Debug, Default)]
+pub struct ConvergenceChecker;
+
+impl Checker for ConvergenceChecker {
+    fn name(&self) -> &'static str {
+        "convergence"
+    }
+
+    fn check(&self, cx: &CheckContext<'_>) -> (Vec<LocalVerdict>, Vec<FaultReport>) {
+        match cx.quiet {
+            QuietOutcome::Quiescent => (
+                vec![LocalVerdict::pass(NodeId(u32::MAX), self.name())],
+                vec![],
+            ),
+            QuietOutcome::TimedOut => (
+                vec![LocalVerdict::fail(
+                    NodeId(u32::MAX),
+                    self.name(),
+                    "no quiescence within horizon",
+                )],
+                vec![FaultReport {
+                    class: FaultClass::PolicyConflict,
+                    node: u32::MAX,
+                    detail: "system did not converge within exploration horizon".into(),
+                    at_nanos: cx.sim.now().as_nanos(),
+                }],
+            ),
+        }
+    }
+}
+
+/// The default checker battery.
+pub fn default_checkers(oscillation_threshold: u64) -> Vec<Box<dyn Checker>> {
+    vec![
+        Box::new(CrashChecker),
+        Box::new(OscillationChecker { threshold: oscillation_threshold }),
+        Box::new(OriginAuthorityChecker),
+        Box::new(ConvergenceChecker),
+    ]
+}
+
+/// Aggregated outcome of a checker battery over one clone.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// All verdicts published through the information-sharing interface.
+    pub verdicts: Vec<LocalVerdict>,
+    /// Detected faults.
+    pub faults: Vec<FaultReport>,
+}
+
+impl CheckReport {
+    /// Number of failing verdicts.
+    pub fn failed(&self) -> usize {
+        self.verdicts.iter().filter(|v| !v.ok).count()
+    }
+}
+
+/// Run a battery of checkers over one clone.
+pub fn run_checkers(checkers: &[Box<dyn Checker>], cx: &CheckContext<'_>) -> CheckReport {
+    let mut report = CheckReport::default();
+    for c in checkers {
+        let (v, f) = c.check(cx);
+        report.verdicts.extend(v);
+        report.faults.extend(f);
+    }
+    report
+}
+
+/// Capture per-(node, prefix) best-route flip counts from a snapshot —
+/// the baseline the oscillation checker subtracts.
+pub fn flips_baseline(shadow: &ShadowSnapshot) -> BTreeMap<(u32, Ipv4Net), u64> {
+    let mut out = BTreeMap::new();
+    for (id, node) in shadow.nodes() {
+        if let Some(router) = node.as_any().downcast_ref::<BgpRouter>() {
+            for (prefix, flips) in &router.loc_rib().flips {
+                out.insert((id.0, *prefix), *flips);
+            }
+        }
+    }
+    out
+}
+
+/// Build the attestation registry from router configs: every node attests
+/// the prefixes it legitimately owns. (In deployment this is an IRR/RPKI-
+/// like out-of-band step; only digests are shared.)
+pub fn build_registry(
+    configs: impl IntoIterator<Item = (NodeId, dice_bgp::RouterConfig)>,
+    seed: u64,
+) -> AttestationRegistry {
+    let mut reg = AttestationRegistry::with_seed(seed);
+    for (_, cfg) in configs {
+        for prefix in &cfg.owned {
+            reg.attest(prefix, cfg.asn);
+        }
+    }
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dice_bgp::{net, Asn, RouterConfig, RouterId};
+    use dice_netsim::{LinkParams, SimDuration, SimTime, Topology};
+
+    fn mini_sim(cfgs: Vec<RouterConfig>) -> Simulator {
+        let n = cfgs.len();
+        let mut topo = Topology::with_nodes(n);
+        for i in 1..n {
+            topo.add_edge(
+                NodeId(0),
+                NodeId(i as u32),
+                LinkParams::fixed(SimDuration::from_millis(2)),
+                dice_netsim::Relationship::Unlabeled,
+            );
+        }
+        let mut sim = Simulator::new(topo, 3);
+        for (i, cfg) in cfgs.into_iter().enumerate() {
+            sim.set_node(NodeId(i as u32), Box::new(BgpRouter::new(cfg)));
+        }
+        sim.start();
+        sim
+    }
+
+    fn cfg(i: u32, peers: &[u32]) -> RouterConfig {
+        let mut c = RouterConfig::minimal(Asn(65000 + i as u16), RouterId(i + 1));
+        for &p in peers {
+            c = c.with_neighbor(NodeId(p), Asn(65000 + p as u16), "all", "all");
+        }
+        c
+    }
+
+    #[test]
+    fn crash_checker_reports_programming_error() {
+        let mut sim = mini_sim(vec![cfg(0, &[1]), cfg(1, &[0])]);
+        sim.run_until(SimTime::from_nanos(3_000_000_000));
+        sim.inject_node_crash(NodeId(1));
+        let reg = AttestationRegistry::with_seed(1);
+        let baseline = BTreeMap::new();
+        let cx = CheckContext {
+            sim: &sim,
+            registry: &reg,
+            baseline_flips: &baseline,
+            quiet: QuietOutcome::Quiescent,
+            injected: false,
+        };
+        let (verdicts, faults) = CrashChecker.check(&cx);
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].class, FaultClass::ProgrammingError);
+        assert_eq!(faults[0].node, 1);
+        assert!(verdicts.iter().any(|v| !v.ok));
+    }
+
+    #[test]
+    fn origin_checker_flags_unattested_route() {
+        let c0 = cfg(0, &[1]).with_network(net("10.0.0.0/16"));
+        let mut c1 = cfg(1, &[0]);
+        // Node 1 announces a prefix it does not own (hijack).
+        c1.networks.push(net("99.0.0.0/8"));
+        let mut sim = mini_sim(vec![c0.clone(), c1.clone()]);
+        sim.run_until(SimTime::from_nanos(10_000_000_000));
+
+        let reg = build_registry([(NodeId(0), c0), (NodeId(1), c1)], 7);
+        let baseline = BTreeMap::new();
+        let cx = CheckContext {
+            sim: &sim,
+            registry: &reg,
+            baseline_flips: &baseline,
+            quiet: QuietOutcome::Quiescent,
+            injected: false,
+        };
+        let (_, faults) = OriginAuthorityChecker.check(&cx);
+        assert!(
+            faults.iter().any(|f| f.class == FaultClass::OperatorMistake
+                && f.detail.contains("99.0.0.0/8")),
+            "hijack must be reported: {faults:?}"
+        );
+        // The legitimate prefix is NOT reported.
+        assert!(!faults.iter().any(|f| f.detail.contains("10.0.0.0/16")));
+    }
+
+    #[test]
+    fn oscillation_checker_uses_baseline() {
+        let c0 = cfg(0, &[1]).with_network(net("10.0.0.0/8"));
+        let c1 = cfg(1, &[0]);
+        let mut sim = mini_sim(vec![c0, c1]);
+        sim.run_until(SimTime::from_nanos(10_000_000_000));
+        let reg = AttestationRegistry::with_seed(1);
+
+        // Baseline equal to current flips: no oscillation reported.
+        let mut baseline = BTreeMap::new();
+        for id in sim.topology().node_ids() {
+            if let Some(r) = sim.node(id).as_any().downcast_ref::<BgpRouter>() {
+                for (p, f) in &r.loc_rib().flips {
+                    baseline.insert((id.0, *p), *f);
+                }
+            }
+        }
+        let cx = CheckContext {
+            sim: &sim,
+            registry: &reg,
+            baseline_flips: &baseline,
+            quiet: QuietOutcome::Quiescent,
+            injected: false,
+        };
+        let (_, faults) = OscillationChecker { threshold: 3 }.check(&cx);
+        assert!(faults.is_empty(), "steady state is not oscillation: {faults:?}");
+
+        // Zero baseline with enough accumulated flips would fire; verify the
+        // threshold arithmetic via an artificially low threshold.
+        let zero = BTreeMap::new();
+        let cx2 = CheckContext {
+            sim: &sim,
+            registry: &reg,
+            baseline_flips: &zero,
+            quiet: QuietOutcome::Quiescent,
+            injected: false,
+        };
+        let (_, faults_low) = OscillationChecker { threshold: 1 }.check(&cx2);
+        assert!(!faults_low.is_empty(), "flips beyond baseline must fire");
+    }
+
+    #[test]
+    fn convergence_checker_maps_quiet_outcome() {
+        let sim = mini_sim(vec![cfg(0, &[1]), cfg(1, &[0])]);
+        let reg = AttestationRegistry::with_seed(1);
+        let baseline = BTreeMap::new();
+        for (quiet, expect_fault) in
+            [(QuietOutcome::Quiescent, false), (QuietOutcome::TimedOut, true)]
+        {
+            let cx = CheckContext {
+                sim: &sim,
+                registry: &reg,
+                baseline_flips: &baseline,
+                quiet,
+                injected: false,
+            };
+            let (_, faults) = ConvergenceChecker.check(&cx);
+            assert_eq!(!faults.is_empty(), expect_fault);
+        }
+    }
+
+    #[test]
+    fn registry_built_from_owned_lists() {
+        let c0 = cfg(0, &[]).with_network(net("10.0.0.0/16"));
+        let reg = build_registry([(NodeId(0), c0)], 5);
+        assert!(reg.is_attested(&net("10.0.0.0/16"), Asn(65000)));
+        assert!(!reg.is_attested(&net("10.0.0.0/16"), Asn(65001)));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn check_report_aggregates() {
+        let mut sim = mini_sim(vec![cfg(0, &[1]), cfg(1, &[0])]);
+        sim.inject_node_crash(NodeId(0));
+        let reg = AttestationRegistry::with_seed(1);
+        let baseline = BTreeMap::new();
+        let cx = CheckContext {
+            sim: &sim,
+            registry: &reg,
+            baseline_flips: &baseline,
+            quiet: QuietOutcome::TimedOut,
+            injected: false,
+        };
+        let battery = default_checkers(20);
+        let report = run_checkers(&battery, &cx);
+        assert!(report.failed() >= 2, "crash + convergence verdicts fail");
+        let classes: std::collections::BTreeSet<FaultClass> =
+            report.faults.iter().map(|f| f.class).collect();
+        assert!(classes.contains(&FaultClass::ProgrammingError));
+        assert!(classes.contains(&FaultClass::PolicyConflict));
+    }
+}

@@ -1,0 +1,484 @@
+//! The DiCE runtime: one exploration *round* per the paper's Figure 2.
+//!
+//! 1. Choose an explorer node and establish a consistent shadow snapshot of
+//!    local node checkpoints (in-band Chandy–Lamport).
+//! 2. Exercise the explorer node's UPDATE handler with concolic execution
+//!    over the instrumented twin, seeded by grammar-generated messages
+//!    ("test suite" seeds, Oasis-style).
+//! 3. Validate each interesting input system-wide: clone the snapshot into
+//!    an isolated simulator, inject the input as if received from a peer,
+//!    run to quiescence, and run the property-checker battery.
+//! 4. Aggregate local verdicts through the information-sharing interface
+//!    into fault reports.
+//!
+//! Clone validation parallelizes across workers (each clone is
+//! independent); a crossbeam channel distributes work, a parking_lot mutex
+//! collects results.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dice_bgp::BgpRouter;
+use dice_concolic::{explore, ExplorationReport, ExploreConfig, RunStatus, SolverBudget, Strategy};
+use dice_netsim::{NodeId, ShadowSnapshot, SimDuration, Simulator, Topology};
+use serde::{Deserialize, Serialize};
+
+use crate::check::{
+    build_registry, default_checkers, flips_baseline, run_checkers, CheckContext, Checker,
+    FaultClass, FaultReport,
+};
+use crate::grammar::{GrammarConfig, UpdateGrammar};
+use crate::handler::SymbolicUpdateHandler;
+use crate::interface::AttestationRegistry;
+use crate::snapshot::{take_consistent_snapshot, SnapshotMetrics};
+use crate::symmark::mark_update;
+
+/// Configuration of the DiCE runtime.
+#[derive(Debug, Clone)]
+pub struct DiceConfig {
+    /// The node whose actions are explored this round.
+    pub explorer: NodeId,
+    /// The neighbor whose inputs are impersonated during exploration.
+    pub inject_peer: NodeId,
+    /// Concolic execution budget (phase 2).
+    pub concolic_executions: usize,
+    /// Maximum inputs validated system-wide (phase 3).
+    pub validate_top: usize,
+    /// Simulated horizon each clone runs for.
+    pub horizon: SimDuration,
+    /// Idle window that counts as quiescent.
+    pub quiet_window: SimDuration,
+    /// Simulated deadline for snapshot establishment.
+    pub snapshot_deadline: SimDuration,
+    /// Concolic search strategy.
+    pub strategy: Strategy,
+    /// Grammar-generated seed count (0 disables the grammar layer).
+    pub grammar_seeds: usize,
+    /// Per-query solver budget.
+    pub solver_budget: SolverBudget,
+    /// Best-route flips beyond baseline that count as oscillation.
+    pub oscillation_threshold: u64,
+    /// Validation workers (1 = sequential).
+    pub workers: usize,
+    /// Master seed for grammar and clone simulators.
+    pub seed: u64,
+}
+
+impl DiceConfig {
+    /// Sensible defaults for exploring `explorer` via `inject_peer`.
+    pub fn new(explorer: NodeId, inject_peer: NodeId) -> Self {
+        DiceConfig {
+            explorer,
+            inject_peer,
+            concolic_executions: 192,
+            validate_top: 48,
+            horizon: SimDuration::from_secs(60),
+            quiet_window: SimDuration::from_secs(5),
+            snapshot_deadline: SimDuration::from_secs(10),
+            strategy: Strategy::Generational,
+            grammar_seeds: 8,
+            solver_budget: SolverBudget::default(),
+            oscillation_threshold: 20,
+            workers: 1,
+            seed: 0xD1CE,
+        }
+    }
+}
+
+/// Outcome of one DiCE round.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoundReport {
+    /// Round number.
+    pub round: u64,
+    /// Snapshot cost accounting.
+    pub snapshot: SnapshotMetrics,
+    /// Concolic executions performed.
+    pub executions: usize,
+    /// Distinct code paths observed at the explorer node.
+    pub distinct_paths: usize,
+    /// Final branch coverage (site, direction) count.
+    pub branch_coverage: usize,
+    /// Inputs validated system-wide (including the null input).
+    pub validated: usize,
+    /// Deduplicated fault reports.
+    pub faults: Vec<FaultReport>,
+    /// Verdicts published through the information-sharing interface.
+    pub verdicts_total: usize,
+    /// Failing verdicts.
+    pub verdicts_failed: usize,
+    /// For each fault class detected: how many validated inputs ran before
+    /// detection (1 = the null input / first input).
+    pub detection_input_ordinal: BTreeMap<String, usize>,
+    /// Host wall-clock duration of the round, in milliseconds.
+    pub wall_ms: u64,
+    /// Solver statistics from exploration.
+    pub solver_queries: u64,
+    /// Solver SAT answers.
+    pub solver_sat: u64,
+}
+
+impl RoundReport {
+    /// The set of fault classes detected this round.
+    pub fn classes(&self) -> BTreeSet<FaultClass> {
+        self.faults.iter().map(|f| f.class).collect()
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "round {}: {} execs, {} paths, {} validated, {} faults ({} classes), {}ms",
+            self.round,
+            self.executions,
+            self.distinct_paths,
+            self.validated,
+            self.faults.len(),
+            self.classes().len(),
+            self.wall_ms
+        )
+    }
+}
+
+/// The DiCE runtime bound to one deployed system.
+pub struct DiceRunner {
+    config: DiceConfig,
+    registry: AttestationRegistry,
+    exploration_last: Option<ExplorationReport>,
+    round: u64,
+}
+
+impl DiceRunner {
+    /// Build a runner, deriving the attestation registry from the routers'
+    /// `owned` prefix lists in the live simulator.
+    pub fn from_sim(config: DiceConfig, live: &Simulator) -> Self {
+        let configs = live.topology().node_ids().filter_map(|id| {
+            live.node(id)
+                .as_any()
+                .downcast_ref::<BgpRouter>()
+                .map(|r| (id, r.config().clone()))
+        });
+        let registry = build_registry(configs, config.seed);
+        DiceRunner { config, registry, exploration_last: None, round: 0 }
+    }
+
+    /// The shared attestation registry.
+    pub fn registry(&self) -> &AttestationRegistry {
+        &self.registry
+    }
+
+    /// The full exploration report of the last round (inputs included).
+    pub fn last_exploration(&self) -> Option<&ExplorationReport> {
+        self.exploration_last.as_ref()
+    }
+
+    /// Execute one full DiCE round against the live system.
+    pub fn run_round(&mut self, live: &mut Simulator) -> Result<RoundReport, String> {
+        let wall = std::time::Instant::now();
+        self.round += 1;
+        let cfg = &self.config;
+
+        // Phase 1: consistent shadow snapshot.
+        let (shadow, snap_metrics) =
+            take_consistent_snapshot(live, cfg.explorer, cfg.snapshot_deadline)?;
+        let topo = live.topology().clone();
+
+        // Phase 2: concolic exploration of the explorer node's handler.
+        let explorer_router = shadow
+            .nodes()
+            .get(&cfg.explorer)
+            .ok_or("explorer node missing from snapshot")?
+            .as_any()
+            .downcast_ref::<BgpRouter>()
+            .ok_or("explorer node is not a BGP router")?;
+        let router_cfg = explorer_router.config().clone();
+        let peer_asn = router_cfg
+            .neighbor(cfg.inject_peer)
+            .ok_or("inject peer is not a neighbor of the explorer")?
+            .asn;
+
+        let mut grammar =
+            UpdateGrammar::new(GrammarConfig::for_peer(peer_asn), cfg.seed ^ 0x6A33);
+        // The corpus plays the role of Oasis's test-suite seeds: ordinary
+        // announcements plus one message exercising the unknown-attribute
+        // path with a large value region.
+        let mut seeds = vec![grammar.generate(), grammar.generate_large_unknown()];
+        if cfg.grammar_seeds > 1 {
+            seeds.extend(grammar.batch(cfg.grammar_seeds - 1));
+        }
+
+        let mut handler = SymbolicUpdateHandler::new(router_cfg, cfg.inject_peer);
+        let explore_cfg = ExploreConfig {
+            strategy: cfg.strategy,
+            max_executions: cfg.concolic_executions,
+            solver_budget: cfg.solver_budget,
+        };
+        let exploration = explore(&mut handler, &seeds, &mark_update, &explore_cfg);
+
+        // Phase 3: pick candidates — crashes first, then highest new
+        // coverage; distinct input bytes only.
+        let mut order: Vec<usize> = (0..exploration.executions.len()).collect();
+        order.sort_by_key(|&i| {
+            let e = &exploration.executions[i];
+            let crash = matches!(e.status, RunStatus::Crash(_));
+            (core::cmp::Reverse(crash as u8), core::cmp::Reverse(e.new_coverage), i)
+        });
+        let mut seen_inputs: BTreeSet<Vec<u8>> = BTreeSet::new();
+        let mut candidates: Vec<Option<Vec<u8>>> = vec![None]; // null input first
+        for i in order {
+            if candidates.len() > cfg.validate_top {
+                break;
+            }
+            let e = &exploration.executions[i];
+            if seen_inputs.insert(e.input.clone()) {
+                candidates.push(Some(e.input.clone()));
+            }
+        }
+
+        // Phase 3b: system-wide validation over isolated clones.
+        let baseline = flips_baseline(&shadow);
+        let checkers = default_checkers(cfg.oscillation_threshold);
+        let results = validate_candidates(
+            &shadow,
+            &topo,
+            &candidates,
+            cfg,
+            &self.registry,
+            &baseline,
+            &checkers,
+        );
+
+        // Phase 4: aggregate.
+        let mut faults: Vec<FaultReport> = Vec::new();
+        let mut seen_keys = BTreeSet::new();
+        let mut verdicts_total = 0;
+        let mut verdicts_failed = 0;
+        let mut detection: BTreeMap<String, usize> = BTreeMap::new();
+        for (i, report) in results.iter().enumerate() {
+            verdicts_total += report.verdicts.len();
+            verdicts_failed += report.failed();
+            for f in &report.faults {
+                detection.entry(f.class.to_string()).or_insert(i + 1);
+                if seen_keys.insert(f.key()) {
+                    faults.push(f.clone());
+                }
+            }
+        }
+
+        let report = RoundReport {
+            round: self.round,
+            snapshot: snap_metrics,
+            executions: exploration.executions.len(),
+            distinct_paths: exploration.distinct_paths,
+            branch_coverage: exploration.final_coverage(),
+            validated: candidates.len(),
+            faults,
+            verdicts_total,
+            verdicts_failed,
+            detection_input_ordinal: detection,
+            wall_ms: wall.elapsed().as_millis() as u64,
+            solver_queries: exploration.solver.queries,
+            solver_sat: exploration.solver.sat,
+        };
+        self.exploration_last = Some(exploration);
+        Ok(report)
+    }
+}
+
+/// Validate candidates over clones; parallel when `cfg.workers > 1`.
+fn validate_candidates(
+    shadow: &ShadowSnapshot,
+    topo: &Topology,
+    candidates: &[Option<Vec<u8>>],
+    cfg: &DiceConfig,
+    registry: &AttestationRegistry,
+    baseline: &BTreeMap<(u32, dice_bgp::Ipv4Net), u64>,
+    checkers: &[Box<dyn Checker>],
+) -> Vec<crate::check::CheckReport> {
+    let run_one = |i: usize, input: Option<&Vec<u8>>| {
+        let mut clone = Simulator::from_shadow(shadow, topo, cfg.seed ^ (i as u64) << 16);
+        if let Some(bytes) = input {
+            clone.deliver_direct(cfg.inject_peer, cfg.explorer, bytes);
+        }
+        let end = shadow.base_time() + cfg.horizon;
+        let quiet = clone.run_until_quiet(cfg.quiet_window, end);
+        let cx = CheckContext {
+            sim: &clone,
+            registry,
+            baseline_flips: baseline,
+            quiet,
+            injected: input.is_some(),
+        };
+        run_checkers(checkers, &cx)
+    };
+
+    if cfg.workers <= 1 {
+        return candidates
+            .iter()
+            .enumerate()
+            .map(|(i, c)| run_one(i, c.as_ref()))
+            .collect();
+    }
+
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, Option<Vec<u8>>)>();
+    for (i, c) in candidates.iter().enumerate() {
+        tx.send((i, c.clone())).expect("channel open");
+    }
+    drop(tx);
+    let results = parking_lot::Mutex::new(Vec::with_capacity(candidates.len()));
+    std::thread::scope(|s| {
+        for _ in 0..cfg.workers {
+            let rx = rx.clone();
+            let results = &results;
+            let run_one = &run_one;
+            s.spawn(move || {
+                while let Ok((i, cand)) = rx.recv() {
+                    let report = run_one(i, cand.as_ref());
+                    results.lock().push((i, report));
+                }
+            });
+        }
+    });
+    let mut collected = results.into_inner();
+    collected.sort_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+    use dice_netsim::SimTime;
+
+    #[test]
+    fn round_detects_seeded_programming_error() {
+        let mut sim = scenarios::buggy_parser_scenario(7);
+        sim.run_until(SimTime::from_nanos(10_000_000_000));
+        let mut cfg = DiceConfig::new(NodeId(1), NodeId(0));
+        cfg.concolic_executions = 160;
+        cfg.validate_top = 24;
+        let mut runner = DiceRunner::from_sim(cfg, &sim);
+        let report = runner.run_round(&mut sim).expect("round runs");
+        assert!(
+            report.classes().contains(&FaultClass::ProgrammingError),
+            "seeded bug must be found: {report:?}"
+        );
+        assert!(report.distinct_paths > 10, "exploration should branch out");
+    }
+
+    #[test]
+    fn round_detects_hijack_mistake() {
+        let mut sim = scenarios::hijack_scenario(5);
+        sim.run_until(SimTime::from_nanos(10_000_000_000));
+        let mut runner = DiceRunner::from_sim(DiceConfig::new(NodeId(1), NodeId(0)), &sim);
+
+        // Operator mistake happens on the live system AFTER registry setup.
+        scenarios::apply_hijack(&mut sim);
+        sim.run_until(SimTime::from_nanos(25_000_000_000));
+
+        let mut cfg = DiceConfig::new(NodeId(1), NodeId(0));
+        cfg.concolic_executions = 32;
+        cfg.validate_top = 4;
+        runner.config = cfg;
+        let report = runner.run_round(&mut sim).expect("round runs");
+        assert!(
+            report.classes().contains(&FaultClass::OperatorMistake),
+            "hijack must be detected: {:?}",
+            report.faults
+        );
+    }
+
+    #[test]
+    fn round_detects_policy_conflict_oscillation() {
+        let mut sim = scenarios::bad_gadget_scenario(3);
+        // Let the gadget start oscillating.
+        sim.run_until(SimTime::from_nanos(20_000_000_000));
+        let mut cfg = DiceConfig::new(NodeId(1), NodeId(0));
+        cfg.concolic_executions = 24;
+        cfg.validate_top = 4;
+        cfg.horizon = SimDuration::from_secs(120);
+        cfg.oscillation_threshold = 20;
+        let mut runner = DiceRunner::from_sim(cfg, &sim);
+        let report = runner.run_round(&mut sim).expect("round runs");
+        assert!(
+            report.classes().contains(&FaultClass::PolicyConflict),
+            "bad gadget oscillation must be detected: {:?}",
+            report.faults
+        );
+    }
+
+    #[test]
+    fn healthy_system_reports_no_faults() {
+        let mut sim = scenarios::healthy_line(4, 11);
+        sim.run_until(SimTime::from_nanos(15_000_000_000));
+        let mut cfg = DiceConfig::new(NodeId(1), NodeId(0));
+        cfg.concolic_executions = 48;
+        cfg.validate_top = 8;
+        let mut runner = DiceRunner::from_sim(cfg, &sim);
+        let report = runner.run_round(&mut sim).expect("round runs");
+        assert!(
+            report.faults.is_empty(),
+            "healthy system must stay clean: {:?}",
+            report.faults
+        );
+        assert!(report.verdicts_total > 0);
+        assert_eq!(report.verdicts_failed, 0);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let mut sim = scenarios::buggy_parser_scenario(9);
+        sim.run_until(SimTime::from_nanos(10_000_000_000));
+        let mk = |workers: usize| {
+            let mut cfg = DiceConfig::new(NodeId(1), NodeId(0));
+            cfg.concolic_executions = 96;
+            cfg.validate_top = 12;
+            cfg.workers = workers;
+            cfg
+        };
+        // Two snapshots of the same quiescent system explore identically.
+        let mut r1 = DiceRunner::from_sim(mk(1), &sim);
+        let seq = r1.run_round(&mut sim).unwrap();
+        let mut r2 = DiceRunner::from_sim(mk(4), &sim);
+        let par = r2.run_round(&mut sim).unwrap();
+        assert_eq!(seq.classes(), par.classes());
+        assert_eq!(seq.executions, par.executions);
+        assert_eq!(seq.validated, par.validated);
+    }
+
+    #[test]
+    fn exploration_never_perturbs_live_system() {
+        let mut sim = scenarios::healthy_line(3, 13);
+        sim.run_until(SimTime::from_nanos(10_000_000_000));
+        let mut cfg = DiceConfig::new(NodeId(1), NodeId(0));
+        cfg.concolic_executions = 32;
+        cfg.validate_top = 8;
+        let mut runner = DiceRunner::from_sim(cfg, &sim);
+
+        // Capture live state before/after a round: only snapshot-marker
+        // traffic may appear; RIBs and sessions stay untouched.
+        let before: Vec<u64> = sim
+            .topology()
+            .node_ids()
+            .map(|id| {
+                sim.node(id)
+                    .as_any()
+                    .downcast_ref::<BgpRouter>()
+                    .unwrap()
+                    .loc_rib()
+                    .total_flips()
+            })
+            .collect();
+        let _ = runner.run_round(&mut sim).unwrap();
+        let after: Vec<u64> = sim
+            .topology()
+            .node_ids()
+            .map(|id| {
+                sim.node(id)
+                    .as_any()
+                    .downcast_ref::<BgpRouter>()
+                    .unwrap()
+                    .loc_rib()
+                    .total_flips()
+            })
+            .collect();
+        assert_eq!(before, after, "live RIBs must be untouched by exploration");
+    }
+}

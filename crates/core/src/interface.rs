@@ -1,0 +1,153 @@
+//! The narrow information-sharing interface (paper §2, last challenge).
+//!
+//! Federated domains will not reveal RIBs, policies or configuration. What
+//! crosses domain boundaries is restricted to:
+//!
+//! 1. **Salted attestations** of prefix ownership — `SHA-256(salt ‖ prefix ‖
+//!    origin AS)`. A checker holding a route can test *membership* ("is this
+//!    (prefix, origin) pair attested?") but cannot enumerate what a domain
+//!    owns.
+//! 2. **Local verdicts** — the boolean outcome of a check run inside the
+//!    domain, with a coarse detail string; never the state that produced it.
+//!
+//! This mirrors DiCE's design point that property checking must work
+//! without unrestricted access to remote node state.
+
+use crate::hash::{hex, sha256, Sha256};
+use dice_bgp::{Asn, Ipv4Net};
+use dice_netsim::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Registry of salted ownership attestations, shared among participating
+/// domains (e.g. seeded from an IRR-like registry).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttestationRegistry {
+    salt: [u8; 16],
+    digests: BTreeSet<[u8; 32]>,
+}
+
+impl AttestationRegistry {
+    /// A registry with the given shared salt.
+    pub fn new(salt: [u8; 16]) -> Self {
+        AttestationRegistry { salt, digests: BTreeSet::new() }
+    }
+
+    /// A registry with a salt derived from a seed (for deterministic tests).
+    pub fn with_seed(seed: u64) -> Self {
+        let d = sha256(&seed.to_be_bytes());
+        let mut salt = [0u8; 16];
+        salt.copy_from_slice(&d[..16]);
+        Self::new(salt)
+    }
+
+    fn digest(&self, prefix: &Ipv4Net, origin: Asn) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(&self.salt);
+        h.update(&prefix.addr().to_be_bytes());
+        h.update(&[prefix.len()]);
+        h.update(&origin.0.to_be_bytes());
+        h.finalize()
+    }
+
+    /// A domain attests that `origin` legitimately originates `prefix`.
+    /// Only the digest enters the registry.
+    pub fn attest(&mut self, prefix: &Ipv4Net, origin: Asn) {
+        let d = self.digest(prefix, origin);
+        self.digests.insert(d);
+    }
+
+    /// Membership test used by the origin-authority checker.
+    pub fn is_attested(&self, prefix: &Ipv4Net, origin: Asn) -> bool {
+        self.digests.contains(&self.digest(prefix, origin))
+    }
+
+    /// Number of attestations.
+    pub fn len(&self) -> usize {
+        self.digests.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.digests.is_empty()
+    }
+}
+
+/// The outcome of one local check, as shared across domain boundaries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalVerdict {
+    /// The node that ran the check.
+    pub node: u32,
+    /// Checker identifier.
+    pub checker: String,
+    /// Whether the property held locally.
+    pub ok: bool,
+    /// Coarse, non-confidential detail (prefix and class only).
+    pub detail: String,
+}
+
+impl LocalVerdict {
+    /// A passing verdict.
+    pub fn pass(node: NodeId, checker: &str) -> Self {
+        LocalVerdict { node: node.0, checker: checker.to_string(), ok: true, detail: String::new() }
+    }
+
+    /// A failing verdict with a coarse detail string.
+    pub fn fail(node: NodeId, checker: &str, detail: impl Into<String>) -> Self {
+        LocalVerdict { node: node.0, checker: checker.to_string(), ok: false, detail: detail.into() }
+    }
+}
+
+/// Render a digest for reports (first 8 bytes).
+pub fn short_digest(d: &[u8; 32]) -> String {
+    hex(d)[..16].to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dice_bgp::net;
+
+    #[test]
+    fn attestation_membership() {
+        let mut reg = AttestationRegistry::with_seed(42);
+        reg.attest(&net("10.0.0.0/16"), Asn(65001));
+        assert!(reg.is_attested(&net("10.0.0.0/16"), Asn(65001)));
+        assert!(!reg.is_attested(&net("10.0.0.0/16"), Asn(65002)), "wrong origin");
+        assert!(!reg.is_attested(&net("10.0.0.0/24"), Asn(65001)), "different prefix");
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn salt_separates_registries() {
+        let mut a = AttestationRegistry::with_seed(1);
+        let mut b = AttestationRegistry::with_seed(2);
+        a.attest(&net("10.0.0.0/8"), Asn(1));
+        b.attest(&net("10.0.0.0/8"), Asn(1));
+        // Digest sets differ even for the same fact (salted).
+        let fact_in_a = a.digest(&net("10.0.0.0/8"), Asn(1));
+        let fact_in_b = b.digest(&net("10.0.0.0/8"), Asn(1));
+        assert_ne!(fact_in_a, fact_in_b);
+    }
+
+    #[test]
+    fn digests_do_not_reveal_prefix() {
+        // The registry stores only 32-byte digests: check that nothing in
+        // the serialized form contains the raw prefix bytes in sequence.
+        let mut reg = AttestationRegistry::with_seed(7);
+        reg.attest(&net("203.0.113.0/24"), Asn(64500));
+        let json = serde_json::to_string(&reg).unwrap();
+        // 203.0.113.0 encoded bytes as a JSON array fragment.
+        assert!(!json.contains("203,0,113"), "raw prefix must not appear");
+    }
+
+    #[test]
+    fn verdict_constructors() {
+        let p = LocalVerdict::pass(NodeId(3), "oscillation");
+        assert!(p.ok);
+        let f = LocalVerdict::fail(NodeId(3), "origin", "hijack 10.0.0.0/24");
+        assert!(!f.ok);
+        assert_eq!(f.node, 3);
+        assert!(f.detail.contains("10.0.0.0/24"));
+    }
+}

@@ -1,0 +1,74 @@
+//! # dice-core — DiCE: online testing of federated and heterogeneous
+//! distributed systems
+//!
+//! Reproduction of Canini et al., SIGCOMM'11 (demo) / USENIX ATC'11. DiCE
+//! continuously checks a *live* federated system — here, BGP inter-domain
+//! routing — by exploring its behavior from the current state, in isolation
+//! from the deployment:
+//!
+//! 1. **Consistent shadow snapshots** ([`snapshot`]): in-band
+//!    Chandy–Lamport checkpoints of node state and channel contents, taken
+//!    while the system keeps running.
+//! 2. **Concolic exploration** ([`handler`], [`symmark`], [`grammar`]): the
+//!    explorer node's UPDATE handler runs as an instrumented twin over
+//!    symbolic message bytes (NLRI, path attributes) and a symbolic
+//!    route-preference condition; the `dice-concolic` engine negates path
+//!    constraints to systematically cover handler paths — through both code
+//!    *and* interpreted configuration. Grammar-based fuzzing supplies
+//!    valid-by-construction seed messages.
+//! 3. **Property checking** ([`check`]): clones of the snapshot are
+//!    subjected to each interesting input; checkers detect the paper's
+//!    three fault classes — programming errors (crashes), policy conflicts
+//!    (oscillation / divergence), operator mistakes (unattested origins).
+//! 4. **The narrow information-sharing interface** ([`interface`]): only
+//!    salted SHA-256 ownership attestations and local verdicts cross domain
+//!    boundaries; RIBs, policies and configuration stay private.
+//!
+//! The [`explorer::DiceRunner`] ties the phases into rounds; [`scenarios`]
+//! provides the paper's demo systems (including the 27-router Figure 1
+//! topology).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dice_core::{scenarios, DiceConfig, DiceRunner};
+//! use dice_netsim::{NodeId, SimTime};
+//!
+//! // A live 3-router system whose middle node carries a seeded parser bug.
+//! let mut live = scenarios::buggy_parser_scenario(7);
+//! live.run_until(SimTime::from_nanos(10_000_000_000));
+//!
+//! let mut cfg = DiceConfig::new(NodeId(1), NodeId(0));
+//! cfg.concolic_executions = 192;
+//! let mut dice = DiceRunner::from_sim(cfg, &live);
+//! let report = dice.run_round(&mut live).unwrap();
+//! assert!(!report.faults.is_empty()); // the seeded bug is found online
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod explorer;
+pub mod grammar;
+pub mod handler;
+pub mod hash;
+pub mod interface;
+pub mod scenarios;
+pub mod snapshot;
+pub mod symmark;
+
+pub use check::{
+    build_registry, default_checkers, flips_baseline, run_checkers, CheckContext, CheckReport,
+    Checker, ConvergenceChecker, CrashChecker, FaultClass, FaultReport, OriginAuthorityChecker,
+    OscillationChecker,
+};
+pub use explorer::{DiceConfig, DiceRunner, RoundReport};
+pub use grammar::{GrammarConfig, UpdateGrammar};
+pub use handler::SymbolicUpdateHandler;
+pub use hash::{sha256, Sha256};
+pub use interface::{AttestationRegistry, LocalVerdict};
+pub use snapshot::{
+    take_consistent_snapshot, take_instant_snapshot, SnapshotMetrics,
+};
+pub use symmark::{mark_none, mark_nlri_only, mark_update};

@@ -1,0 +1,161 @@
+//! Scheduled fault injection.
+//!
+//! A [`FaultPlan`] is a time-ordered script of faults applied to a running
+//! simulator: session resets, link failures, node crashes/restarts. DiCE's
+//! operator-mistake experiments drive configuration changes through the same
+//! mechanism (via closures over node state).
+
+use crate::node::NodeId;
+use crate::sim::Simulator;
+use crate::time::SimTime;
+
+/// A fault to inject.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Reset the session between two adjacent nodes (auto-reconnect applies).
+    SessionReset(NodeId, NodeId),
+    /// Administratively fail a link.
+    LinkDown(NodeId, NodeId),
+    /// Re-enable a previously failed link.
+    LinkUp(NodeId, NodeId),
+    /// Fail-stop a node.
+    NodeCrash(NodeId),
+    /// Restart a crashed node from pristine state.
+    NodeRestart(NodeId),
+}
+
+/// A time-ordered fault script.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    entries: Vec<(SimTime, FaultAction)>,
+    applied: usize,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a fault at an absolute simulated time. Entries may be added in
+    /// any order; they are sorted on first application.
+    pub fn at(mut self, t: SimTime, action: FaultAction) -> Self {
+        self.entries.push((t, action));
+        self
+    }
+
+    /// Number of faults not yet applied.
+    pub fn pending(&self) -> usize {
+        self.entries.len() - self.applied
+    }
+
+    /// Apply every fault scheduled at or before `sim.now()`.
+    /// Call interleaved with `run_until` steps.
+    pub fn apply_due(&mut self, sim: &mut Simulator) {
+        if self.applied == 0 {
+            self.entries.sort_by_key(|(t, _)| *t);
+        }
+        while self.applied < self.entries.len() {
+            let (t, action) = &self.entries[self.applied];
+            if *t > sim.now() {
+                break;
+            }
+            match action.clone() {
+                FaultAction::SessionReset(a, b) => sim.inject_session_reset(a, b),
+                FaultAction::LinkDown(a, b) => sim.inject_link_down(a, b),
+                FaultAction::LinkUp(a, b) => sim.inject_link_up(a, b),
+                FaultAction::NodeCrash(n) => sim.inject_node_crash(n),
+                FaultAction::NodeRestart(n) => sim.inject_node_restart(n),
+            }
+            self.applied += 1;
+        }
+    }
+
+    /// Drive `sim` to `end`, applying faults at their scheduled instants.
+    pub fn run_with_faults(&mut self, sim: &mut Simulator, end: SimTime) {
+        if self.applied == 0 {
+            self.entries.sort_by_key(|(t, _)| *t);
+        }
+        while self.applied < self.entries.len() {
+            let (t, _) = self.entries[self.applied];
+            if t > end {
+                break;
+            }
+            sim.run_until(t);
+            self.apply_due(sim);
+        }
+        sim.run_until(end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkParams;
+    use crate::node::{Node, NodeApi};
+    use crate::time::SimDuration;
+    use crate::topology::Topology;
+    use core::any::Any;
+
+    #[derive(Clone, Default)]
+    struct Quiet;
+    impl Node for Quiet {
+        fn on_message(&mut self, _: NodeId, _: &[u8], _: &mut NodeApi<'_>) {}
+        fn clone_node(&self) -> Box<dyn Node> {
+            Box::new(self.clone())
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn sim3() -> Simulator {
+        let topo = Topology::line(3, LinkParams::fixed(SimDuration::from_millis(1)));
+        let mut sim = Simulator::new(topo, 0);
+        for i in 0..3 {
+            sim.set_node(NodeId(i), Box::new(Quiet));
+        }
+        sim.start();
+        sim
+    }
+
+    #[test]
+    fn plan_applies_in_time_order() {
+        let mut sim = sim3();
+        let mut plan = FaultPlan::new()
+            .at(SimTime::from_nanos(2_000_000_000), FaultAction::LinkUp(NodeId(0), NodeId(1)))
+            .at(SimTime::from_nanos(1_000_000_000), FaultAction::LinkDown(NodeId(0), NodeId(1)));
+        plan.run_with_faults(&mut sim, SimTime::from_nanos(1_500_000_000));
+        assert!(!sim.session_up(NodeId(0), NodeId(1)), "link should be down at 1.5s");
+        assert_eq!(plan.pending(), 1);
+        plan.run_with_faults(&mut sim, SimTime::from_nanos(3_000_000_000));
+        assert!(sim.session_up(NodeId(0), NodeId(1)), "link should be back at 3s");
+        assert_eq!(plan.pending(), 0);
+    }
+
+    #[test]
+    fn crash_and_restart_via_plan() {
+        let mut sim = sim3();
+        let mut plan = FaultPlan::new()
+            .at(SimTime::from_nanos(1_000_000_000), FaultAction::NodeCrash(NodeId(1)))
+            .at(SimTime::from_nanos(2_000_000_000), FaultAction::NodeRestart(NodeId(1)));
+        plan.run_with_faults(&mut sim, SimTime::from_nanos(1_200_000_000));
+        assert!(sim.crashed(NodeId(1)).is_some());
+        plan.run_with_faults(&mut sim, SimTime::from_nanos(4_000_000_000));
+        assert!(sim.crashed(NodeId(1)).is_none());
+        assert!(sim.session_up(NodeId(0), NodeId(1)));
+        assert!(sim.session_up(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn empty_plan_is_noop() {
+        let mut sim = sim3();
+        let mut plan = FaultPlan::new();
+        plan.run_with_faults(&mut sim, SimTime::from_nanos(1_000_000_000));
+        assert_eq!(plan.pending(), 0);
+        assert_eq!(sim.now(), SimTime::from_nanos(1_000_000_000));
+    }
+}

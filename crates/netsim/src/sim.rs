@@ -1,0 +1,1053 @@
+//! The deterministic discrete-event simulator.
+//!
+//! Nodes exchange opaque byte frames over reliable, in-order session
+//! channels; links add latency/serialization/retransmission delay. Every run
+//! is a pure function of `(topology, nodes, seed)`, which is what lets DiCE
+//! clone a snapshot and explore it in isolation with reproducible outcomes.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, BTreeMap, BTreeSet, VecDeque};
+
+use crate::link::LinkParams;
+use crate::node::{DownReason, Effect, Node, NodeApi, NodeId, SessionEvent};
+use crate::rng::SimRng;
+use crate::snapshot::{ShadowSnapshot, SnapshotId, SnapshotProgress, SnapshotState};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+use crate::trace::{Trace, TraceKind};
+
+/// A frame traveling on a channel.
+#[derive(Debug, Clone)]
+pub(crate) enum Frame {
+    /// Application payload. `quiet` frames do not reset the quiescence clock.
+    Data { bytes: Vec<u8>, quiet: bool },
+    /// Chandy–Lamport snapshot marker.
+    Marker(SnapshotId),
+}
+
+#[derive(Debug)]
+struct Flight {
+    deliver_at: SimTime,
+    frame: Frame,
+}
+
+#[derive(Debug, Default)]
+struct Channel {
+    queue: VecDeque<Flight>,
+    last_arrival: SimTime,
+    epoch: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SessionState {
+    Down,
+    Up,
+}
+
+struct NodeSlot {
+    node: Option<Box<dyn Node>>,
+    crashed: Option<String>,
+    timer_gen: BTreeMap<u64, u64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    Start(NodeId),
+    Deliver { src: NodeId, dst: NodeId, epoch: u64 },
+    Timer { node: NodeId, token: u64, gen: u64 },
+    SessionUp { a: NodeId, b: NodeId },
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Queued {
+    at: SimTime,
+    seq: u64,
+    ev: Ev,
+}
+
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Simulator tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Delay before the first session establishment attempt.
+    pub session_setup_base: SimDuration,
+    /// Stagger between successive session establishments at start.
+    pub session_setup_stagger: SimDuration,
+    /// Automatic re-establishment delay after a session reset
+    /// (`None` disables auto-reconnect).
+    pub reconnect_delay: Option<SimDuration>,
+    /// Capacity of the bounded trace ring.
+    pub trace_capacity: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            session_setup_base: SimDuration::from_millis(1),
+            session_setup_stagger: SimDuration::from_micros(500),
+            reconnect_delay: Some(SimDuration::from_secs(5)),
+            trace_capacity: 64 * 1024,
+        }
+    }
+}
+
+/// Result of [`Simulator::run_until_quiet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuietOutcome {
+    /// No (non-quiet) activity for the requested idle window.
+    Quiescent,
+    /// The time budget was exhausted first.
+    TimedOut,
+}
+
+/// The deterministic discrete-event simulator.
+pub struct Simulator {
+    now: SimTime,
+    queue: BinaryHeap<Reverse<Queued>>,
+    seq: u64,
+    nodes: Vec<NodeSlot>,
+    topo: Topology,
+    channels: BTreeMap<(NodeId, NodeId), Channel>,
+    sessions: BTreeMap<(NodeId, NodeId), SessionState>,
+    admin_down: BTreeSet<(NodeId, NodeId)>,
+    link_rngs: BTreeMap<(NodeId, NodeId), SimRng>,
+    trace: Trace,
+    last_activity: SimTime,
+    started: bool,
+    pristine: BTreeMap<NodeId, Box<dyn Node>>,
+    snapshots: BTreeMap<SnapshotId, SnapshotState>,
+    next_snapshot: u32,
+    config: SimConfig,
+    effects_scratch: Vec<Effect>,
+}
+
+impl Simulator {
+    /// Create a simulator over `topo`. Nodes must be installed with
+    /// [`Simulator::set_node`] before [`Simulator::start`].
+    pub fn new(topo: Topology, seed: u64) -> Self {
+        Self::with_config(topo, seed, SimConfig::default())
+    }
+
+    /// Like [`Simulator::new`] with explicit configuration.
+    pub fn with_config(topo: Topology, seed: u64, config: SimConfig) -> Self {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut channels = BTreeMap::new();
+        let mut sessions = BTreeMap::new();
+        let mut link_rngs = BTreeMap::new();
+        for e in topo.edges() {
+            channels.insert((e.a, e.b), Channel::default());
+            channels.insert((e.b, e.a), Channel::default());
+            sessions.insert(Self::skey(e.a, e.b), SessionState::Down);
+            let label = ((e.a.0 as u64) << 32) | e.b.0 as u64;
+            link_rngs.insert((e.a, e.b), rng.split(label));
+            link_rngs.insert((e.b, e.a), rng.split(label ^ 0xFFFF_FFFF));
+        }
+        let nodes = (0..topo.len())
+            .map(|_| NodeSlot { node: None, crashed: None, timer_gen: BTreeMap::new() })
+            .collect();
+        Simulator {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            nodes,
+            trace: Trace::with_capacity(config.trace_capacity),
+            topo,
+            channels,
+            sessions,
+            admin_down: BTreeSet::new(),
+            link_rngs,
+            last_activity: SimTime::ZERO,
+            started: false,
+            pristine: BTreeMap::new(),
+            snapshots: BTreeMap::new(),
+            next_snapshot: 0,
+            config,
+            effects_scratch: Vec::new(),
+        }
+    }
+
+    fn skey(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Install the protocol node for `id`.
+    pub fn set_node(&mut self, id: NodeId, node: Box<dyn Node>) {
+        assert!(!self.started, "cannot install nodes after start");
+        self.nodes[id.index()].node = Some(node);
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The execution trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Immutable access to a node (for checkers). Panics if never installed.
+    pub fn node(&self, id: NodeId) -> &dyn Node {
+        self.nodes[id.index()]
+            .node
+            .as_deref()
+            .expect("node not installed or currently executing")
+    }
+
+    /// Mutable access to a node (for operator-action injection).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut dyn Node {
+        self.nodes[id.index()]
+            .node
+            .as_deref_mut()
+            .expect("node not installed or currently executing")
+    }
+
+    /// Whether `id` has crashed, and why.
+    pub fn crashed(&self, id: NodeId) -> Option<&str> {
+        self.nodes[id.index()].crashed.as_deref()
+    }
+
+    /// Whether the session between `a` and `b` is currently up.
+    pub fn session_up(&self, a: NodeId, b: NodeId) -> bool {
+        self.sessions.get(&Self::skey(a, b)) == Some(&SessionState::Up)
+    }
+
+    /// Begin the simulation: fire `on_start` on every node and schedule
+    /// session establishment for every edge.
+    pub fn start(&mut self) {
+        assert!(!self.started, "start called twice");
+        assert!(
+            self.nodes.iter().all(|s| s.node.is_some()),
+            "all nodes must be installed before start"
+        );
+        self.started = true;
+        for (i, slot) in self.nodes.iter().enumerate() {
+            self.pristine
+                .insert(NodeId(i as u32), slot.node.as_ref().unwrap().clone_node());
+        }
+        for id in 0..self.nodes.len() {
+            self.schedule(SimTime::ZERO, Ev::Start(NodeId(id as u32)));
+        }
+        let base = self.config.session_setup_base;
+        let stagger = self.config.session_setup_stagger;
+        let pairs: Vec<(NodeId, NodeId)> =
+            self.topo.edges().iter().map(|e| (e.a, e.b)).collect();
+        for (i, (a, b)) in pairs.into_iter().enumerate() {
+            self.schedule(
+                SimTime::ZERO + base + stagger.saturating_mul(i as u64),
+                Ev::SessionUp { a, b },
+            );
+        }
+    }
+
+    fn schedule(&mut self, at: SimTime, ev: Ev) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        self.seq += 1;
+        self.queue.push(Reverse(Queued { at, seq: self.seq, ev }));
+    }
+
+    // ------------------------------------------------------------------
+    // Event processing
+    // ------------------------------------------------------------------
+
+    /// Process the next event, if any. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(q)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(q.at >= self.now);
+        self.now = q.at;
+        match q.ev {
+            Ev::Start(n) => self.run_start(n),
+            Ev::Deliver { src, dst, epoch } => self.process_deliver(src, dst, epoch),
+            Ev::Timer { node, token, gen } => self.process_timer(node, token, gen),
+            Ev::SessionUp { a, b } => self.establish_session(a, b),
+        }
+        true
+    }
+
+    /// Run until simulated time `t` (inclusive); afterwards `now() == t`
+    /// unless the queue emptied earlier at a later time.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(Reverse(q)) = self.queue.peek() {
+            if q.at > t {
+                break;
+            }
+            self.step();
+        }
+        if self.now < t {
+            self.now = t;
+        }
+    }
+
+    /// Run for a duration from the current time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+
+    /// Run until there has been no (non-quiet) message activity for `idle`
+    /// *measured from this call onward*, or until `max` elapses. Activity
+    /// that ended before the call does not count: a system idle for an hour
+    /// still waits one full `idle` window, so events already scheduled
+    /// within that window (reconnects, timers) get processed.
+    pub fn run_until_quiet(&mut self, idle: SimDuration, max: SimTime) -> QuietOutcome {
+        let floor = self.now;
+        loop {
+            let quiet_at = self.last_activity.max(floor) + idle;
+            let next = self.queue.peek().map(|Reverse(q)| q.at);
+            match next {
+                None => {
+                    self.now = self.now.max(quiet_at).min(max);
+                    return QuietOutcome::Quiescent;
+                }
+                Some(t_next) => {
+                    if quiet_at <= t_next {
+                        if quiet_at <= max {
+                            self.now = self.now.max(quiet_at);
+                            return QuietOutcome::Quiescent;
+                        }
+                        self.now = max;
+                        return QuietOutcome::TimedOut;
+                    }
+                    if t_next > max {
+                        self.now = max;
+                        return QuietOutcome::TimedOut;
+                    }
+                    self.step();
+                }
+            }
+        }
+    }
+
+    fn run_start(&mut self, n: NodeId) {
+        self.with_node(n, |node, api| node.on_start(api));
+    }
+
+    fn process_timer(&mut self, n: NodeId, token: u64, gen: u64) {
+        let slot = &self.nodes[n.index()];
+        if slot.crashed.is_some() || slot.timer_gen.get(&token) != Some(&gen) {
+            return;
+        }
+        self.trace.push(self.now, TraceKind::TimerFired { node: n, token });
+        self.with_node(n, |node, api| node.on_timer(token, api));
+    }
+
+    fn process_deliver(&mut self, src: NodeId, dst: NodeId, epoch: u64) {
+        let ch = self.channels.get_mut(&(src, dst)).expect("unknown channel");
+        if ch.epoch != epoch {
+            return; // stale delivery after a session reset
+        }
+        let Some(flight) = ch.queue.pop_front() else {
+            return;
+        };
+        debug_assert_eq!(flight.deliver_at, self.now, "FIFO delivery out of order");
+        match flight.frame {
+            Frame::Data { bytes, quiet } => {
+                self.snapshot_observe_data(src, dst, &bytes);
+                if self.nodes[dst.index()].crashed.is_some() {
+                    return;
+                }
+                if !quiet {
+                    self.last_activity = self.now;
+                }
+                self.trace
+                    .push(self.now, TraceKind::Delivered { src, dst, bytes: bytes.len() });
+                self.with_node(dst, |node, api| node.on_message(src, &bytes, api));
+            }
+            Frame::Marker(id) => self.snapshot_on_marker(id, src, dst),
+        }
+    }
+
+    /// Run `f` on node `n` with a fresh effect buffer, then apply effects.
+    fn with_node(&mut self, n: NodeId, f: impl FnOnce(&mut dyn Node, &mut NodeApi<'_>)) {
+        if self.nodes[n.index()].crashed.is_some() {
+            return;
+        }
+        let mut node = match self.nodes[n.index()].node.take() {
+            Some(node) => node,
+            None => return,
+        };
+        let mut effects = std::mem::take(&mut self.effects_scratch);
+        effects.clear();
+        {
+            let mut api = NodeApi::new(n, self.now, &mut effects);
+            f(node.as_mut(), &mut api);
+        }
+        self.nodes[n.index()].node = Some(node);
+        self.apply_effects(n, &mut effects);
+        self.effects_scratch = effects;
+    }
+
+    fn apply_effects(&mut self, n: NodeId, effects: &mut Vec<Effect>) {
+        for eff in effects.drain(..) {
+            match eff {
+                Effect::Send { to, data } => self.channel_send(n, to, data, false),
+                Effect::SendQuiet { to, data } => self.channel_send(n, to, data, true),
+                Effect::SetTimer { delay, token } => {
+                    let gen = self.nodes[n.index()]
+                        .timer_gen
+                        .entry(token)
+                        .and_modify(|g| *g += 1)
+                        .or_insert(1);
+                    let gen = *gen;
+                    let at = self.now + delay;
+                    self.schedule(at, Ev::Timer { node: n, token, gen });
+                }
+                Effect::CancelTimer { token } => {
+                    self.nodes[n.index()]
+                        .timer_gen
+                        .entry(token)
+                        .and_modify(|g| *g += 1)
+                        .or_insert(1);
+                }
+                Effect::ResetSession { peer } => {
+                    self.teardown_session(n, peer, DownReason::Reset, true);
+                }
+                Effect::Trace { tag, detail } => {
+                    self.trace.push(self.now, TraceKind::Node { node: n, tag, detail });
+                }
+                Effect::Crash { reason } => self.crash_node(n, reason),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Channels and sessions
+    // ------------------------------------------------------------------
+
+    fn link_params(&self, a: NodeId, b: NodeId) -> Option<&LinkParams> {
+        self.topo
+            .edges()
+            .iter()
+            .find(|e| (e.a == a && e.b == b) || (e.a == b && e.b == a))
+            .map(|e| &e.params)
+    }
+
+    fn channel_send(&mut self, src: NodeId, dst: NodeId, bytes: Vec<u8>, quiet: bool) {
+        if !self.session_up(src, dst) {
+            return; // session down: transport rejects the write, data is lost
+        }
+        self.send_frame(src, dst, Frame::Data { bytes, quiet });
+    }
+
+    pub(crate) fn send_frame(&mut self, src: NodeId, dst: NodeId, frame: Frame) {
+        let size = match &frame {
+            Frame::Data { bytes, .. } => bytes.len(),
+            Frame::Marker(_) => 32,
+        };
+        let quietness = matches!(&frame, Frame::Data { quiet: true, .. } | Frame::Marker(_));
+        let params = self
+            .link_params(src, dst)
+            .cloned()
+            .expect("send on non-adjacent pair");
+        let rng = self.link_rngs.get_mut(&(src, dst)).expect("missing link rng");
+        let delay = params.delay_for(size, rng);
+        let ch = self.channels.get_mut(&(src, dst)).expect("unknown channel");
+        // Reliable in-order channel: arrivals are monotone.
+        let arrival = (self.now + delay).max(ch.last_arrival + SimDuration::from_nanos(1));
+        ch.last_arrival = arrival;
+        ch.queue.push_back(Flight { deliver_at: arrival, frame });
+        let epoch = ch.epoch;
+        if !quietness {
+            self.last_activity = self.now;
+        }
+        match self.channels.get(&(src, dst)).map(|c| &c.queue) {
+            Some(_) => {}
+            None => unreachable!(),
+        }
+        self.trace.push(self.now, TraceKind::Sent { src, dst, bytes: size });
+        self.schedule(arrival, Ev::Deliver { src, dst, epoch });
+    }
+
+    fn establish_session(&mut self, a: NodeId, b: NodeId) {
+        let key = Self::skey(a, b);
+        if self.admin_down.contains(&key) {
+            return;
+        }
+        if self.nodes[a.index()].crashed.is_some() || self.nodes[b.index()].crashed.is_some() {
+            return;
+        }
+        if self.sessions.get(&key) == Some(&SessionState::Up) {
+            return;
+        }
+        self.sessions.insert(key, SessionState::Up);
+        self.trace.push(self.now, TraceKind::SessionUp { a, b });
+        self.with_node(a, |node, api| node.on_session(b, SessionEvent::Up, api));
+        self.with_node(b, |node, api| node.on_session(a, SessionEvent::Up, api));
+    }
+
+    fn teardown_session(&mut self, a: NodeId, b: NodeId, reason: DownReason, reconnect: bool) {
+        let key = Self::skey(a, b);
+        if self.sessions.get(&key) != Some(&SessionState::Up) {
+            return;
+        }
+        self.sessions.insert(key, SessionState::Down);
+        self.trace.push(self.now, TraceKind::SessionDown { a, b, reason });
+        // Drop in-flight data in both directions; bump epochs so queued
+        // delivery events become no-ops.
+        for dir in [(a, b), (b, a)] {
+            if let Some(ch) = self.channels.get_mut(&dir) {
+                let lost_markers: Vec<SnapshotId> = ch
+                    .queue
+                    .iter()
+                    .filter_map(|f| match f.frame {
+                        Frame::Marker(id) => Some(id),
+                        _ => None,
+                    })
+                    .collect();
+                ch.queue.clear();
+                ch.epoch += 1;
+                ch.last_arrival = self.now;
+                for id in lost_markers {
+                    if let Some(s) = self.snapshots.get_mut(&id) {
+                        s.fail(format!("marker lost on session reset {a}-{b}"));
+                    }
+                }
+            }
+        }
+        // Any snapshot still counting on these channels fails (the channel
+        // state it was recording is gone).
+        for s in self.snapshots.values_mut() {
+            s.channel_reset(a, b);
+        }
+        let alive = |n: NodeId, slot: &NodeSlot| slot.crashed.is_none() && n != a || n != a;
+        let _ = alive;
+        if self.nodes[a.index()].crashed.is_none() {
+            self.with_node(a, |node, api| node.on_session(b, SessionEvent::Down(reason), api));
+        }
+        if self.nodes[b.index()].crashed.is_none() {
+            self.with_node(b, |node, api| node.on_session(a, SessionEvent::Down(reason), api));
+        }
+        if reconnect {
+            if let Some(d) = self.config.reconnect_delay {
+                let at = self.now + d;
+                self.schedule(at, Ev::SessionUp { a, b });
+            }
+        }
+    }
+
+    fn crash_node(&mut self, n: NodeId, reason: String) {
+        if self.nodes[n.index()].crashed.is_some() {
+            return;
+        }
+        self.nodes[n.index()].crashed = Some(reason.clone());
+        self.trace.push(self.now, TraceKind::NodeCrashed { node: n, reason });
+        let peers: Vec<NodeId> = self.topo.neighbors(n);
+        for m in peers {
+            self.teardown_session(n, m, DownReason::PeerCrash, false);
+        }
+        for s in self.snapshots.values_mut() {
+            s.node_crashed(n);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-injection entry points (used by `fault::FaultPlan`)
+    // ------------------------------------------------------------------
+
+    /// Forcibly reset the session between `a` and `b` (operator action /
+    /// fault). Auto-reconnect applies if configured.
+    pub fn inject_session_reset(&mut self, a: NodeId, b: NodeId) {
+        self.teardown_session(a, b, DownReason::Reset, true);
+    }
+
+    /// Take the link down administratively; the session drops and will not
+    /// re-establish until [`Simulator::inject_link_up`].
+    pub fn inject_link_down(&mut self, a: NodeId, b: NodeId) {
+        self.admin_down.insert(Self::skey(a, b));
+        self.teardown_session(a, b, DownReason::LinkFailure, false);
+    }
+
+    /// Re-enable a link and schedule session re-establishment.
+    pub fn inject_link_up(&mut self, a: NodeId, b: NodeId) {
+        self.admin_down.remove(&Self::skey(a, b));
+        let at = self.now + SimDuration::from_millis(1);
+        self.schedule(at, Ev::SessionUp { a, b });
+    }
+
+    /// Crash a node (fail-stop).
+    pub fn inject_node_crash(&mut self, n: NodeId) {
+        self.crash_node(n, "fault injection".to_string());
+    }
+
+    /// Restart a crashed node from its pristine (start-of-run) state and
+    /// schedule session re-establishment with its neighbors.
+    pub fn inject_node_restart(&mut self, n: NodeId) {
+        if self.nodes[n.index()].crashed.is_none() {
+            return;
+        }
+        let fresh = self
+            .pristine
+            .get(&n)
+            .expect("restart before start()")
+            .clone_node();
+        self.nodes[n.index()] = NodeSlot { node: Some(fresh), crashed: None, timer_gen: BTreeMap::new() };
+        self.with_node(n, |node, api| node.on_start(api));
+        let peers = self.topo.neighbors(n);
+        for (i, m) in peers.into_iter().enumerate() {
+            let at = self.now
+                + self.config.session_setup_base
+                + self.config.session_setup_stagger.saturating_mul(i as u64);
+            self.schedule(at, Ev::SessionUp { a: n, b: m });
+        }
+    }
+
+    /// Invoke arbitrary code on a node with a live effect API — the hook for
+    /// operator actions (configuration changes) in experiments. Effects are
+    /// applied exactly as if requested from a message handler.
+    pub fn invoke_node(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node, &mut NodeApi<'_>)) {
+        self.with_node(id, f);
+    }
+
+    /// Deliver `bytes` to `dst` *right now*, as if received from `src`,
+    /// without traversing the channel. This is DiCE's exploration entry
+    /// point: subjecting a node to a generated input.
+    pub fn deliver_direct(&mut self, src: NodeId, dst: NodeId, bytes: &[u8]) {
+        self.last_activity = self.now;
+        self.trace
+            .push(self.now, TraceKind::Delivered { src, dst, bytes: bytes.len() });
+        self.with_node(dst, |node, api| node.on_message(src, bytes, api));
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshots
+    // ------------------------------------------------------------------
+
+    /// Initiate a Chandy–Lamport consistent snapshot from `initiator`.
+    /// Markers flow through the same FIFO channels as data; poll with
+    /// [`Simulator::poll_snapshot`] after running the sim forward.
+    pub fn start_snapshot(&mut self, initiator: NodeId) -> SnapshotId {
+        let id = SnapshotId(self.next_snapshot);
+        self.next_snapshot += 1;
+
+        // Scope: the session-connected component of the initiator.
+        let mut member = BTreeSet::new();
+        let mut stack = vec![initiator];
+        member.insert(initiator);
+        while let Some(n) = stack.pop() {
+            for m in self.topo.neighbors(n) {
+                if self.session_up(n, m) && member.insert(m) {
+                    stack.push(m);
+                }
+            }
+        }
+        let mut chans = BTreeSet::new();
+        for &n in &member {
+            for m in self.topo.neighbors(n) {
+                if member.contains(&m) && self.session_up(n, m) {
+                    chans.insert((n, m));
+                    chans.insert((m, n));
+                }
+            }
+        }
+        let sessions_up: Vec<(NodeId, NodeId)> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| **s == SessionState::Up)
+            .map(|(k, _)| *k)
+            .collect();
+        let mut st = SnapshotState::new(id, initiator, member, chans, sessions_up, self.now);
+
+        // Record the initiator immediately and emit markers on its outgoing
+        // channels.
+        let init_clone = self.nodes[initiator.index()]
+            .node
+            .as_ref()
+            .expect("initiator missing")
+            .clone_node();
+        st.record_node(initiator, init_clone);
+        let outgoing: Vec<NodeId> = st.outgoing_of(initiator);
+        self.snapshots.insert(id, st);
+        for m in outgoing {
+            self.trace
+                .push(self.now, TraceKind::MarkerSent { src: initiator, dst: m, snapshot: id.0 });
+            self.send_frame(initiator, m, Frame::Marker(id));
+        }
+        self.finalize_snapshot_if_done(id);
+        id
+    }
+
+    fn snapshot_on_marker(&mut self, id: SnapshotId, src: NodeId, dst: NodeId) {
+        let Some(st) = self.snapshots.get_mut(&id) else {
+            return;
+        };
+        if st.is_terminal() {
+            return;
+        }
+        let first_marker = !st.is_marked(dst);
+        if first_marker {
+            let clone = match self.nodes[dst.index()].node.as_ref() {
+                Some(n) => n.clone_node(),
+                None => {
+                    st.fail(format!("node {dst} unavailable at marker"));
+                    return;
+                }
+            };
+            st.record_node(dst, clone);
+            st.channel_done_empty(src, dst);
+            let outgoing = st.outgoing_of(dst);
+            for m in outgoing {
+                self.trace
+                    .push(self.now, TraceKind::MarkerSent { src: dst, dst: m, snapshot: id.0 });
+                self.send_frame(dst, m, Frame::Marker(id));
+            }
+        } else {
+            let st = self.snapshots.get_mut(&id).unwrap();
+            st.channel_done_recorded(src, dst);
+        }
+        self.finalize_snapshot_if_done(id);
+    }
+
+    fn snapshot_observe_data(&mut self, src: NodeId, dst: NodeId, bytes: &[u8]) {
+        for st in self.snapshots.values_mut() {
+            st.observe(src, dst, bytes);
+        }
+    }
+
+    fn finalize_snapshot_if_done(&mut self, id: SnapshotId) {
+        if let Some(st) = self.snapshots.get_mut(&id) {
+            if st.all_done() {
+                self.trace.push(self.now, TraceKind::SnapshotComplete { snapshot: id.0 });
+                st.complete();
+            }
+        }
+    }
+
+    /// Poll a snapshot's progress; `Complete` yields the shadow snapshot and
+    /// removes it from the in-progress table.
+    pub fn poll_snapshot(&mut self, id: SnapshotId) -> SnapshotProgress {
+        let Some(st) = self.snapshots.get(&id) else {
+            return SnapshotProgress::Failed("unknown snapshot".to_string());
+        };
+        if st.is_complete() {
+            let st = self.snapshots.remove(&id).unwrap();
+            SnapshotProgress::Complete(Box::new(st.into_shadow()))
+        } else if let Some(err) = st.failure() {
+            let err = err.to_string();
+            self.snapshots.remove(&id);
+            SnapshotProgress::Failed(err)
+        } else {
+            SnapshotProgress::InProgress
+        }
+    }
+
+    /// God-mode snapshot: clone every node and channel instantly, with no
+    /// marker protocol. Used (a) as the per-input cloning primitive once a
+    /// consistent snapshot exists and (b) as the *uncoordinated* baseline in
+    /// the snapshot-consistency ablation.
+    pub fn instant_snapshot(&self) -> ShadowSnapshot {
+        let mut nodes = BTreeMap::new();
+        for (i, slot) in self.nodes.iter().enumerate() {
+            if let (None, Some(n)) = (&slot.crashed, &slot.node) {
+                nodes.insert(NodeId(i as u32), n.clone_node());
+            }
+        }
+        let mut in_flight = Vec::new();
+        for ((src, dst), ch) in &self.channels {
+            let msgs: Vec<Vec<u8>> = ch
+                .queue
+                .iter()
+                .filter_map(|f| match &f.frame {
+                    Frame::Data { bytes, .. } => Some(bytes.clone()),
+                    Frame::Marker(_) => None,
+                })
+                .collect();
+            if !msgs.is_empty() {
+                in_flight.push((*src, *dst, msgs));
+            }
+        }
+        let sessions_up = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| **s == SessionState::Up)
+            .map(|(k, _)| *k)
+            .collect();
+        ShadowSnapshot::new(self.now, nodes, in_flight, sessions_up)
+    }
+
+    /// Crash reason used for nodes that were not part of a snapshot's scope
+    /// when instantiating a clone — not a real crash; checkers must ignore it.
+    pub const OUTSIDE_SNAPSHOT: &'static str = "outside snapshot scope";
+
+    /// Build a runnable simulator from a shadow snapshot: cloned nodes,
+    /// sessions silently restored, in-flight messages re-enqueued. The clone
+    /// starts at the snapshot's base time and shares no state with the live
+    /// system.
+    pub fn from_shadow(shadow: &ShadowSnapshot, topo: &Topology, seed: u64) -> Simulator {
+        let mut sim = Simulator::new(topo.clone(), seed);
+        sim.now = shadow.base_time();
+        sim.last_activity = shadow.base_time();
+        sim.started = true;
+        for (id, node) in shadow.nodes() {
+            sim.nodes[id.index()].node = Some(node.clone_node());
+        }
+        for slot in sim.nodes.iter_mut() {
+            if slot.node.is_none() {
+                // Nodes outside the snapshot scope are absent; mark crashed so
+                // no events are dispatched to them.
+                slot.crashed = Some(Self::OUTSIDE_SNAPSHOT.to_string());
+            }
+        }
+        for &(a, b) in shadow.sessions_up() {
+            if sim.sessions.contains_key(&Self::skey(a, b)) {
+                sim.sessions.insert(Self::skey(a, b), SessionState::Up);
+            }
+        }
+        // Re-enqueue in-flight messages preserving per-channel order.
+        let inflight: Vec<(NodeId, NodeId, Vec<Vec<u8>>)> = shadow
+            .in_flight()
+            .iter()
+            .map(|(a, b, m)| (*a, *b, m.clone()))
+            .collect();
+        for (src, dst, msgs) in inflight {
+            for bytes in msgs {
+                if sim.session_up(src, dst) {
+                    sim.send_frame(src, dst, Frame::Data { bytes, quiet: false });
+                }
+            }
+        }
+        sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkParams;
+    use core::any::Any;
+
+    /// Counts messages; replies with its own id appended.
+    #[derive(Clone)]
+    struct Pinger {
+        initiate: bool,
+        sent: u32,
+        got: Vec<(NodeId, Vec<u8>)>,
+        max_rounds: u32,
+    }
+
+    impl Pinger {
+        fn new(initiate: bool) -> Self {
+            Pinger { initiate, sent: 0, got: Vec::new(), max_rounds: 4 }
+        }
+    }
+
+    impl Node for Pinger {
+        fn on_session(&mut self, peer: NodeId, ev: SessionEvent, api: &mut NodeApi<'_>) {
+            if self.initiate && matches!(ev, SessionEvent::Up) {
+                api.send(peer, vec![0]);
+                self.sent += 1;
+            }
+        }
+        fn on_message(&mut self, from: NodeId, data: &[u8], api: &mut NodeApi<'_>) {
+            self.got.push((from, data.to_vec()));
+            if (data[0] as u32) < self.max_rounds {
+                api.send(from, vec![data[0] + 1]);
+                self.sent += 1;
+            }
+        }
+        fn clone_node(&self) -> Box<dyn Node> {
+            Box::new(self.clone())
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn two_node_sim(seed: u64) -> Simulator {
+        let topo = Topology::line(2, LinkParams::fixed(SimDuration::from_millis(5)));
+        let mut sim = Simulator::new(topo, seed);
+        sim.set_node(NodeId(0), Box::new(Pinger::new(true)));
+        sim.set_node(NodeId(1), Box::new(Pinger::new(false)));
+        sim.start();
+        sim
+    }
+
+    #[test]
+    fn ping_pong_round_trips() {
+        let mut sim = two_node_sim(1);
+        sim.run_until(SimTime::from_nanos(10_000_000_000));
+        let p1 = sim.node(NodeId(1)).as_any().downcast_ref::<Pinger>().unwrap();
+        assert!(!p1.got.is_empty(), "peer received nothing");
+        assert_eq!(p1.got[0].1, vec![0]);
+        let stats = sim.trace().stats();
+        assert!(stats.msgs_delivered >= 5, "expected full ping-pong exchange");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let mut a = two_node_sim(42);
+        let mut b = two_node_sim(42);
+        a.run_until(SimTime::from_nanos(1_000_000_000));
+        b.run_until(SimTime::from_nanos(1_000_000_000));
+        assert_eq!(a.trace().stats(), b.trace().stats());
+        assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn quiescence_detected() {
+        let mut sim = two_node_sim(7);
+        let out = sim.run_until_quiet(
+            SimDuration::from_millis(100),
+            SimTime::from_nanos(60_000_000_000),
+        );
+        assert_eq!(out, QuietOutcome::Quiescent);
+        // After quiescence the exchange is over (4 rounds + initial).
+        let p0 = sim.node(NodeId(0)).as_any().downcast_ref::<Pinger>().unwrap();
+        assert!(p0.sent >= 2);
+    }
+
+    #[test]
+    fn session_reset_drops_in_flight() {
+        let mut sim = two_node_sim(3);
+        // Let the session come up and a message get in flight.
+        sim.run_until(SimTime::from_nanos(2_000_000));
+        sim.inject_session_reset(NodeId(0), NodeId(1));
+        assert!(!sim.session_up(NodeId(0), NodeId(1)));
+        let down_before = sim.trace().stats().sessions_down;
+        assert_eq!(down_before, 1);
+        // Auto-reconnect (default 5s) brings it back.
+        sim.run_until(SimTime::from_nanos(20_000_000_000));
+        assert!(sim.session_up(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn link_down_prevents_reconnect() {
+        let mut sim = two_node_sim(4);
+        sim.run_until(SimTime::from_nanos(2_000_000));
+        sim.inject_link_down(NodeId(0), NodeId(1));
+        sim.run_until(SimTime::from_nanos(30_000_000_000));
+        assert!(!sim.session_up(NodeId(0), NodeId(1)));
+        sim.inject_link_up(NodeId(0), NodeId(1));
+        sim.run_until(SimTime::from_nanos(31_000_000_000));
+        assert!(sim.session_up(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn crash_tears_down_sessions_and_mutes_node() {
+        let mut sim = two_node_sim(5);
+        sim.run_until(SimTime::from_nanos(2_000_000));
+        sim.inject_node_crash(NodeId(1));
+        assert!(sim.crashed(NodeId(1)).is_some());
+        assert!(!sim.session_up(NodeId(0), NodeId(1)));
+        sim.run_until(SimTime::from_nanos(10_000_000_000));
+        assert!(!sim.session_up(NodeId(0), NodeId(1)), "crashed node must not reconnect");
+    }
+
+    #[test]
+    fn restart_recovers_from_pristine() {
+        let mut sim = two_node_sim(6);
+        sim.run_until(SimTime::from_nanos(5_000_000_000));
+        sim.inject_node_crash(NodeId(1));
+        sim.run_until(SimTime::from_nanos(6_000_000_000));
+        sim.inject_node_restart(NodeId(1));
+        sim.run_until(SimTime::from_nanos(12_000_000_000));
+        assert!(sim.crashed(NodeId(1)).is_none());
+        assert!(sim.session_up(NodeId(0), NodeId(1)));
+        let p1 = sim.node(NodeId(1)).as_any().downcast_ref::<Pinger>().unwrap();
+        // Restarted from pristine: history cleared, then new exchange happened.
+        assert!(p1.got.len() <= 5);
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        #[derive(Clone, Default)]
+        struct T {
+            fired: Vec<u64>,
+        }
+        impl Node for T {
+            fn on_start(&mut self, api: &mut NodeApi<'_>) {
+                api.set_timer(SimDuration::from_millis(10), 1);
+                api.set_timer(SimDuration::from_millis(20), 2);
+                api.cancel_timer(2);
+                api.set_timer(SimDuration::from_millis(30), 3);
+            }
+            fn on_message(&mut self, _: NodeId, _: &[u8], _: &mut NodeApi<'_>) {}
+            fn on_timer(&mut self, token: u64, _: &mut NodeApi<'_>) {
+                self.fired.push(token);
+            }
+            fn clone_node(&self) -> Box<dyn Node> {
+                Box::new(self.clone())
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let topo = Topology::with_nodes(1);
+        let mut sim = Simulator::new(topo, 0);
+        sim.set_node(NodeId(0), Box::new(T::default()));
+        sim.start();
+        sim.run_until(SimTime::from_nanos(1_000_000_000));
+        let t = sim.node(NodeId(0)).as_any().downcast_ref::<T>().unwrap();
+        assert_eq!(t.fired, vec![1, 3], "canceled timer must not fire");
+    }
+
+    #[test]
+    fn rearming_timer_supersedes() {
+        #[derive(Clone, Default)]
+        struct T {
+            fired: u32,
+        }
+        impl Node for T {
+            fn on_start(&mut self, api: &mut NodeApi<'_>) {
+                api.set_timer(SimDuration::from_millis(10), 9);
+                api.set_timer(SimDuration::from_millis(50), 9); // re-arm
+            }
+            fn on_message(&mut self, _: NodeId, _: &[u8], _: &mut NodeApi<'_>) {}
+            fn on_timer(&mut self, _t: u64, _: &mut NodeApi<'_>) {
+                self.fired += 1;
+            }
+            fn clone_node(&self) -> Box<dyn Node> {
+                Box::new(self.clone())
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulator::new(Topology::with_nodes(1), 0);
+        sim.set_node(NodeId(0), Box::new(T::default()));
+        sim.start();
+        sim.run_until(SimTime::from_nanos(1_000_000_000));
+        let t = sim.node(NodeId(0)).as_any().downcast_ref::<T>().unwrap();
+        assert_eq!(t.fired, 1, "re-armed timer must fire exactly once");
+    }
+
+    #[test]
+    fn deliver_direct_bypasses_channel() {
+        let mut sim = two_node_sim(8);
+        sim.run_until(SimTime::from_nanos(2_000_000));
+        let before = sim.node(NodeId(1)).as_any().downcast_ref::<Pinger>().unwrap().got.len();
+        sim.deliver_direct(NodeId(0), NodeId(1), &[99]);
+        let p1 = sim.node(NodeId(1)).as_any().downcast_ref::<Pinger>().unwrap();
+        assert_eq!(p1.got.len(), before + 1);
+        assert_eq!(p1.got.last().unwrap().1, vec![99]);
+    }
+}

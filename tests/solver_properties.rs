@@ -1,0 +1,151 @@
+//! Property-based tests of the concolic engine: solver soundness (every
+//! SAT model satisfies its system), negation-query semantics, and
+//! concrete/symbolic evaluation agreement.
+
+use dice_system::concolic::{
+    BinOp, CmpOp, ConcolicCtx, Constraint, ExprArena, ExprId, SiteId, SolveResult, Solver,
+    SymInput,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Shape {
+    Bin(BinOp, Box<Shape>, Box<Shape>),
+    Var(u8),   // input index 0..4
+    Const(u8), // 8-bit constant
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    let leaf = prop_oneof![
+        (0u8..4).prop_map(Shape::Var),
+        any::<u8>().prop_map(Shape::Const),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        (
+            prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::And),
+                Just(BinOp::Or),
+                Just(BinOp::Xor),
+            ],
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, a, b)| Shape::Bin(op, Box::new(a), Box::new(b)))
+    })
+}
+
+fn build(arena: &mut ExprArena, s: &Shape) -> ExprId {
+    match s {
+        Shape::Var(i) => arena.input(*i as u32),
+        Shape::Const(c) => arena.constant(8, *c as u64),
+        Shape::Bin(op, a, b) => {
+            let ea = build(arena, a);
+            let eb = build(arena, b);
+            arena.bin(*op, 8, ea, eb)
+        }
+    }
+}
+
+fn arb_cmp() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![Just(CmpOp::Eq), Just(CmpOp::Ne), Just(CmpOp::Ult), Just(CmpOp::Ule)]
+}
+
+proptest! {
+    /// Soundness: whatever the solver answers SAT must check.
+    #[test]
+    fn sat_models_satisfy_their_systems(
+        shapes in prop::collection::vec((arb_shape(), arb_cmp(), any::<u8>(), any::<bool>()), 1..5)
+    ) {
+        let mut arena = ExprArena::new();
+        let mut cons: Vec<Constraint> = Vec::new();
+        for (shape, op, k, want) in &shapes {
+            let e = build(&mut arena, shape);
+            let c = arena.constant(8, *k as u64);
+            let cmp = arena.cmp(*op, e, c);
+            cons.push((cmp, *want));
+        }
+        let mut solver = Solver::new();
+        if let SolveResult::Sat(model) = solver.solve(&arena, &cons, &|_| 0) {
+            prop_assert!(
+                Solver::check(&arena, &cons, &model, &|_| 0),
+                "solver produced a non-model"
+            );
+        }
+    }
+
+    /// Expression evaluation agrees with concrete concolic execution.
+    #[test]
+    fn concrete_symbolic_agreement(bytes in prop::collection::vec(any::<u8>(), 4..8)) {
+        let mut ctx = ConcolicCtx::new(SymInput::all_symbolic(bytes.clone()));
+        let a = ctx.read_u8(0);
+        let b = ctx.read_u8(1);
+        let c = ctx.read_u16_be(2);
+        let sum = ctx.bin(BinOp::Add, a, b);
+        let sum16 = ctx.zext(16, sum);
+        let mix = ctx.bin(BinOp::Xor, sum16, c);
+        // Symbolic expression evaluated under the same bytes equals the
+        // concrete value computed during execution.
+        let expr = mix.expr.expect("symbolic");
+        let v = ctx.arena().eval(expr, &|i| Some(bytes[i as usize] as u64)).unwrap();
+        prop_assert_eq!(v, mix.val);
+    }
+
+    /// Negating a recorded branch and re-running flips that branch.
+    #[test]
+    fn negation_actually_flips(byte in any::<u8>(), threshold in 1u8..255) {
+        let program = |ctx: &mut ConcolicCtx| {
+            let w = ctx.read_u8(0);
+            let c = ctx.ult_const(w, threshold as u64);
+            ctx.branch(SiteId(1), c)
+        };
+        let mut ctx = ConcolicCtx::new(SymInput::all_symbolic(vec![byte]));
+        let taken = program(&mut ctx);
+        let path = ctx.path().to_vec();
+        prop_assert_eq!(path.len(), 1);
+
+        let q = dice_system::concolic::negation_query(&path, 0);
+        let mut solver = Solver::new();
+        match solver.solve(ctx.arena(), &q, &|_| byte) {
+            SolveResult::Sat(model) => {
+                let new_byte = model.get(&0).copied().unwrap_or(byte);
+                let mut ctx2 = ConcolicCtx::new(SymInput::all_symbolic(vec![new_byte]));
+                let taken2 = program(&mut ctx2);
+                prop_assert_eq!(taken2, !taken, "negated input must flip the branch");
+            }
+            SolveResult::Unsat => {
+                // Only possible if the branch is a tautology over bytes,
+                // which `1 <= threshold <= 254` rules out.
+                prop_assert!(false, "branch must be negatable");
+            }
+            SolveResult::Unknown => {} // budget, acceptable
+        }
+    }
+
+    /// Path signatures are stable for equal paths and sensitive to inputs
+    /// that diverge.
+    #[test]
+    fn path_signature_stability(bytes in prop::collection::vec(any::<u8>(), 2..6)) {
+        let run = |bytes: &[u8]| {
+            let mut ctx = ConcolicCtx::new(SymInput::all_symbolic(bytes.to_vec()));
+            let w = ctx.read_u8(0);
+            let c = ctx.ult_const(w, 128);
+            ctx.branch(SiteId(1), c);
+            ctx.path_signature()
+        };
+        prop_assert_eq!(run(&bytes), run(&bytes));
+    }
+}
+
+#[test]
+fn unsat_on_contradiction_is_proven() {
+    let mut arena = ExprArena::new();
+    let x = arena.input(0);
+    let k = arena.constant(8, 10);
+    let c = arena.cmp(CmpOp::Ult, x, k);
+    let mut solver = Solver::new();
+    // x < 10 AND NOT(x < 10) is a contradiction.
+    let r = solver.solve(&arena, &[(c, true), (c, false)], &|_| 0);
+    assert_eq!(r, SolveResult::Unsat);
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the BGP wire codec: encode/decode inversion on
+//! arbitrary valid messages, and decoder totality on arbitrary bytes.
+
+use dice_system::bgp::{
+    decode, encode, AsPath, AsPathSegment, Asn, Community, Ipv4Addr, Ipv4Net, Message,
+    NotificationMsg, OpenMsg, Origin, PathAttrs, RouterId, SegmentKind, UpdateMsg,
+};
+use proptest::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Net> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Ipv4Net::new(addr, len))
+}
+
+fn arb_origin() -> impl Strategy<Value = Origin> {
+    prop_oneof![Just(Origin::Igp), Just(Origin::Egp), Just(Origin::Incomplete)]
+}
+
+fn arb_segment() -> impl Strategy<Value = AsPathSegment> {
+    (
+        prop_oneof![Just(SegmentKind::Set), Just(SegmentKind::Sequence)],
+        prop::collection::vec(any::<u16>().prop_map(Asn), 1..8),
+    )
+        .prop_map(|(kind, asns)| AsPathSegment { kind, asns })
+}
+
+fn arb_attrs() -> impl Strategy<Value = PathAttrs> {
+    (
+        arb_origin(),
+        prop::collection::vec(arb_segment(), 0..4),
+        1u32..u32::MAX, // next hop nonzero, not all-ones
+        prop::option::of(any::<u32>()),
+        prop::option::of(any::<u32>()),
+        any::<bool>(),
+        prop::option::of((any::<u16>(), any::<u32>())),
+        prop::collection::btree_set(any::<u32>().prop_map(Community), 0..6),
+    )
+        .prop_map(
+            |(origin, segments, nh, med, local_pref, atomic, aggr, communities)| PathAttrs {
+                origin,
+                as_path: AsPath { segments },
+                next_hop: Ipv4Addr(nh),
+                med,
+                local_pref,
+                atomic_aggregate: atomic,
+                aggregator: aggr.map(|(a, ip)| (Asn(a), Ipv4Addr(ip))),
+                communities,
+                unknown: Vec::new(),
+            },
+        )
+}
+
+fn arb_update() -> impl Strategy<Value = UpdateMsg> {
+    (
+        prop::collection::vec(arb_prefix(), 0..5),
+        arb_attrs(),
+        prop::collection::vec(arb_prefix(), 1..5),
+    )
+        .prop_map(|(withdrawn, attrs, nlri)| UpdateMsg { withdrawn, attrs: Some(attrs), nlri })
+}
+
+proptest! {
+    #[test]
+    fn update_roundtrip(upd in arb_update()) {
+        let msg = Message::Update(upd);
+        let bytes = encode(&msg);
+        let (decoded, used) = decode(&bytes).expect("self-encoded message decodes");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn open_roundtrip(asn in any::<u16>(), hold in prop_oneof![Just(0u16), 3u16..], id in any::<u32>()) {
+        let msg = Message::Open(OpenMsg {
+            version: 4,
+            asn: Asn(asn),
+            hold_time: hold,
+            router_id: RouterId(id),
+            opt_params: vec![],
+        });
+        let bytes = encode(&msg);
+        let (decoded, _) = decode(&bytes).expect("valid open decodes");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn notification_roundtrip(code in any::<u8>(), sub in any::<u8>(), data in prop::collection::vec(any::<u8>(), 0..64)) {
+        let msg = Message::Notification(NotificationMsg { code, subcode: sub, data });
+        let bytes = encode(&msg);
+        let (decoded, _) = decode(&bytes).expect("notification decodes");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// The decoder is total: arbitrary bytes never panic.
+    #[test]
+    fn decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode(&bytes);
+    }
+
+    /// Corrupting any single byte of a valid message either still decodes
+    /// or produces a structured error — never a panic.
+    #[test]
+    fn single_byte_corruption_is_handled(upd in arb_update(), pos_seed in any::<usize>(), val in any::<u8>()) {
+        let mut bytes = encode(&Message::Update(upd));
+        let pos = pos_seed % bytes.len();
+        bytes[pos] = val;
+        let _ = decode(&bytes);
+    }
+
+    /// Prefix canonicalization: parse/display roundtrip.
+    #[test]
+    fn prefix_roundtrip(p in arb_prefix()) {
+        let s = p.to_string();
+        let back: Ipv4Net = s.parse().expect("display parses");
+        prop_assert_eq!(back, p);
+    }
+
+    /// covers() is a partial order consistent with overlaps().
+    #[test]
+    fn prefix_cover_laws(a in arb_prefix(), b in arb_prefix()) {
+        prop_assert!(a.covers(&a));
+        if a.covers(&b) && b.covers(&a) {
+            prop_assert_eq!(a, b);
+        }
+        if a.covers(&b) {
+            prop_assert!(a.overlaps(&b) && b.overlaps(&a));
+        }
+    }
+}
