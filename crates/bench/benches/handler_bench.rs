@@ -46,8 +46,7 @@ fn bench_update_paths(c: &mut Criterion) {
         let mut handler = SymbolicUpdateHandler::new(cfg.clone(), NodeId(2));
         let mask = mark_update(&bytes);
         b.iter(|| {
-            let mut ctx =
-                ConcolicCtx::new(SymInput::with_mask(bytes.clone(), mask.clone()));
+            let mut ctx = ConcolicCtx::new(SymInput::with_mask(bytes.clone(), mask.clone()));
             black_box(handler.run(&mut ctx))
         });
     });

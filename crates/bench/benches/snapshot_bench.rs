@@ -39,7 +39,10 @@ fn bench_shadow_instantiate(c: &mut Criterion) {
         } else {
             scenarios::healthy_line(n, 2)
         };
-        sim.run_until_quiet(SimDuration::from_secs(5), SimTime::from_nanos(300_000_000_000));
+        sim.run_until_quiet(
+            SimDuration::from_secs(5),
+            SimTime::from_nanos(300_000_000_000),
+        );
         let (shadow, _) = take_instant_snapshot(&sim);
         let topo = sim.topology().clone();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {

@@ -59,9 +59,11 @@ fn prefix_mask_system(a: &mut ExprArena) -> Vec<Constraint> {
     vec![(c1, true), (c2, true), (c3, true)]
 }
 
+type ShapeBuilder = fn(&mut ExprArena) -> Vec<Constraint>;
+
 fn bench_shapes(c: &mut Criterion) {
     let mut group = c.benchmark_group("solver_shapes");
-    let shapes: Vec<(&str, fn(&mut ExprArena) -> Vec<Constraint>)> = vec![
+    let shapes: Vec<(&str, ShapeBuilder)> = vec![
         ("byte_dispatch", byte_eq_system),
         ("u16_length_bound", u16_bound_system),
         ("prefix_mask", prefix_mask_system),
@@ -82,14 +84,18 @@ fn bench_shapes(c: &mut Criterion) {
 fn bench_budget_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("solver_budget");
     for budget in [1_000u64, 10_000, 100_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, &budget| {
-            b.iter(|| {
-                let mut arena = ExprArena::new();
-                let cons = prefix_mask_system(&mut arena);
-                let mut solver = Solver::with_budget(SolverBudget { max_steps: budget });
-                black_box(solver.solve(&arena, &cons, &|_| 0))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(budget),
+            &budget,
+            |b, &budget| {
+                b.iter(|| {
+                    let mut arena = ExprArena::new();
+                    let cons = prefix_mask_system(&mut arena);
+                    let mut solver = Solver::with_budget(SolverBudget { max_steps: budget });
+                    black_box(solver.solve(&arena, &cons, &|_| 0))
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -30,7 +30,11 @@ fn config_with_rules(rules_n: usize) -> RouterConfig {
             verdict: None,
         });
     }
-    let policy = Policy { name: "imp".into(), rules, default: Verdict::Accept };
+    let policy = Policy {
+        name: "imp".into(),
+        rules,
+        default: Verdict::Accept,
+    };
     let mut cfg = RouterConfig::minimal(Asn(65001), RouterId(1)).with_neighbor(
         NodeId(2),
         Asn(65002),
@@ -77,7 +81,10 @@ fn main() {
             &mut handler2,
             &seeds,
             &mark_update,
-            &ExploreConfig { max_executions: 64, ..Default::default() },
+            &ExploreConfig {
+                max_executions: 64,
+                ..Default::default()
+            },
         );
 
         table.row(vec![

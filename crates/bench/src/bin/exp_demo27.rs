@@ -20,15 +20,18 @@ fn main() {
         SimTime::from_nanos(300_000_000_000),
     );
 
-    let mut t1 = Table::new(
-        "F1a — demo27 convergence",
-        &["metric", "value"],
-    );
+    let mut t1 = Table::new("F1a — demo27 convergence", &["metric", "value"]);
     let stats = live.trace().stats();
     t1.row(vec!["outcome".into(), format!("{outcome:?}")]);
     t1.row(vec!["converged at".into(), live.now().to_string()]);
-    t1.row(vec!["messages delivered".into(), stats.msgs_delivered.to_string()]);
-    t1.row(vec!["bytes delivered".into(), stats.bytes_delivered.to_string()]);
+    t1.row(vec![
+        "messages delivered".into(),
+        stats.msgs_delivered.to_string(),
+    ]);
+    t1.row(vec![
+        "bytes delivered".into(),
+        stats.bytes_delivered.to_string(),
+    ]);
     t1.row(vec!["sessions up".into(), stats.sessions_up.to_string()]);
     let total_routes: usize = (0..27u32)
         .map(|i| {
@@ -40,7 +43,10 @@ fn main() {
                 .len()
         })
         .sum();
-    t1.row(vec!["total Loc-RIB entries".into(), total_routes.to_string()]);
+    t1.row(vec![
+        "total Loc-RIB entries".into(),
+        total_routes.to_string(),
+    ]);
     t1.print();
 
     let mut t2 = Table::new(
@@ -51,7 +57,11 @@ fn main() {
         let n = range.clone().count();
         let (mut rib, mut rx) = (0usize, 0u64);
         for i in range {
-            let r = live.node(NodeId(i)).as_any().downcast_ref::<BgpRouter>().unwrap();
+            let r = live
+                .node(NodeId(i))
+                .as_any()
+                .downcast_ref::<BgpRouter>()
+                .unwrap();
             rib += r.loc_rib().len();
             rx += r.stats().updates_rx;
         }

@@ -8,8 +8,10 @@
 
 use dice_bench::{fmt_nanos, maybe_write_json, Table};
 use dice_concolic::{random_fuzz, RunStatus};
-use dice_core::{mark_update, scenarios, DiceConfig, DiceRunner, FaultClass, GrammarConfig,
-    SymbolicUpdateHandler, UpdateGrammar};
+use dice_core::{
+    mark_update, scenarios, DiceConfig, DiceRunner, FaultClass, GrammarConfig,
+    SymbolicUpdateHandler, UpdateGrammar,
+};
 use dice_netsim::{NodeId, SimDuration, SimTime, Simulator};
 
 struct Outcome {
@@ -153,7 +155,10 @@ fn main() {
             &mut handler,
             &seeds,
             &mark_update,
-            &dice_concolic::ExploreConfig { max_executions: 256, ..Default::default() },
+            &dice_concolic::ExploreConfig {
+                max_executions: 256,
+                ..Default::default()
+            },
         );
         baseline.row(vec![
             "concolic (generational)".into(),
@@ -175,7 +180,9 @@ fn main() {
             "random mutation".into(),
             random.executions.len().to_string(),
             crashed.is_some().to_string(),
-            crashed.map(|i| format!("#{i}")).unwrap_or_else(|| "-".into()),
+            crashed
+                .map(|i| format!("#{i}"))
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     baseline.print();

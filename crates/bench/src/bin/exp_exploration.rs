@@ -104,7 +104,11 @@ fn main() {
             &mut handler,
             &seeds,
             &mark_update,
-            &ExploreConfig { strategy, max_executions: BUDGET, ..Default::default() },
+            &ExploreConfig {
+                strategy,
+                max_executions: BUDGET,
+                ..Default::default()
+            },
         );
         runs.push((
             name.to_string(),

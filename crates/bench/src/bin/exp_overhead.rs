@@ -8,11 +8,9 @@
 
 use dice_bench::{fmt_nanos, maybe_write_json, Table};
 use dice_bgp::{BgpRouter, RouterConfig, RouterId};
-use dice_core::snapshot::{take_consistent_snapshot, take_instant_snapshot};
 use dice_core::scenarios;
-use dice_netsim::{
-    Node, NodeId, SimDuration, SimTime, Simulator, Topology,
-};
+use dice_core::snapshot::{take_consistent_snapshot, take_instant_snapshot};
+use dice_netsim::{Node, NodeId, SimDuration, SimTime, Simulator, Topology};
 
 /// A router with `routes` originated prefixes (to inflate the RIB).
 fn fat_router(routes: u32) -> BgpRouter {
@@ -63,9 +61,8 @@ fn main() {
     for &n in &line_sizes {
         let mut sim = scenarios::healthy_line(n, 42);
         sim.run_until(SimTime::from_nanos(30_000_000_000));
-        let (shadow, m) =
-            take_consistent_snapshot(&mut sim, NodeId(0), SimDuration::from_secs(30))
-                .expect("snapshot");
+        let (shadow, m) = take_consistent_snapshot(&mut sim, NodeId(0), SimDuration::from_secs(30))
+            .expect("snapshot");
         t2.row(vec![
             n.to_string(),
             "line".into(),
@@ -77,10 +74,12 @@ fn main() {
     }
     {
         let mut sim = scenarios::demo27_system(42);
-        sim.run_until_quiet(SimDuration::from_secs(5), SimTime::from_nanos(300_000_000_000));
-        let (shadow, m) =
-            take_consistent_snapshot(&mut sim, NodeId(5), SimDuration::from_secs(30))
-                .expect("snapshot");
+        sim.run_until_quiet(
+            SimDuration::from_secs(5),
+            SimTime::from_nanos(300_000_000_000),
+        );
+        let (shadow, m) = take_consistent_snapshot(&mut sim, NodeId(5), SimDuration::from_secs(30))
+            .expect("snapshot");
         t2.row(vec![
             "27".into(),
             "demo27 (Internet-like)".into(),
@@ -101,7 +100,10 @@ fn main() {
         ("line-5", scenarios::healthy_line(5, 9)),
         ("demo27", scenarios::demo27_system(9)),
     ] {
-        sim.run_until_quiet(SimDuration::from_secs(5), SimTime::from_nanos(300_000_000_000));
+        sim.run_until_quiet(
+            SimDuration::from_secs(5),
+            SimTime::from_nanos(300_000_000_000),
+        );
         let (shadow, _) = take_instant_snapshot(&sim);
         let topo = sim.topology().clone();
         let n_clones = 32;
@@ -130,7 +132,10 @@ fn main() {
         ("line-10", scenarios::healthy_line(10, 5)),
         ("demo27", scenarios::demo27_system(5)),
     ] {
-        sim.run_until_quiet(SimDuration::from_secs(5), SimTime::from_nanos(300_000_000_000));
+        sim.run_until_quiet(
+            SimDuration::from_secs(5),
+            SimTime::from_nanos(300_000_000_000),
+        );
         let (_, cl) = take_consistent_snapshot(&mut sim, NodeId(0), SimDuration::from_secs(30))
             .expect("snapshot");
         let (_, inst) = take_instant_snapshot(&sim);

@@ -112,7 +112,10 @@ fn ring_system(n: usize, seed: u64) -> Simulator {
 /// and stop mid-wave, `lead` after the kick.
 fn mid_wave_system(seed: u64, lead: SimDuration) -> Simulator {
     let mut sim = ring_system(8, seed);
-    sim.run_until_quiet(SimDuration::from_secs(2), SimTime::from_nanos(120_000_000_000));
+    sim.run_until_quiet(
+        SimDuration::from_secs(2),
+        SimTime::from_nanos(120_000_000_000),
+    );
     let kick = sim.now();
     sim.invoke_node(NodeId(0), |node, api| {
         let r = node.as_any_mut().downcast_mut::<BgpRouter>().unwrap();
@@ -175,7 +178,10 @@ fn main() {
     ]);
     table.print();
 
-    assert_eq!(cl_total, 0, "consistent snapshots must have zero causal violations");
+    assert_eq!(
+        cl_total, 0,
+        "consistent snapshots must have zero causal violations"
+    );
     if skew_total == 0 {
         eprintln!("WARNING: expected uncoordinated snapshots to show causal violations");
     }

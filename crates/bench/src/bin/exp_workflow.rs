@@ -6,12 +6,12 @@
 //! wall and simulated timestamps per phase.
 
 use dice_bench::{fmt_nanos, maybe_write_json, Table};
+use dice_concolic::{explore, ExploreConfig};
 use dice_core::snapshot::take_consistent_snapshot;
 use dice_core::{
     check::{default_checkers, flips_baseline, run_checkers, CheckContext},
     mark_update, scenarios, GrammarConfig, SymbolicUpdateHandler, UpdateGrammar,
 };
-use dice_concolic::{explore, ExploreConfig};
 use dice_netsim::{NodeId, SimDuration, SimTime, Simulator};
 
 fn main() {
@@ -23,7 +23,10 @@ fn main() {
 
     // Phase 0: the deployed system.
     let mut live = scenarios::demo27_system(3);
-    live.run_until_quiet(SimDuration::from_secs(5), SimTime::from_nanos(300_000_000_000));
+    live.run_until_quiet(
+        SimDuration::from_secs(5),
+        SimTime::from_nanos(300_000_000_000),
+    );
     table.row(vec![
         "0 deployed system converged".into(),
         wall0.elapsed().as_millis().to_string(),
@@ -63,7 +66,10 @@ fn main() {
         &mut handler,
         &seeds,
         &mark_update,
-        &ExploreConfig { max_executions: 96, ..Default::default() },
+        &ExploreConfig {
+            max_executions: 96,
+            ..Default::default()
+        },
     );
     table.row(vec![
         "2 concolic exploration".into(),

@@ -116,7 +116,10 @@ impl AsPath {
             return AsPath::empty();
         }
         AsPath {
-            segments: vec![AsPathSegment { kind: SegmentKind::Sequence, asns }],
+            segments: vec![AsPathSegment {
+                kind: SegmentKind::Sequence,
+                asns,
+            }],
         }
     }
 
@@ -160,8 +163,7 @@ impl AsPath {
         }
         match self.segments.first_mut() {
             Some(seg)
-                if seg.kind == SegmentKind::Sequence
-                    && seg.asns.len() + count as usize <= 255 =>
+                if seg.kind == SegmentKind::Sequence && seg.asns.len() + count as usize <= 255 =>
             {
                 for _ in 0..count {
                     seg.asns.insert(0, asn);
@@ -195,13 +197,11 @@ impl core::fmt::Display for AsPath {
             first = false;
             match seg.kind {
                 SegmentKind::Sequence => {
-                    let parts: Vec<String> =
-                        seg.asns.iter().map(|a| a.0.to_string()).collect();
+                    let parts: Vec<String> = seg.asns.iter().map(|a| a.0.to_string()).collect();
                     write!(f, "{}", parts.join(" "))?;
                 }
                 SegmentKind::Set => {
-                    let parts: Vec<String> =
-                        seg.asns.iter().map(|a| a.0.to_string()).collect();
+                    let parts: Vec<String> = seg.asns.iter().map(|a| a.0.to_string()).collect();
                     write!(f, "{{{}}}", parts.join(","))?;
                 }
             }
@@ -263,7 +263,10 @@ impl Default for PathAttrs {
 impl PathAttrs {
     /// Attribute bag for a locally originated route.
     pub fn originated(next_hop: Ipv4Addr) -> Self {
-        PathAttrs { next_hop, ..Default::default() }
+        PathAttrs {
+            next_hop,
+            ..Default::default()
+        }
     }
 
     /// Effective LOCAL_PREF for the decision process (default 100).
@@ -299,8 +302,14 @@ mod tests {
     fn path_len_counts_sets_as_one() {
         let p = AsPath {
             segments: vec![
-                AsPathSegment { kind: SegmentKind::Sequence, asns: vec![Asn(1), Asn(2)] },
-                AsPathSegment { kind: SegmentKind::Set, asns: vec![Asn(3), Asn(4), Asn(5)] },
+                AsPathSegment {
+                    kind: SegmentKind::Sequence,
+                    asns: vec![Asn(1), Asn(2)],
+                },
+                AsPathSegment {
+                    kind: SegmentKind::Set,
+                    asns: vec![Asn(3), Asn(4), Asn(5)],
+                },
             ],
         };
         assert_eq!(p.path_len(), 3);
@@ -311,10 +320,7 @@ mod tests {
         let mut p = AsPath::sequence([20, 30]);
         p.prepend(Asn(10), 2);
         assert_eq!(p.segments.len(), 1);
-        assert_eq!(
-            p.segments[0].asns,
-            vec![Asn(10), Asn(10), Asn(20), Asn(30)]
-        );
+        assert_eq!(p.segments[0].asns, vec![Asn(10), Asn(10), Asn(20), Asn(30)]);
         assert_eq!(p.first_asn(), Some(Asn(10)));
         assert_eq!(p.origin_asn(), Some(Asn(30)));
     }
@@ -338,8 +344,14 @@ mod tests {
     fn loop_detection_sees_sets() {
         let p = AsPath {
             segments: vec![
-                AsPathSegment { kind: SegmentKind::Sequence, asns: vec![Asn(1)] },
-                AsPathSegment { kind: SegmentKind::Set, asns: vec![Asn(9)] },
+                AsPathSegment {
+                    kind: SegmentKind::Sequence,
+                    asns: vec![Asn(1)],
+                },
+                AsPathSegment {
+                    kind: SegmentKind::Set,
+                    asns: vec![Asn(9)],
+                },
             ],
         };
         assert!(p.contains(Asn(9)));
@@ -351,8 +363,14 @@ mod tests {
     fn display_formats() {
         let p = AsPath {
             segments: vec![
-                AsPathSegment { kind: SegmentKind::Sequence, asns: vec![Asn(10), Asn(20)] },
-                AsPathSegment { kind: SegmentKind::Set, asns: vec![Asn(30), Asn(40)] },
+                AsPathSegment {
+                    kind: SegmentKind::Sequence,
+                    asns: vec![Asn(10), Asn(20)],
+                },
+                AsPathSegment {
+                    kind: SegmentKind::Set,
+                    asns: vec![Asn(30), Asn(40)],
+                },
             ],
         };
         assert_eq!(p.to_string(), "10 20 {30,40}");
@@ -363,7 +381,11 @@ mod tests {
         let a = PathAttrs::default();
         assert_eq!(a.effective_local_pref(), 100);
         assert_eq!(a.effective_med(), 0);
-        let b = PathAttrs { local_pref: Some(300), med: Some(5), ..Default::default() };
+        let b = PathAttrs {
+            local_pref: Some(300),
+            med: Some(5),
+            ..Default::default()
+        };
         assert_eq!(b.effective_local_pref(), 300);
         assert_eq!(b.effective_med(), 5);
     }

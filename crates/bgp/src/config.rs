@@ -204,11 +204,18 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src, pos: 0, line: 1 }
+        Lexer {
+            src,
+            pos: 0,
+            line: 1,
+        }
     }
 
     fn err(&self, msg: impl Into<String>) -> ConfigError {
-        ConfigError::Parse { line: self.line, msg: msg.into() }
+        ConfigError::Parse {
+            line: self.line,
+            msg: msg.into(),
+        }
     }
 
     fn peek_ch(&self) -> Option<char> {
@@ -255,7 +262,10 @@ impl<'a> Lexer<'a> {
             {
                 self.bump();
             }
-            return Ok(Some((Tok::Ident(self.src[start..self.pos].to_string()), line)));
+            return Ok(Some((
+                Tok::Ident(self.src[start..self.pos].to_string()),
+                line,
+            )));
         }
         if c.is_ascii_digit() {
             return self.lex_numberish().map(|t| Some((t, line)));
@@ -285,8 +295,9 @@ impl<'a> Lexer<'a> {
                     .parse()
                     .map_err(|_| self.err("bad prefix length"))?;
                 let full = format!("{head}/{len}");
-                let net: Ipv4Net =
-                    full.parse().map_err(|e| self.err(format!("bad prefix {full:?}: {e}")))?;
+                let net: Ipv4Net = full
+                    .parse()
+                    .map_err(|e| self.err(format!("bad prefix {full:?}: {e}")))?;
                 // Optional {min,max} range.
                 if self.peek_ch() == Some('{') {
                     self.bump();
@@ -309,8 +320,9 @@ impl<'a> Lexer<'a> {
             }
             _ => {
                 if head.contains('.') {
-                    let a: crate::types::Ipv4Addr =
-                        head.parse().map_err(|e| self.err(format!("bad address: {e}")))?;
+                    let a: crate::types::Ipv4Addr = head
+                        .parse()
+                        .map_err(|e| self.err(format!("bad address: {e}")))?;
                     Ok(Tok::Addr(a.0))
                 } else {
                     let n: u64 = head.parse().map_err(|_| self.err("bad number"))?;
@@ -326,7 +338,9 @@ impl<'a> Lexer<'a> {
             while matches!(lx.peek_ch(), Some(c) if c.is_ascii_digit()) {
                 lx.bump();
             }
-            lx.src[s..lx.pos].parse().map_err(|_| lx.err("bad range bound"))
+            lx.src[s..lx.pos]
+                .parse()
+                .map_err(|_| lx.err("bad range bound"))
         };
         let lo = read_num(self)?;
         if self.bump() != Some(',') {
@@ -355,7 +369,10 @@ impl Parser {
             .get(self.pos.min(self.toks.len().saturating_sub(1)))
             .map(|(_, l)| *l)
             .unwrap_or(0);
-        ConfigError::Parse { line, msg: msg.into() }
+        ConfigError::Parse {
+            line,
+            msg: msg.into(),
+        }
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -460,7 +477,12 @@ pub fn parse_config(src: &str) -> Result<RouterConfig, ConfigError> {
                 p.expect_ident("export")?;
                 let export = p.ident()?;
                 p.expect_punct(';')?;
-                cfg.neighbors.push(NeighborConfig { node, asn, import, export });
+                cfg.neighbors.push(NeighborConfig {
+                    node,
+                    asn,
+                    import,
+                    export,
+                });
             }
             "filter" => {
                 let name = p.ident()?;
@@ -480,7 +502,10 @@ pub fn parse_config(src: &str) -> Result<RouterConfig, ConfigError> {
     }
 
     if !have_router {
-        return Err(ConfigError::Parse { line: 1, msg: "missing `router as … id …;`".into() });
+        return Err(ConfigError::Parse {
+            line: 1,
+            msg: "missing `router as … id …;`".into(),
+        });
     }
     cfg.validate()?;
     Ok(cfg)
@@ -500,7 +525,11 @@ fn parse_filter(p: &mut Parser, name: &str) -> Result<Policy, ConfigError> {
                 let matches = parse_conditions(p)?;
                 p.expect_ident("then")?;
                 let (actions, verdict) = parse_rule_body(p)?;
-                rules.push(Rule { matches, actions, verdict });
+                rules.push(Rule {
+                    matches,
+                    actions,
+                    verdict,
+                });
             }
             Some(Tok::Ident(kw)) if kw == "accept" => {
                 p.next()?;
@@ -515,7 +544,11 @@ fn parse_filter(p: &mut Parser, name: &str) -> Result<Policy, ConfigError> {
             other => return Err(p.err(format!("unexpected token in filter: {other:?}"))),
         }
     }
-    Ok(Policy { name: name.to_string(), rules, default: Verdict::Reject })
+    Ok(Policy {
+        name: name.to_string(),
+        rules,
+        default: Verdict::Reject,
+    })
 }
 
 fn parse_conditions(p: &mut Parser) -> Result<Vec<Match>, ConfigError> {
@@ -538,9 +571,11 @@ fn parse_condition(p: &mut Parser) -> Result<Match, ConfigError> {
             loop {
                 match p.next()? {
                     Tok::Prefix(net, None) => filters.push(PrefixFilter::exact(net)),
-                    Tok::Prefix(net, Some((lo, hi))) => {
-                        filters.push(PrefixFilter { net, min_len: lo, max_len: hi })
-                    }
+                    Tok::Prefix(net, Some((lo, hi))) => filters.push(PrefixFilter {
+                        net,
+                        min_len: lo,
+                        max_len: hi,
+                    }),
                     other => return Err(p.err(format!("expected prefix in set, found {other:?}"))),
                 }
                 match p.next()? {
@@ -704,9 +739,13 @@ mod tests {
             as_path: crate::attrs::AsPath::sequence([65002, 64666]),
             ..attrs.clone()
         };
-        assert!(imp.apply(&net("172.16.0.0/12"), &poisoned, Asn(65001)).is_none());
+        assert!(imp
+            .apply(&net("172.16.0.0/12"), &poisoned, Asn(65001))
+            .is_none());
         // Otherwise: non-terminal med rule fires, then trailing accept.
-        let out = imp.apply(&net("172.16.0.0/12"), &attrs, Asn(65001)).unwrap();
+        let out = imp
+            .apply(&net("172.16.0.0/12"), &attrs, Asn(65001))
+            .unwrap();
         assert_eq!(out.med, Some(10));
     }
 
@@ -740,7 +779,10 @@ mod tests {
     #[test]
     fn unknown_policy_reference_rejected() {
         let src = "router as 1 id 1; neighbor node 2 as 3 import NOPE export NOPE;";
-        assert!(matches!(parse_config(src), Err(ConfigError::UnknownPolicy(_))));
+        assert!(matches!(
+            parse_config(src),
+            Err(ConfigError::UnknownPolicy(_))
+        ));
     }
 
     #[test]
@@ -751,7 +793,10 @@ mod tests {
             neighbor node 2 as 3 import F export F;
             neighbor node 2 as 4 import F export F;
         "#;
-        assert!(matches!(parse_config(src), Err(ConfigError::DuplicateNeighbor(_))));
+        assert!(matches!(
+            parse_config(src),
+            Err(ConfigError::DuplicateNeighbor(_))
+        ));
     }
 
     #[test]

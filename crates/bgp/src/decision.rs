@@ -34,7 +34,10 @@ pub enum DecisionReason {
 /// Also returns the decisive step.
 pub fn prefer(a: &Route, b: &Route) -> (bool, DecisionReason) {
     // 1. LOCAL_PREF, higher wins.
-    let (lpa, lpb) = (a.attrs.effective_local_pref(), b.attrs.effective_local_pref());
+    let (lpa, lpb) = (
+        a.attrs.effective_local_pref(),
+        b.attrs.effective_local_pref(),
+    );
     if lpa != lpb {
         return (lpa > lpb, DecisionReason::LocalPref);
     }
@@ -64,7 +67,10 @@ pub fn prefer(a: &Route, b: &Route) -> (bool, DecisionReason) {
     }
     // 6. Lowest peer router id.
     if a.peer_router_id != b.peer_router_id {
-        return (a.peer_router_id < b.peer_router_id, DecisionReason::RouterId);
+        return (
+            a.peer_router_id < b.peer_router_id,
+            DecisionReason::RouterId,
+        );
     }
     // 7. Lowest peer address (node id as proxy).
     let (pa, pb) = (a.from_peer.unwrap_or(0), b.from_peer.unwrap_or(0));
@@ -73,7 +79,9 @@ pub fn prefer(a: &Route, b: &Route) -> (bool, DecisionReason) {
 
 /// Pick the best route among candidates; returns the winner and the reason
 /// it beat the runner-up (or [`DecisionReason::OnlyRoute`]).
-pub fn select<'a>(candidates: impl IntoIterator<Item = &'a Route>) -> Option<(&'a Route, DecisionReason)> {
+pub fn select<'a>(
+    candidates: impl IntoIterator<Item = &'a Route>,
+) -> Option<(&'a Route, DecisionReason)> {
     let mut it = candidates.into_iter();
     let first = it.next()?;
     let mut best = first;
@@ -188,7 +196,7 @@ mod tests {
 
     #[test]
     fn select_finds_overall_best() {
-        let routes = vec![
+        let routes = [
             route(|r| {
                 r.attrs.local_pref = Some(100);
                 r.peer_router_id = 3;

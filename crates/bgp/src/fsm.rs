@@ -175,7 +175,10 @@ mod tests {
         let mut f = PeerFsm::default();
         f.on_transport_up();
         f.on_open(true, 90, 90);
-        assert!(matches!(f.on_open(true, 90, 90), FsmEvent::ProtocolError { .. }));
+        assert!(matches!(
+            f.on_open(true, 90, 90),
+            FsmEvent::ProtocolError { .. }
+        ));
     }
 
     #[test]

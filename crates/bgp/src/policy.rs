@@ -31,12 +31,20 @@ pub struct PrefixFilter {
 impl PrefixFilter {
     /// Exact-match filter for one prefix.
     pub fn exact(net: Ipv4Net) -> Self {
-        PrefixFilter { net, min_len: net.len(), max_len: net.len() }
+        PrefixFilter {
+            net,
+            min_len: net.len(),
+            max_len: net.len(),
+        }
     }
 
     /// `net` or any more-specific prefix (`{len,32}`).
     pub fn or_longer(net: Ipv4Net) -> Self {
-        PrefixFilter { net, min_len: net.len(), max_len: 32 }
+        PrefixFilter {
+            net,
+            min_len: net.len(),
+            max_len: 32,
+        }
     }
 
     /// Whether `candidate` matches this filter.
@@ -78,9 +86,7 @@ impl Match {
     pub fn eval(&self, prefix: &Ipv4Net, attrs: &PathAttrs) -> bool {
         match self {
             Match::PrefixIn(filters) => filters.iter().any(|f| f.matches(prefix)),
-            Match::PrefixLenIn { min, max } => {
-                prefix.len() >= *min && prefix.len() <= *max
-            }
+            Match::PrefixLenIn { min, max } => prefix.len() >= *min && prefix.len() <= *max,
             Match::AsPathContains(asn) => attrs.as_path.contains(*asn),
             Match::AsPathLenAtMost(n) => attrs.as_path.path_len() <= *n,
             Match::OriginatedBy(asn) => attrs.as_path.origin_asn() == Some(*asn),
@@ -147,12 +153,20 @@ pub struct Rule {
 impl Rule {
     /// A rule that accepts everything it matches.
     pub fn accept(matches: Vec<Match>) -> Self {
-        Rule { matches, actions: vec![], verdict: Some(Verdict::Accept) }
+        Rule {
+            matches,
+            actions: vec![],
+            verdict: Some(Verdict::Accept),
+        }
     }
 
     /// A rule that rejects everything it matches.
     pub fn reject(matches: Vec<Match>) -> Self {
-        Rule { matches, actions: vec![], verdict: Some(Verdict::Reject) }
+        Rule {
+            matches,
+            actions: vec![],
+            verdict: Some(Verdict::Reject),
+        }
     }
 }
 
@@ -170,12 +184,20 @@ pub struct Policy {
 impl Policy {
     /// The accept-everything policy.
     pub fn accept_all(name: impl Into<String>) -> Self {
-        Policy { name: name.into(), rules: vec![], default: Verdict::Accept }
+        Policy {
+            name: name.into(),
+            rules: vec![],
+            default: Verdict::Accept,
+        }
     }
 
     /// The reject-everything policy.
     pub fn reject_all(name: impl Into<String>) -> Self {
-        Policy { name: name.into(), rules: vec![], default: Verdict::Reject }
+        Policy {
+            name: name.into(),
+            rules: vec![],
+            default: Verdict::Reject,
+        }
     }
 
     /// Interpret the policy on `(prefix, attrs)`. On `Accept`, returns the
@@ -298,7 +320,11 @@ mod tests {
 
     #[test]
     fn prefix_filter_range() {
-        let f = PrefixFilter { net: net("10.0.0.0/8"), min_len: 16, max_len: 24 };
+        let f = PrefixFilter {
+            net: net("10.0.0.0/8"),
+            min_len: 16,
+            max_len: 24,
+        };
         assert!(f.matches(&net("10.1.0.0/16")));
         assert!(f.matches(&net("10.1.2.0/24")));
         assert!(!f.matches(&net("10.0.0.0/8")), "too short");
@@ -323,7 +349,9 @@ mod tests {
             name: "t".into(),
             rules: vec![
                 Rule {
-                    matches: vec![Match::PrefixIn(vec![PrefixFilter::or_longer(net("10.0.0.0/8"))])],
+                    matches: vec![Match::PrefixIn(vec![PrefixFilter::or_longer(net(
+                        "10.0.0.0/8",
+                    ))])],
                     actions: vec![Action::SetLocalPref(500)],
                     verdict: Some(Verdict::Accept),
                 },

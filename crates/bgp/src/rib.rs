@@ -24,7 +24,11 @@ pub struct Route {
 impl Route {
     /// A locally originated route.
     pub fn local(attrs: PathAttrs) -> Self {
-        Route { attrs, from_peer: None, peer_router_id: 0 }
+        Route {
+            attrs,
+            from_peer: None,
+            peer_router_id: 0,
+        }
     }
 }
 
@@ -58,10 +62,7 @@ impl AdjRibIn {
     }
 
     /// All candidate routes for `prefix` across peers, in peer order.
-    pub fn candidates<'a>(
-        &'a self,
-        prefix: &'a Ipv4Net,
-    ) -> impl Iterator<Item = &'a Route> + 'a {
+    pub fn candidates<'a>(&'a self, prefix: &'a Ipv4Net) -> impl Iterator<Item = &'a Route> + 'a {
         self.tables.values().filter_map(move |t| t.get(prefix))
     }
 
@@ -275,7 +276,10 @@ mod tests {
     fn loc_rib_flip_accounting() {
         let mut rib = LocRib::default();
         let p = net("10.0.0.0/8");
-        let sel = |peer| Selected { route: route(&[65002], peer), reason: DecisionReason::OnlyRoute };
+        let sel = |peer| Selected {
+            route: route(&[65002], peer),
+            reason: DecisionReason::OnlyRoute,
+        };
         assert!(rib.install(p, sel(1)));
         assert!(!rib.install(p, sel(1)), "same route is not a flip");
         assert!(rib.install(p, sel(2)));
@@ -290,7 +294,10 @@ mod tests {
         let p = net("10.0.0.0/8");
         let a = route(&[65001], 0).attrs;
         assert!(out.advertise(NodeId(1), p, a.clone()));
-        assert!(!out.advertise(NodeId(1), p, a.clone()), "identical re-advertisement suppressed");
+        assert!(
+            !out.advertise(NodeId(1), p, a.clone()),
+            "identical re-advertisement suppressed"
+        );
         let mut b = a.clone();
         b.med = Some(9);
         assert!(out.advertise(NodeId(1), p, b));

@@ -138,7 +138,10 @@ impl BgpRouter {
         if legitimate && !self.config.owned.contains(&prefix) {
             self.config.owned.push(prefix);
         }
-        api.trace("config", format!("announce {prefix} legitimate={legitimate}"));
+        api.trace(
+            "config",
+            format!("announce {prefix} legitimate={legitimate}"),
+        );
         self.recompute_and_propagate(prefix, api);
     }
 
@@ -184,7 +187,11 @@ impl BgpRouter {
         api: &mut NodeApi<'_>,
     ) {
         api.trace("notif", format!("to {peer}: {code}/{subcode} {reason}"));
-        let msg = Message::Notification(NotificationMsg { code, subcode, data: Vec::new() });
+        let msg = Message::Notification(NotificationMsg {
+            code,
+            subcode,
+            data: Vec::new(),
+        });
         self.send_message(peer, &msg, api, false);
         // Defer the transport reset slightly so the NOTIFICATION is
         // delivered before the channel drops (mirrors TCP close semantics).
@@ -295,10 +302,20 @@ impl BgpRouter {
         match select(candidates.iter()) {
             Some((best, reason)) => {
                 let best = best.clone();
-                if self.loc_rib.install(prefix, Selected { route: best.clone(), reason }) {
+                if self.loc_rib.install(
+                    prefix,
+                    Selected {
+                        route: best.clone(),
+                        reason,
+                    },
+                ) {
                     api.trace(
                         "best",
-                        format!("{prefix} path[{}] lp{}", best.attrs.as_path, best.attrs.effective_local_pref()),
+                        format!(
+                            "{prefix} path[{}] lp{}",
+                            best.attrs.as_path,
+                            best.attrs.effective_local_pref()
+                        ),
                     );
                     let peers: Vec<NodeId> = self.established_peers();
                     for q in peers {
@@ -409,8 +426,13 @@ impl Node for BgpRouter {
     fn on_start(&mut self, api: &mut NodeApi<'_>) {
         for prefix in self.config.networks.clone() {
             let route = Route::local(PathAttrs::originated(self.own_addr()));
-            self.loc_rib
-                .install(prefix, Selected { route, reason: DecisionReason::OnlyRoute });
+            self.loc_rib.install(
+                prefix,
+                Selected {
+                    route,
+                    reason: DecisionReason::OnlyRoute,
+                },
+            );
             api.trace("best", format!("{prefix} local"));
         }
     }
@@ -483,7 +505,11 @@ impl Node for BgpRouter {
                         self.send_message(from, &Message::Keepalive, api, true);
                         self.arm_session_timers(from, api);
                     }
-                    FsmEvent::ProtocolError { code, subcode, reason } => {
+                    FsmEvent::ProtocolError {
+                        code,
+                        subcode,
+                        reason,
+                    } => {
                         self.protocol_error(from, code, subcode, reason, api);
                     }
                     FsmEvent::SessionEstablished => unreachable!("OPEN cannot establish"),
@@ -495,7 +521,11 @@ impl Node for BgpRouter {
                 match fsm.on_keepalive() {
                     FsmEvent::SessionEstablished => self.on_established(from, api),
                     FsmEvent::None => {}
-                    FsmEvent::ProtocolError { code, subcode, reason } => {
+                    FsmEvent::ProtocolError {
+                        code,
+                        subcode,
+                        reason,
+                    } => {
                         self.protocol_error(from, code, subcode, reason, api);
                     }
                 }
@@ -504,7 +534,11 @@ impl Node for BgpRouter {
                 let fsm = self.fsms.entry(from.0).or_default();
                 match fsm.on_update() {
                     FsmEvent::None => self.handle_update(from, upd, api),
-                    FsmEvent::ProtocolError { code, subcode, reason } => {
+                    FsmEvent::ProtocolError {
+                        code,
+                        subcode,
+                        reason,
+                    } => {
                         self.protocol_error(from, code, subcode, reason, api);
                     }
                     FsmEvent::SessionEstablished => unreachable!("UPDATE cannot establish"),
@@ -524,7 +558,10 @@ impl Node for BgpRouter {
         match kind {
             timer::KEEPALIVE => {
                 let (established, interval) = match self.fsms.get(&peer.0) {
-                    Some(f) => (f.is_established() || f.state == SessionState::OpenConfirm, f.keepalive_secs()),
+                    Some(f) => (
+                        f.is_established() || f.state == SessionState::OpenConfirm,
+                        f.keepalive_secs(),
+                    ),
                     None => (false, 0),
                 };
                 if established && interval > 0 {
@@ -615,7 +652,10 @@ mod tests {
     }
 
     fn router(sim: &Simulator, i: u32) -> &BgpRouter {
-        sim.node(NodeId(i)).as_any().downcast_ref::<BgpRouter>().unwrap()
+        sim.node(NodeId(i))
+            .as_any()
+            .downcast_ref::<BgpRouter>()
+            .unwrap()
     }
 
     #[test]
@@ -648,7 +688,10 @@ mod tests {
         let mut sim = build_sim(3, &[(0, 1), (1, 2)], vec![cfg0, cfg1, cfg2]);
         sim.run_until(SimTime::from_nanos(8_000_000_000));
         let r2 = router(&sim, 2);
-        let best = r2.loc_rib().best(&net("10.0.0.0/8")).expect("route propagated");
+        let best = r2
+            .loc_rib()
+            .best(&net("10.0.0.0/8"))
+            .expect("route propagated");
         let asns: Vec<Asn> = best.route.attrs.as_path.all_asns().collect();
         assert_eq!(asns, vec![Asn(65001), Asn(65000)]);
     }
@@ -712,17 +755,25 @@ mod tests {
         let mut cfg1 = simple_config(1, &[0]);
         cfg1 = cfg1.with_policy(Policy {
             name: "no10".into(),
-            rules: vec![crate::policy::Rule::reject(vec![crate::policy::Match::PrefixIn(
-                vec![crate::policy::PrefixFilter::or_longer(net("10.0.0.0/8"))],
-            )])],
+            rules: vec![crate::policy::Rule::reject(vec![
+                crate::policy::Match::PrefixIn(vec![crate::policy::PrefixFilter::or_longer(net(
+                    "10.0.0.0/8",
+                ))]),
+            ])],
             default: crate::policy::Verdict::Accept,
         });
         cfg1.neighbors[0].import = "no10".into();
         let mut sim = build_sim(2, &[(0, 1)], vec![cfg0, cfg1]);
         sim.run_until(SimTime::from_nanos(6_000_000_000));
         let r1 = router(&sim, 1);
-        assert!(r1.loc_rib().best(&net("10.0.0.0/8")).is_none(), "filtered at import");
-        assert!(r1.loc_rib().best(&net("20.0.0.0/8")).is_some(), "other prefix accepted");
+        assert!(
+            r1.loc_rib().best(&net("10.0.0.0/8")).is_none(),
+            "filtered at import"
+        );
+        assert!(
+            r1.loc_rib().best(&net("20.0.0.0/8")).is_some(),
+            "other prefix accepted"
+        );
         assert!(r1.stats().policy_rejects > 0);
     }
 
@@ -753,7 +804,10 @@ mod tests {
         });
         let bytes = wire::encode(&msg);
         sim.deliver_direct(NodeId(0), NodeId(1), &bytes);
-        assert!(sim.crashed(NodeId(1)).is_some(), "seeded bug must crash the node");
+        assert!(
+            sim.crashed(NodeId(1)).is_some(),
+            "seeded bug must crash the node"
+        );
     }
 
     #[test]
@@ -788,7 +842,10 @@ mod tests {
         let cfg1 = simple_config(1, &[0]);
         let mut sim = build_sim(2, &[(0, 1)], vec![cfg0, cfg1]);
         sim.run_until(SimTime::from_nanos(5_000_000_000));
-        assert_eq!(router(&sim, 1).session_state(NodeId(0)), SessionState::Established);
+        assert_eq!(
+            router(&sim, 1).session_state(NodeId(0)),
+            SessionState::Established
+        );
         sim.deliver_direct(NodeId(0), NodeId(1), &[0u8; 40]);
         assert_eq!(router(&sim, 1).stats().decode_errors, 1);
         // The deferred reset tears the session down...
@@ -796,7 +853,10 @@ mod tests {
         assert_eq!(router(&sim, 1).session_state(NodeId(0)), SessionState::Idle);
         // ...and auto-reconnect re-establishes it.
         sim.run_until(SimTime::from_nanos(20_000_000_000));
-        assert_eq!(router(&sim, 1).session_state(NodeId(0)), SessionState::Established);
+        assert_eq!(
+            router(&sim, 1).session_state(NodeId(0)),
+            SessionState::Established
+        );
     }
 
     #[test]
@@ -829,7 +889,10 @@ mod tests {
         });
         sim.run_until(SimTime::from_nanos(16_000_000_000));
         let r1 = router(&sim, 1);
-        let hijacked = r1.loc_rib().best(&net("10.0.0.0/24")).expect("hijack visible");
+        let hijacked = r1
+            .loc_rib()
+            .best(&net("10.0.0.0/24"))
+            .expect("hijack visible");
         assert_eq!(hijacked.route.attrs.as_path.origin_asn(), Some(Asn(65002)));
         // Legitimate covering route still present.
         assert!(r1.loc_rib().best(&net("10.0.0.0/16")).is_some());

@@ -94,7 +94,10 @@ impl Ipv4Net {
     /// validated at the wire boundary first.
     pub fn new(addr: u32, len: u8) -> Self {
         assert!(len <= 32, "prefix length {len} > 32");
-        Ipv4Net { addr: addr & Self::mask(len), len }
+        Ipv4Net {
+            addr: addr & Self::mask(len),
+            len,
+        }
     }
 
     /// The all-zero default route `0.0.0.0/0`.
@@ -114,6 +117,7 @@ impl Ipv4Net {
     }
 
     /// Prefix length in bits.
+    #[allow(clippy::len_without_is_empty)] // a prefix length is not a container size
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -136,7 +140,7 @@ impl Ipv4Net {
     /// The number of bytes needed to encode this prefix's significant bits
     /// in NLRI form.
     pub fn nlri_bytes(&self) -> usize {
-        self.len as usize / 8 + usize::from(self.len % 8 != 0)
+        self.len as usize / 8 + usize::from(!self.len.is_multiple_of(8))
     }
 }
 
@@ -202,12 +206,14 @@ impl FromStr for Community {
 /// Convenience constructor: parse a prefix literal, panicking on error.
 /// For tests and examples.
 pub fn net(s: &str) -> Ipv4Net {
-    s.parse().unwrap_or_else(|e| panic!("bad prefix {s:?}: {e}"))
+    s.parse()
+        .unwrap_or_else(|e| panic!("bad prefix {s:?}: {e}"))
 }
 
 /// Convenience constructor: parse an address literal, panicking on error.
 pub fn addr(s: &str) -> Ipv4Addr {
-    s.parse().unwrap_or_else(|e| panic!("bad address {s:?}: {e}"))
+    s.parse()
+        .unwrap_or_else(|e| panic!("bad address {s:?}: {e}"))
 }
 
 #[cfg(test)]

@@ -6,9 +6,7 @@
 //! send (§6). Encoding is deterministic (attributes in ascending type-code
 //! order) so byte-level round-trips are testable.
 
-use crate::attrs::{
-    code, flags, AsPath, AsPathSegment, Origin, PathAttrs, RawAttr, SegmentKind,
-};
+use crate::attrs::{code, flags, AsPath, AsPathSegment, Origin, PathAttrs, RawAttr, SegmentKind};
 use crate::types::{Asn, Community, Ipv4Addr, Ipv4Net, RouterId};
 
 /// Length of the all-ones marker field.
@@ -223,7 +221,12 @@ fn encode_attr(out: &mut Vec<u8>, fl: u8, code: u8, value: &[u8]) {
 pub fn encode_attrs(attrs: &PathAttrs) -> Vec<u8> {
     let mut out = Vec::new();
     // ORIGIN
-    encode_attr(&mut out, flags::TRANSITIVE, code::ORIGIN, &[attrs.origin as u8]);
+    encode_attr(
+        &mut out,
+        flags::TRANSITIVE,
+        code::ORIGIN,
+        &[attrs.origin as u8],
+    );
     // AS_PATH
     let mut ap = Vec::new();
     for seg in &attrs.as_path.segments {
@@ -245,7 +248,12 @@ pub fn encode_attrs(attrs: &PathAttrs) -> Vec<u8> {
         encode_attr(&mut out, flags::OPTIONAL, code::MED, &med.to_be_bytes());
     }
     if let Some(lp) = attrs.local_pref {
-        encode_attr(&mut out, flags::TRANSITIVE, code::LOCAL_PREF, &lp.to_be_bytes());
+        encode_attr(
+            &mut out,
+            flags::TRANSITIVE,
+            code::LOCAL_PREF,
+            &lp.to_be_bytes(),
+        );
     }
     if attrs.atomic_aggregate {
         encode_attr(&mut out, flags::TRANSITIVE, code::ATOMIC_AGGREGATE, &[]);
@@ -254,14 +262,24 @@ pub fn encode_attrs(attrs: &PathAttrs) -> Vec<u8> {
         let mut v = Vec::with_capacity(6);
         v.extend_from_slice(&asn.0.to_be_bytes());
         v.extend_from_slice(&ip.0.to_be_bytes());
-        encode_attr(&mut out, flags::OPTIONAL | flags::TRANSITIVE, code::AGGREGATOR, &v);
+        encode_attr(
+            &mut out,
+            flags::OPTIONAL | flags::TRANSITIVE,
+            code::AGGREGATOR,
+            &v,
+        );
     }
     if !attrs.communities.is_empty() {
         let mut v = Vec::with_capacity(attrs.communities.len() * 4);
         for c in &attrs.communities {
             v.extend_from_slice(&c.0.to_be_bytes());
         }
-        encode_attr(&mut out, flags::OPTIONAL | flags::TRANSITIVE, code::COMMUNITY, &v);
+        encode_attr(
+            &mut out,
+            flags::OPTIONAL | flags::TRANSITIVE,
+            code::COMMUNITY,
+            &v,
+        );
     }
     for raw in &attrs.unknown {
         encode_attr(&mut out, raw.flags, raw.code, &raw.value);
@@ -417,7 +435,10 @@ pub fn decode_attrs_with_presence(
         let transitive = fl & flags::TRANSITIVE != 0;
         let well_known_check = |is_wk: bool| -> Result<(), DecodeError> {
             if is_wk && (optional || !transitive) {
-                return Err(DecodeError::AttrFlagsError { code: tc, flags: fl });
+                return Err(DecodeError::AttrFlagsError {
+                    code: tc,
+                    flags: fl,
+                });
             }
             Ok(())
         };
@@ -437,10 +458,8 @@ pub fn decode_attrs_with_presence(
                 let mut pr = Reader::new(value);
                 let mut segments = Vec::new();
                 while pr.remaining() > 0 {
-                    let kind = SegmentKind::from_u8(
-                        pr.u8().ok_or(DecodeError::MalformedAsPath)?,
-                    )
-                    .ok_or(DecodeError::MalformedAsPath)?;
+                    let kind = SegmentKind::from_u8(pr.u8().ok_or(DecodeError::MalformedAsPath)?)
+                        .ok_or(DecodeError::MalformedAsPath)?;
                     let count = pr.u8().ok_or(DecodeError::MalformedAsPath)? as usize;
                     if count == 0 {
                         return Err(DecodeError::MalformedAsPath);
@@ -468,7 +487,10 @@ pub fn decode_attrs_with_presence(
             }
             code::MED => {
                 if !optional {
-                    return Err(DecodeError::AttrFlagsError { code: tc, flags: fl });
+                    return Err(DecodeError::AttrFlagsError {
+                        code: tc,
+                        flags: fl,
+                    });
                 }
                 if value.len() != 4 {
                     return Err(DecodeError::AttrLenError { code: tc });
@@ -492,19 +514,24 @@ pub fn decode_attrs_with_presence(
             }
             code::AGGREGATOR => {
                 if !optional || !transitive {
-                    return Err(DecodeError::AttrFlagsError { code: tc, flags: fl });
+                    return Err(DecodeError::AttrFlagsError {
+                        code: tc,
+                        flags: fl,
+                    });
                 }
                 if value.len() != 6 {
                     return Err(DecodeError::AttrLenError { code: tc });
                 }
                 let asn = Asn(u16::from_be_bytes([value[0], value[1]]));
-                let ip =
-                    Ipv4Addr(u32::from_be_bytes([value[2], value[3], value[4], value[5]]));
+                let ip = Ipv4Addr(u32::from_be_bytes([value[2], value[3], value[4], value[5]]));
                 attrs.aggregator = Some((asn, ip));
             }
             code::COMMUNITY => {
                 if !optional || !transitive {
-                    return Err(DecodeError::AttrFlagsError { code: tc, flags: fl });
+                    return Err(DecodeError::AttrFlagsError {
+                        code: tc,
+                        flags: fl,
+                    });
                 }
                 if value.len() % 4 != 0 {
                     return Err(DecodeError::AttrLenError { code: tc });
@@ -535,7 +562,11 @@ pub fn decode_attrs_with_presence(
     attrs.unknown.sort_by_key(|r| r.code);
     Ok((
         attrs,
-        MandatoryPresence { origin: have_origin, as_path: have_as_path, next_hop: have_next_hop },
+        MandatoryPresence {
+            origin: have_origin,
+            as_path: have_as_path,
+            next_hop: have_next_hop,
+        },
     ))
 }
 
@@ -571,7 +602,13 @@ pub fn decode(buf: &[u8]) -> Result<(Message, usize), DecodeError> {
             if r.remaining() != 0 {
                 return Err(DecodeError::BadOpen);
             }
-            Message::Open(OpenMsg { version, asn, hold_time, router_id, opt_params })
+            Message::Open(OpenMsg {
+                version,
+                asn,
+                hold_time,
+                router_id,
+                opt_params,
+            })
         }
         MessageType::Update => {
             let mut r = Reader::new(body);
@@ -602,14 +639,22 @@ pub fn decode(buf: &[u8]) -> Result<(Message, usize), DecodeError> {
                 }
                 None
             };
-            Message::Update(UpdateMsg { withdrawn, attrs, nlri })
+            Message::Update(UpdateMsg {
+                withdrawn,
+                attrs,
+                nlri,
+            })
         }
         MessageType::Notification => {
             let mut r = Reader::new(body);
             let codev = r.u8().ok_or(DecodeError::BadNotification)?;
             let subcode = r.u8().ok_or(DecodeError::BadNotification)?;
             let data = r.bytes(r.remaining()).unwrap_or(&[]).to_vec();
-            Message::Notification(NotificationMsg { code: codev, subcode, data })
+            Message::Notification(NotificationMsg {
+                code: codev,
+                subcode,
+                data,
+            })
         }
         MessageType::Keepalive => {
             if len != HEADER_LEN {
@@ -762,7 +807,11 @@ mod tests {
     fn origin_value_validated() {
         let mut a = sample_attrs();
         a.atomic_aggregate = false;
-        let upd = UpdateMsg { withdrawn: vec![], attrs: Some(a), nlri: vec![net("10.0.0.0/8")] };
+        let upd = UpdateMsg {
+            withdrawn: vec![],
+            attrs: Some(a),
+            nlri: vec![net("10.0.0.0/8")],
+        };
         let mut bytes = encode(&Message::Update(upd));
         // ORIGIN is the first encoded attribute; its value byte is at a fixed
         // offset: header(19) + wlen(2) + alen(2) + flags/code/len(3).
@@ -784,7 +833,10 @@ mod tests {
         msg.extend_from_slice(&((HEADER_LEN + body.len()) as u16).to_be_bytes());
         msg.push(2);
         msg.extend_from_slice(&body);
-        assert!(matches!(decode(&msg), Err(DecodeError::MissingWellKnown(_))));
+        assert!(matches!(
+            decode(&msg),
+            Err(DecodeError::MissingWellKnown(_))
+        ));
     }
 
     #[test]
@@ -794,7 +846,10 @@ mod tests {
         for _ in 0..2 {
             ab.extend_from_slice(&[flags::TRANSITIVE, code::ORIGIN, 1, 0]);
         }
-        assert_eq!(decode_attrs(&ab), Err(DecodeError::DuplicateAttr(code::ORIGIN)));
+        assert_eq!(
+            decode_attrs(&ab),
+            Err(DecodeError::DuplicateAttr(code::ORIGIN))
+        );
     }
 
     #[test]
@@ -818,7 +873,10 @@ mod tests {
     #[test]
     fn unknown_well_known_rejected() {
         let ab = [0u8 /* not optional */, 99, 1, 0];
-        assert_eq!(decode_attrs(&ab), Err(DecodeError::UnrecognizedWellKnown(99)));
+        assert_eq!(
+            decode_attrs(&ab),
+            Err(DecodeError::UnrecognizedWellKnown(99))
+        );
     }
 
     #[test]
@@ -896,7 +954,9 @@ mod tests {
         for len in 0..200usize {
             let mut buf = vec![0u8; len];
             for b in buf.iter_mut() {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 *b = (state >> 33) as u8;
             }
             let _ = decode(&buf); // must not panic

@@ -24,7 +24,11 @@ pub struct SymWord {
 impl SymWord {
     /// A pure concrete word.
     pub fn concrete(bits: u8, val: u64) -> Self {
-        SymWord { val: val & mask(bits), bits, expr: None }
+        SymWord {
+            val: val & mask(bits),
+            bits,
+            expr: None,
+        }
     }
 
     /// Whether the word depends on symbolic input.
@@ -208,7 +212,11 @@ impl ConcolicCtx {
         let b = self.input.bytes[idx];
         if self.input.symbolic[idx] {
             let e = self.arena.input(idx as u32);
-            SymWord { val: b as u64, bits: 8, expr: Some(e) }
+            SymWord {
+                val: b as u64,
+                bits: 8,
+                expr: Some(e),
+            }
         } else {
             SymWord::concrete(8, b as u64)
         }
@@ -250,7 +258,10 @@ impl ConcolicCtx {
         let band = self.arena.bin(BinOp::And, 8, byte, one);
         let k = self.arena.constant(8, 1);
         let e = self.arena.cmp(CmpOp::Eq, band, k);
-        SymBool { val: concrete, expr: Some(e) }
+        SymBool {
+            val: concrete,
+            expr: Some(e),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -301,8 +312,8 @@ impl ConcolicCtx {
         let expr = match (a.expr, b.expr) {
             (None, None) => None,
             _ => {
-                let ea = self.to_expr(a);
-                let eb = self.to_expr(b);
+                let ea = self.expr_of(a);
+                let eb = self.expr_of(b);
                 Some(self.arena.bin(op, bits, ea, eb))
             }
         };
@@ -327,7 +338,7 @@ impl ConcolicCtx {
         self.bin(BinOp::Add, a, kw)
     }
 
-    fn to_expr(&mut self, w: SymWord) -> ExprId {
+    fn expr_of(&mut self, w: SymWord) -> ExprId {
         match w.expr {
             Some(e) => e,
             None => self.arena.constant(w.bits, w.val),
@@ -349,8 +360,8 @@ impl ConcolicCtx {
         let expr = match (a.expr, b.expr) {
             (None, None) => None,
             _ => {
-                let ea = self.to_expr(a);
-                let eb = self.to_expr(b);
+                let ea = self.expr_of(a);
+                let eb = self.expr_of(b);
                 Some(self.arena.cmp(op, ea, eb))
             }
         };
@@ -383,7 +394,10 @@ impl ConcolicCtx {
 
     /// Boolean negation.
     pub fn bnot(&mut self, a: SymBool) -> SymBool {
-        SymBool { val: !a.val, expr: a.expr.map(|e| self.arena.not(e)) }
+        SymBool {
+            val: !a.val,
+            expr: a.expr.map(|e| self.arena.not(e)),
+        }
     }
 
     /// Boolean conjunction.
@@ -429,7 +443,11 @@ impl ConcolicCtx {
     /// constraint when the condition is symbolic.
     pub fn branch(&mut self, site: SiteId, cond: SymBool) -> bool {
         if let Some(e) = cond.expr {
-            self.path.push(BranchRec { site, constraint: e, taken: cond.val });
+            self.path.push(BranchRec {
+                site,
+                constraint: e,
+                taken: cond.val,
+            });
         }
         cond.val
     }
@@ -455,7 +473,10 @@ mod tests {
         assert!(w.is_symbolic());
         // Evaluating the expression with the same bytes reproduces the value.
         let e = w.expr.unwrap();
-        let v = ctx.arena().eval(e, &|i| Some([0x12u64, 0x34][i as usize])).unwrap();
+        let v = ctx
+            .arena()
+            .eval(e, &|i| Some([0x12u64, 0x34][i as usize]))
+            .unwrap();
         assert_eq!(v, 0x1234);
     }
 
@@ -523,11 +544,7 @@ mod tests {
     #[test]
     fn path_signature_distinguishes_directions() {
         let sig = |taken: bool| {
-            let mut ctx = ConcolicCtx::new(SymInput::all_symbolic(vec![if taken {
-                1
-            } else {
-                0
-            }]));
+            let mut ctx = ConcolicCtx::new(SymInput::all_symbolic(vec![if taken { 1 } else { 0 }]));
             let w = ctx.read_u8(0);
             let c = ctx.eq_const(w, 1);
             ctx.branch(SiteId(1), c);

@@ -203,7 +203,7 @@ pub fn explore(
                     // polarity was covered on an unrelated (and
                     // unsatisfiable-onward) path — exactly the shape of
                     // guarded-bug reachability.
-                    let pick = if pops % 2 == 0 {
+                    let pick = if pops.is_multiple_of(2) {
                         queue
                             .iter()
                             .enumerate()
@@ -215,9 +215,7 @@ pub fn explore(
                         queue
                             .iter()
                             .enumerate()
-                            .max_by(|(_, a), (_, b)| {
-                                a.score.cmp(&b.score).then(b.seq.cmp(&a.seq))
-                            })
+                            .max_by(|(_, a), (_, b)| a.score.cmp(&b.score).then(b.seq.cmp(&a.seq)))
                             .map(|(i, _)| i)
                             .unwrap()
                     };
@@ -281,7 +279,13 @@ pub fn explore(
                     }
                     let target_uncovered = !coverage.covered(path[i].site.0, !path[i].taken);
                     let score = if target_uncovered { 1_000 } else { 500 } - i as i64;
-                    queue.push(WorkItem { bytes, oracles, bound: i + 1, score, seq });
+                    queue.push(WorkItem {
+                        bytes,
+                        oracles,
+                        bound: i + 1,
+                        score,
+                        seq,
+                    });
                     seq += 1;
                 }
                 SolveResult::Unsat | SolveResult::Unknown => {}
@@ -404,7 +408,10 @@ mod tests {
     fn concolic_finds_the_deep_crash() {
         // Seed does not even pass the magic check.
         let seeds = vec![vec![0u8, 0, 0]];
-        let cfg = ExploreConfig { max_executions: 64, ..Default::default() };
+        let cfg = ExploreConfig {
+            max_executions: 64,
+            ..Default::default()
+        };
         let report = explore(&mut toy_program, &seeds, &all_symbolic, &cfg);
         assert!(
             report.first_crash().is_some(),
@@ -432,7 +439,10 @@ mod tests {
     #[test]
     fn coverage_grows_monotonically() {
         let seeds = vec![vec![0u8, 0, 0]];
-        let cfg = ExploreConfig { max_executions: 32, ..Default::default() };
+        let cfg = ExploreConfig {
+            max_executions: 32,
+            ..Default::default()
+        };
         let report = explore(&mut toy_program, &seeds, &all_symbolic, &cfg);
         for w in report.coverage_timeline.windows(2) {
             assert!(w[1] >= w[0]);
@@ -444,19 +454,28 @@ mod tests {
     fn random_fuzz_is_much_weaker() {
         let seeds = vec![vec![0u8, 0, 0]];
         let random = random_fuzz(&mut toy_program, &seeds, &all_symbolic, 64, 1234);
-        let cfg = ExploreConfig { max_executions: 64, ..Default::default() };
+        let cfg = ExploreConfig {
+            max_executions: 64,
+            ..Default::default()
+        };
         let concolic = explore(&mut toy_program, &seeds, &all_symbolic, &cfg);
         // Random mutation must not beat concolic coverage on this program
         // (magic byte is a 1/256 shot per mutation).
         assert!(concolic.final_coverage() >= random.final_coverage());
         assert!(concolic.first_crash().is_some());
-        assert!(random.first_crash().is_none(), "random should not find the crash in 64 runs");
+        assert!(
+            random.first_crash().is_none(),
+            "random should not find the crash in 64 runs"
+        );
     }
 
     #[test]
     fn distinct_paths_counted() {
         let seeds = vec![vec![0x42u8, 0, 0]];
-        let cfg = ExploreConfig { max_executions: 32, ..Default::default() };
+        let cfg = ExploreConfig {
+            max_executions: 32,
+            ..Default::default()
+        };
         let report = explore(&mut toy_program, &seeds, &all_symbolic, &cfg);
         assert!(report.distinct_paths >= 3);
         assert!(report.distinct_paths <= report.executions.len());
@@ -474,7 +493,10 @@ mod tests {
             }
         }
         let seeds = vec![vec![0u8; 2]];
-        let cfg = ExploreConfig { max_executions: 8, ..Default::default() };
+        let cfg = ExploreConfig {
+            max_executions: 8,
+            ..Default::default()
+        };
         let report = explore(&mut oracle_prog, &seeds, &all_symbolic, &cfg);
         assert!(
             report.first_crash().is_some(),
@@ -488,7 +510,10 @@ mod tests {
     #[test]
     fn exploration_is_deterministic() {
         let seeds = vec![vec![0u8, 0, 0]];
-        let cfg = ExploreConfig { max_executions: 40, ..Default::default() };
+        let cfg = ExploreConfig {
+            max_executions: 40,
+            ..Default::default()
+        };
         let a = explore(&mut toy_program, &seeds, &all_symbolic, &cfg);
         let b = explore(&mut toy_program, &seeds, &all_symbolic, &cfg);
         assert_eq!(a.executions.len(), b.executions.len());
@@ -503,7 +528,10 @@ mod tests {
     #[test]
     fn respects_execution_budget() {
         let seeds = vec![vec![0u8, 0, 0]];
-        let cfg = ExploreConfig { max_executions: 5, ..Default::default() };
+        let cfg = ExploreConfig {
+            max_executions: 5,
+            ..Default::default()
+        };
         let report = explore(&mut toy_program, &seeds, &all_symbolic, &cfg);
         assert!(report.executions.len() <= 5);
     }
@@ -520,11 +548,20 @@ mod tests {
             m
         };
         let seeds = vec![vec![0u8, 3, 0xF5]];
-        let cfg = ExploreConfig { max_executions: 32, ..Default::default() };
+        let cfg = ExploreConfig {
+            max_executions: 32,
+            ..Default::default()
+        };
         let report = explore(&mut toy_program, &seeds, &marker, &cfg);
-        assert!(report.first_crash().is_some(), "bytes 1,2 already set by seed");
+        assert!(
+            report.first_crash().is_some(),
+            "bytes 1,2 already set by seed"
+        );
         let seeds2 = vec![vec![0u8, 0, 0]];
         let report2 = explore(&mut toy_program, &seeds2, &marker, &cfg);
-        assert!(report2.first_crash().is_none(), "cannot steer concrete bytes");
+        assert!(
+            report2.first_crash().is_none(),
+            "cannot steer concrete bytes"
+        );
     }
 }

@@ -148,7 +148,10 @@ impl ExprArena {
 
     /// Intern a constant.
     pub fn constant(&mut self, bits: u8, val: u64) -> ExprId {
-        self.intern(Expr::Const { bits, val: val & mask(bits) })
+        self.intern(Expr::Const {
+            bits,
+            val: val & mask(bits),
+        })
     }
 
     /// Intern an input byte reference.
@@ -253,10 +256,22 @@ impl ExprArena {
     /// assigned, instead of enumerating the irrelevant ones.
     pub fn eval3(&self, id: ExprId, lookup: &dyn Fn(u32) -> Option<u64>) -> Ternary {
         match self.get(id) {
-            Expr::Const { bits, val } => Ternary { known: mask(bits), val, bits },
+            Expr::Const { bits, val } => Ternary {
+                known: mask(bits),
+                val,
+                bits,
+            },
             Expr::Input { idx } => match lookup(idx) {
-                Some(v) => Ternary { known: 0xFF, val: v & 0xFF, bits: 8 },
-                None => Ternary { known: 0, val: 0, bits: 8 },
+                Some(v) => Ternary {
+                    known: 0xFF,
+                    val: v & 0xFF,
+                    bits: 8,
+                },
+                None => Ternary {
+                    known: 0,
+                    val: 0,
+                    bits: 8,
+                },
             },
             Expr::ZExt { bits, a } => {
                 let inner = self.eval3(a, lookup);
@@ -273,49 +288,74 @@ impl ExprArena {
                 let m = mask(bits);
                 match op {
                     BinOp::And => {
-                        let known = (x.known & y.known)
-                            | (x.known & !x.val)
-                            | (y.known & !y.val);
-                        Ternary { known: known & m, val: x.val & y.val & known & m, bits }
+                        let known = (x.known & y.known) | (x.known & !x.val) | (y.known & !y.val);
+                        Ternary {
+                            known: known & m,
+                            val: x.val & y.val & known & m,
+                            bits,
+                        }
                     }
                     BinOp::Or => {
-                        let known = (x.known & y.known)
-                            | (x.known & x.val)
-                            | (y.known & y.val);
-                        Ternary { known: known & m, val: (x.val | y.val) & known & m, bits }
+                        let known = (x.known & y.known) | (x.known & x.val) | (y.known & y.val);
+                        Ternary {
+                            known: known & m,
+                            val: (x.val | y.val) & known & m,
+                            bits,
+                        }
                     }
                     BinOp::Xor => {
                         let known = x.known & y.known & m;
-                        Ternary { known, val: (x.val ^ y.val) & known, bits }
+                        Ternary {
+                            known,
+                            val: (x.val ^ y.val) & known,
+                            bits,
+                        }
                     }
                     BinOp::Shl | BinOp::Shr => {
                         if y.known == mask(y.bits) {
                             let sh = y.val;
                             if sh >= 64 {
-                                return Ternary { known: m, val: 0, bits };
+                                return Ternary {
+                                    known: m,
+                                    val: 0,
+                                    bits,
+                                };
                             }
                             let (known, val) = if op == BinOp::Shl {
                                 // Low bits become known zeros.
                                 (((x.known << sh) | mask(sh as u8)) & m, (x.val << sh) & m)
                             } else {
                                 // High bits become known zeros within width.
-                                (
-                                    ((x.known >> sh) | (m & !(m >> sh))) & m,
-                                    (x.val >> sh) & m,
-                                )
+                                (((x.known >> sh) | (m & !(m >> sh))) & m, (x.val >> sh) & m)
                             };
-                            Ternary { known, val: val & known, bits }
+                            Ternary {
+                                known,
+                                val: val & known,
+                                bits,
+                            }
                         } else {
-                            Ternary { known: 0, val: 0, bits }
+                            Ternary {
+                                known: 0,
+                                val: 0,
+                                bits,
+                            }
                         }
                     }
                     BinOp::Add | BinOp::Sub | BinOp::Mul => {
                         // Exact only under full knowledge (carries spread).
                         if x.known == mask(x.bits) && y.known == mask(y.bits) {
                             let v = eval_bin(op, bits, x.val, y.val);
-                            Ternary { known: m, val: v, bits }
+                            Ternary {
+                                known: m,
+                                val: v,
+                                bits,
+                            }
                         } else {
-                            Ternary { known: 0, val: 0, bits }
+                            Ternary {
+                                known: 0,
+                                val: 0,
+                                bits,
+                            }
                         }
                     }
                 }
@@ -323,7 +363,8 @@ impl ExprArena {
             Expr::Cmp { op, a, b } => {
                 let x = self.eval3(a, lookup);
                 let y = self.eval3(b, lookup);
-                let t = match op {
+
+                match op {
                     CmpOp::Eq => match ternary_eq(&x, &y) {
                         Some(true) => Ternary::known_bool(true),
                         Some(false) => Ternary::known_bool(false),
@@ -342,8 +383,7 @@ impl ExprArena {
                         Some(v) => Ternary::known_bool(v),
                         None => Ternary::unknown_bool(),
                     },
-                };
-                t
+                }
             }
             Expr::Not(a) => {
                 let x = self.eval3(a, lookup);
@@ -448,10 +488,18 @@ pub struct Ternary {
 
 impl Ternary {
     fn known_bool(v: bool) -> Ternary {
-        Ternary { known: 1, val: v as u64, bits: 1 }
+        Ternary {
+            known: 1,
+            val: v as u64,
+            bits: 1,
+        }
     }
     fn unknown_bool() -> Ternary {
-        Ternary { known: 0, val: 0, bits: 1 }
+        Ternary {
+            known: 0,
+            val: 0,
+            bits: 1,
+        }
     }
     /// Truthiness, if determined.
     pub fn as_bool(&self) -> Option<bool> {
@@ -570,7 +618,11 @@ mod tests {
         let x = a.constant(8, 200);
         let y = a.constant(8, 100);
         let sum = a.bin(BinOp::Add, 8, x, y);
-        assert_eq!(a.get(sum), Expr::Const { bits: 8, val: 44 }, "modular add folds");
+        assert_eq!(
+            a.get(sum),
+            Expr::Const { bits: 8, val: 44 },
+            "modular add folds"
+        );
         let cmp = a.cmp(CmpOp::Ult, y, x);
         assert_eq!(a.get(cmp), Expr::Const { bits: 1, val: 1 });
     }
@@ -781,7 +833,11 @@ mod tests {
 
     #[test]
     fn ternary_min_max() {
-        let t = Ternary { known: 0xF0, val: 0xA0, bits: 8 };
+        let t = Ternary {
+            known: 0xF0,
+            val: 0xA0,
+            bits: 8,
+        };
         assert_eq!(t.min(), 0xA0);
         assert_eq!(t.max(), 0xAF);
     }

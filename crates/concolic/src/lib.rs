@@ -58,4 +58,6 @@ pub use explore::{
     ExploreConfig, RunStatus, Strategy,
 };
 pub use expr::{BinOp, BoolOp, CmpOp, Expr, ExprArena, ExprId, Ternary};
-pub use solve::{negation_query, ByteSet, Constraint, SolveResult, Solver, SolverBudget, SolverStats};
+pub use solve::{
+    negation_query, ByteSet, Constraint, SolveResult, Solver, SolverBudget, SolverStats,
+};

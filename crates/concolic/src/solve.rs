@@ -27,7 +27,9 @@ pub struct ByteSet {
 impl ByteSet {
     /// The full set (all 256 values).
     pub fn full() -> Self {
-        ByteSet { words: [u64::MAX; 4] }
+        ByteSet {
+            words: [u64::MAX; 4],
+        }
     }
 
     /// The empty set.
@@ -69,7 +71,9 @@ impl ByteSet {
 
     /// Iterate members in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
-        (0u16..256).map(|v| v as u8).filter(move |&v| self.contains(v))
+        (0u16..256)
+            .map(|v| v as u8)
+            .filter(move |&v| self.contains(v))
     }
 }
 
@@ -147,7 +151,10 @@ impl Solver {
 
     /// A solver with a custom budget.
     pub fn with_budget(budget: SolverBudget) -> Self {
-        Solver { stats: SolverStats::default(), budget }
+        Solver {
+            stats: SolverStats::default(),
+            budget,
+        }
     }
 
     /// Check a full model against a constraint system.
@@ -161,7 +168,10 @@ impl Solver {
             Some(model.get(&idx).copied().unwrap_or_else(|| seed(idx)) as u64)
         };
         constraints.iter().all(|&(e, want)| {
-            arena.eval(e, &lookup).map(|v| (v != 0) == want).unwrap_or(false)
+            arena
+                .eval(e, &lookup)
+                .map(|v| (v != 0) == want)
+                .unwrap_or(false)
         })
     }
 
@@ -269,10 +279,13 @@ impl Solver {
         // Order variables: most-constrained (smallest candidate set) first,
         // then by how many multi-constraints mention them.
         let mut order: Vec<u32> = var_list.clone();
-        let mentions = |v: u32| multi.iter().filter(|(_, _, vars)| vars.contains(&v)).count();
-        order.sort_by_key(|&v| {
-            (candidates[&v].len(), usize::MAX - mentions(v), v)
-        });
+        let mentions = |v: u32| {
+            multi
+                .iter()
+                .filter(|(_, _, vars)| vars.contains(&v))
+                .count()
+        };
+        order.sort_by_key(|&v| (candidates[&v].len(), usize::MAX - mentions(v), v));
 
         let mut assignment: BTreeMap<u32, u8> = BTreeMap::new();
         let mut steps = 0u64;
@@ -343,16 +356,23 @@ impl Solver {
                 if !vars.contains(&v) {
                     return true;
                 }
-                let lookup =
-                    |idx: u32| -> Option<u64> { assignment.get(&idx).map(|&b| b as u64) };
+                let lookup = |idx: u32| -> Option<u64> { assignment.get(&idx).map(|&b| b as u64) };
                 match arena.eval3(e, &lookup).as_bool() {
                     Some(r) => r == want,
                     None => true, // not yet decidable
                 }
             });
             if consistent {
-                match self.search(arena, multi, order, depth + 1, candidates, assignment, seed, steps)
-                {
+                match self.search(
+                    arena,
+                    multi,
+                    order,
+                    depth + 1,
+                    candidates,
+                    assignment,
+                    seed,
+                    steps,
+                ) {
                     Some(true) => return Some(true),
                     Some(false) => {}
                     None => return None,
@@ -429,7 +449,10 @@ mod tests {
         let c1 = a.cmp(CmpOp::Eq, x, k5);
         let c2 = a.cmp(CmpOp::Eq, x, k9);
         let mut s = Solver::new();
-        assert_eq!(s.solve(&a, &[(c1, true), (c2, true)], &seed_zero), SolveResult::Unsat);
+        assert_eq!(
+            s.solve(&a, &[(c1, true), (c2, true)], &seed_zero),
+            SolveResult::Unsat
+        );
     }
 
     #[test]
@@ -561,8 +584,16 @@ mod tests {
         let c1 = a.cmp(CmpOp::Eq, x, k1);
         let c2 = a.cmp(CmpOp::Ult, x, k2);
         let path = vec![
-            BranchRec { site: SiteId(1), constraint: c1, taken: false },
-            BranchRec { site: SiteId(2), constraint: c2, taken: true },
+            BranchRec {
+                site: SiteId(1),
+                constraint: c1,
+                taken: false,
+            },
+            BranchRec {
+                site: SiteId(2),
+                constraint: c2,
+                taken: true,
+            },
         ];
         let q = negation_query(&path, 1);
         assert_eq!(q, vec![(c1, false), (c2, false)]);

@@ -89,7 +89,10 @@ impl<'a> CheckContext<'a> {
             if sim.crashed(id).is_some() {
                 return None;
             }
-            sim.node(id).as_any().downcast_ref::<BgpRouter>().map(|r| (id, r))
+            sim.node(id)
+                .as_any()
+                .downcast_ref::<BgpRouter>()
+                .map(|r| (id, r))
         })
     }
 }
@@ -160,7 +163,11 @@ impl Checker for OscillationChecker {
         for (id, router) in cx.routers() {
             let mut worst: Option<(Ipv4Net, u64)> = None;
             for (prefix, flips) in &router.loc_rib().flips {
-                let base = cx.baseline_flips.get(&(id.0, *prefix)).copied().unwrap_or(0);
+                let base = cx
+                    .baseline_flips
+                    .get(&(id.0, *prefix))
+                    .copied()
+                    .unwrap_or(0);
                 let delta = flips.saturating_sub(base);
                 if delta >= self.threshold && worst.map(|(_, w)| delta > w).unwrap_or(true) {
                     worst = Some((*prefix, delta));
@@ -266,7 +273,9 @@ impl Checker for ConvergenceChecker {
 pub fn default_checkers(oscillation_threshold: u64) -> Vec<Box<dyn Checker>> {
     vec![
         Box::new(CrashChecker),
-        Box::new(OscillationChecker { threshold: oscillation_threshold }),
+        Box::new(OscillationChecker {
+            threshold: oscillation_threshold,
+        }),
         Box::new(OriginAuthorityChecker),
         Box::new(ConvergenceChecker),
     ]
@@ -403,8 +412,9 @@ mod tests {
         };
         let (_, faults) = OriginAuthorityChecker.check(&cx);
         assert!(
-            faults.iter().any(|f| f.class == FaultClass::OperatorMistake
-                && f.detail.contains("99.0.0.0/8")),
+            faults
+                .iter()
+                .any(|f| f.class == FaultClass::OperatorMistake && f.detail.contains("99.0.0.0/8")),
             "hijack must be reported: {faults:?}"
         );
         // The legitimate prefix is NOT reported.
@@ -436,7 +446,10 @@ mod tests {
             injected: false,
         };
         let (_, faults) = OscillationChecker { threshold: 3 }.check(&cx);
-        assert!(faults.is_empty(), "steady state is not oscillation: {faults:?}");
+        assert!(
+            faults.is_empty(),
+            "steady state is not oscillation: {faults:?}"
+        );
 
         // Zero baseline with enough accumulated flips would fire; verify the
         // threshold arithmetic via an artificially low threshold.
@@ -457,9 +470,10 @@ mod tests {
         let sim = mini_sim(vec![cfg(0, &[1]), cfg(1, &[0])]);
         let reg = AttestationRegistry::with_seed(1);
         let baseline = BTreeMap::new();
-        for (quiet, expect_fault) in
-            [(QuietOutcome::Quiescent, false), (QuietOutcome::TimedOut, true)]
-        {
+        for (quiet, expect_fault) in [
+            (QuietOutcome::Quiescent, false),
+            (QuietOutcome::TimedOut, true),
+        ] {
             let cx = CheckContext {
                 sim: &sim,
                 registry: &reg,

@@ -156,7 +156,12 @@ impl DiceRunner {
                 .map(|r| (id, r.config().clone()))
         });
         let registry = build_registry(configs, config.seed);
-        DiceRunner { config, registry, exploration_last: None, round: 0 }
+        DiceRunner {
+            config,
+            registry,
+            exploration_last: None,
+            round: 0,
+        }
     }
 
     /// The shared attestation registry.
@@ -194,8 +199,7 @@ impl DiceRunner {
             .ok_or("inject peer is not a neighbor of the explorer")?
             .asn;
 
-        let mut grammar =
-            UpdateGrammar::new(GrammarConfig::for_peer(peer_asn), cfg.seed ^ 0x6A33);
+        let mut grammar = UpdateGrammar::new(GrammarConfig::for_peer(peer_asn), cfg.seed ^ 0x6A33);
         // The corpus plays the role of Oasis's test-suite seeds: ordinary
         // announcements plus one message exercising the unknown-attribute
         // path with a large value region.
@@ -218,7 +222,11 @@ impl DiceRunner {
         order.sort_by_key(|&i| {
             let e = &exploration.executions[i];
             let crash = matches!(e.status, RunStatus::Crash(_));
-            (core::cmp::Reverse(crash as u8), core::cmp::Reverse(e.new_coverage), i)
+            (
+                core::cmp::Reverse(crash as u8),
+                core::cmp::Reverse(e.new_coverage),
+                i,
+            )
         });
         let mut seen_inputs: BTreeSet<Vec<u8>> = BTreeSet::new();
         let mut candidates: Vec<Option<Vec<u8>>> = vec![None]; // null input first
@@ -317,26 +325,27 @@ fn validate_candidates(
             .collect();
     }
 
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, Option<Vec<u8>>)>();
-    for (i, c) in candidates.iter().enumerate() {
-        tx.send((i, c.clone())).expect("channel open");
-    }
-    drop(tx);
-    let results = parking_lot::Mutex::new(Vec::with_capacity(candidates.len()));
+    // Work-stealing by shared index: each worker claims the next candidate
+    // until the list is drained. std-only, no external channel crate needed.
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results = std::sync::Mutex::new(Vec::with_capacity(candidates.len()));
     std::thread::scope(|s| {
         for _ in 0..cfg.workers {
-            let rx = rx.clone();
+            let next = &next;
             let results = &results;
             let run_one = &run_one;
-            s.spawn(move || {
-                while let Ok((i, cand)) = rx.recv() {
-                    let report = run_one(i, cand.as_ref());
-                    results.lock().push((i, report));
-                }
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(cand) = candidates.get(i) else { break };
+                let report = run_one(i, cand.as_ref());
+                results
+                    .lock()
+                    .expect("no poisoned workers")
+                    .push((i, report));
             });
         }
     });
-    let mut collected = results.into_inner();
+    let mut collected = results.into_inner().expect("no poisoned workers");
     collected.sort_by_key(|(i, _)| *i);
     collected.into_iter().map(|(_, r)| r).collect()
 }

@@ -53,13 +53,16 @@ pub struct UpdateGrammar {
 impl UpdateGrammar {
     /// Create a generator.
     pub fn new(cfg: GrammarConfig, seed: u64) -> Self {
-        UpdateGrammar { cfg, rng: SimRng::seed_from_u64(seed) }
+        UpdateGrammar {
+            cfg,
+            rng: SimRng::seed_from_u64(seed),
+        }
     }
 
     fn random_prefix(&mut self) -> Ipv4Net {
         let base = self.cfg.prefix_bases[self.rng.index(self.cfg.prefix_bases.len())];
         let len = 8 + self.rng.below(17) as u8; // /8 ..= /24
-        let addr = ((base as u32) << 24) | ((self.rng.next_u32() & 0x00FF_FF00) as u32);
+        let addr = ((base as u32) << 24) | (self.rng.next_u32() & 0x00FF_FF00);
         Ipv4Net::new(addr, len)
     }
 
@@ -93,9 +96,10 @@ impl UpdateGrammar {
         if self.rng.chance(0.3) {
             let n = 1 + self.rng.below(3);
             for _ in 0..n {
-                attrs
-                    .communities
-                    .insert(Community::from_pair(65000 + self.rng.below(16) as u16, self.rng.below(1000) as u16));
+                attrs.communities.insert(Community::from_pair(
+                    65000 + self.rng.below(16) as u16,
+                    self.rng.below(1000) as u16,
+                ));
             }
         }
         if self.rng.chance(self.cfg.unknown_attr_prob) {
@@ -121,7 +125,11 @@ impl UpdateGrammar {
         } else {
             vec![]
         };
-        dice_bgp::encode(&Message::Update(UpdateMsg { withdrawn, attrs: Some(attrs), nlri }))
+        dice_bgp::encode(&Message::Update(UpdateMsg {
+            withdrawn,
+            attrs: Some(attrs),
+            nlri,
+        }))
     }
 
     /// Generate a batch of messages.
@@ -166,9 +174,8 @@ mod tests {
     fn everything_generated_is_wire_valid() {
         let mut g = UpdateGrammar::new(GrammarConfig::for_peer(Asn(65002)), 7);
         for bytes in g.batch(200) {
-            let (msg, used) = decode(&bytes).unwrap_or_else(|e| {
-                panic!("grammar produced invalid message: {e} ({bytes:02x?})")
-            });
+            let (msg, used) = decode(&bytes)
+                .unwrap_or_else(|e| panic!("grammar produced invalid message: {e} ({bytes:02x?})"));
             assert_eq!(used, bytes.len());
             match msg {
                 Message::Update(u) => {

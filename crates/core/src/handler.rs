@@ -98,7 +98,12 @@ impl SymbolicUpdateHandler {
             config.neighbor(peer).is_some(),
             "peer {peer} is not configured on this router"
         );
-        SymbolicUpdateHandler { config, peer, became_best: 0, accepted: 0 }
+        SymbolicUpdateHandler {
+            config,
+            peer,
+            became_best: 0,
+            accepted: 0,
+        }
     }
 
     /// The import policy for the configured peer.
@@ -108,7 +113,10 @@ impl SymbolicUpdateHandler {
     }
 
     fn neighbor_asn(&self) -> Asn {
-        self.config.neighbor(self.peer).expect("validated in new()").asn
+        self.config
+            .neighbor(self.peer)
+            .expect("validated in new()")
+            .asn
     }
 }
 
@@ -126,7 +134,7 @@ fn br(ctx: &mut ConcolicCtx, site: u32, cond: SymBool) -> bool {
 fn run_update(h: &mut SymbolicUpdateHandler, ctx: &mut ConcolicCtx) -> RunStatus {
     let total = ctx.input().bytes.len();
     // Framing is concrete by the marking policy; check it plainly.
-    if total < HEADER_LEN + 4 || total > dice_bgp::wire::MAX_MESSAGE_LEN {
+    if !(HEADER_LEN + 4..=dice_bgp::wire::MAX_MESSAGE_LEN).contains(&total) {
         return RunStatus::Rejected("framing".into());
     }
     if ctx.input().bytes[18] != 2 {
@@ -229,10 +237,7 @@ fn run_update(h: &mut SymbolicUpdateHandler, ctx: &mut ConcolicCtx) -> RunStatus
         let wk_ok = ctx.band(not_opt, trans_set);
 
         // Dispatch: if/else-if chain over known type codes, like the C code.
-        let is = |ctx: &mut ConcolicCtx, k: u8| {
-            let c = ctx.eq_const(tcode, k as u64);
-            c
-        };
+        let is = |ctx: &mut ConcolicCtx, k: u8| ctx.eq_const(tcode, k as u64);
         let c_origin = is(ctx, ac::ORIGIN);
         if br(ctx, sites::DISPATCH_BASE + ac::ORIGIN as u32, c_origin) {
             if !br(ctx, sites::ATTR_WK_FLAGS, wk_ok) {
@@ -335,7 +340,11 @@ fn run_update(h: &mut SymbolicUpdateHandler, ctx: &mut ConcolicCtx) -> RunStatus
             continue;
         }
         let c_atomic = is(ctx, ac::ATOMIC_AGGREGATE);
-        if br(ctx, sites::DISPATCH_BASE + ac::ATOMIC_AGGREGATE as u32, c_atomic) {
+        if br(
+            ctx,
+            sites::DISPATCH_BASE + ac::ATOMIC_AGGREGATE as u32,
+            c_atomic,
+        ) {
             if !br(ctx, sites::ATTR_WK_FLAGS, wk_ok) {
                 return RunStatus::Rejected("attr-flags".into());
             }
@@ -614,7 +623,10 @@ mod tests {
         let bytes = valid_update(&["10.0.0.0/8"]);
         let (st, path_len) = run_symbolic(&mut h, &bytes);
         assert_eq!(st, RunStatus::Ok);
-        assert!(path_len >= 15, "expected a rich path condition, got {path_len}");
+        assert!(
+            path_len >= 15,
+            "expected a rich path condition, got {path_len}"
+        );
     }
 
     #[test]
@@ -661,9 +673,9 @@ mod tests {
         use dice_bgp::policy::{Match, PrefixFilter, Rule};
         let mut cfg = config_with_peer().with_policy(dice_bgp::Policy {
             name: "no10".into(),
-            rules: vec![Rule::reject(vec![Match::PrefixIn(vec![PrefixFilter::or_longer(
-                net("10.0.0.0/8"),
-            )])])],
+            rules: vec![Rule::reject(vec![Match::PrefixIn(vec![
+                PrefixFilter::or_longer(net("10.0.0.0/8")),
+            ])])],
             default: dice_bgp::Verdict::Accept,
         });
         cfg.neighbors[0].import = "no10".into();
@@ -748,8 +760,7 @@ mod tests {
             };
             let agree = matches!(
                 (&twin, &reference),
-                (RunStatus::Ok, RunStatus::Ok)
-                    | (RunStatus::Rejected(_), RunStatus::Rejected(_))
+                (RunStatus::Ok, RunStatus::Ok) | (RunStatus::Rejected(_), RunStatus::Rejected(_))
             );
             assert!(agree, "twin={twin:?} reference={reference:?}");
         }
@@ -779,7 +790,10 @@ mod tests {
         let mut buggy_cfg = config_with_peer();
         buggy_cfg.bugs.attr_overflow_crash = true;
         let mut buggy = SymbolicUpdateHandler::new(buggy_cfg, NodeId(2));
-        assert!(matches!(run_concrete(&mut buggy, &bytes), RunStatus::Crash(_)));
+        assert!(matches!(
+            run_concrete(&mut buggy, &bytes),
+            RunStatus::Crash(_)
+        ));
     }
 
     #[test]

@@ -31,7 +31,12 @@ pub struct Sha256 {
 
 impl Default for Sha256 {
     fn default() -> Self {
-        Sha256 { state: H0, buf: [0; 64], buf_len: 0, total_len: 0 }
+        Sha256 {
+            state: H0,
+            buf: [0; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
     }
 }
 
@@ -160,7 +165,9 @@ mod tests {
     #[test]
     fn fips_vector_448_bits() {
         assert_eq!(
-            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
     }

@@ -30,7 +30,10 @@ pub struct AttestationRegistry {
 impl AttestationRegistry {
     /// A registry with the given shared salt.
     pub fn new(salt: [u8; 16]) -> Self {
-        AttestationRegistry { salt, digests: BTreeSet::new() }
+        AttestationRegistry {
+            salt,
+            digests: BTreeSet::new(),
+        }
     }
 
     /// A registry with a salt derived from a seed (for deterministic tests).
@@ -89,12 +92,22 @@ pub struct LocalVerdict {
 impl LocalVerdict {
     /// A passing verdict.
     pub fn pass(node: NodeId, checker: &str) -> Self {
-        LocalVerdict { node: node.0, checker: checker.to_string(), ok: true, detail: String::new() }
+        LocalVerdict {
+            node: node.0,
+            checker: checker.to_string(),
+            ok: true,
+            detail: String::new(),
+        }
     }
 
     /// A failing verdict with a coarse detail string.
     pub fn fail(node: NodeId, checker: &str, detail: impl Into<String>) -> Self {
-        LocalVerdict { node: node.0, checker: checker.to_string(), ok: false, detail: detail.into() }
+        LocalVerdict {
+            node: node.0,
+            checker: checker.to_string(),
+            ok: false,
+            detail: detail.into(),
+        }
     }
 }
 
@@ -113,8 +126,14 @@ mod tests {
         let mut reg = AttestationRegistry::with_seed(42);
         reg.attest(&net("10.0.0.0/16"), Asn(65001));
         assert!(reg.is_attested(&net("10.0.0.0/16"), Asn(65001)));
-        assert!(!reg.is_attested(&net("10.0.0.0/16"), Asn(65002)), "wrong origin");
-        assert!(!reg.is_attested(&net("10.0.0.0/24"), Asn(65001)), "different prefix");
+        assert!(
+            !reg.is_attested(&net("10.0.0.0/16"), Asn(65002)),
+            "wrong origin"
+        );
+        assert!(
+            !reg.is_attested(&net("10.0.0.0/24"), Asn(65001)),
+            "different prefix"
+        );
         assert_eq!(reg.len(), 1);
     }
 

@@ -68,7 +68,5 @@ pub use grammar::{GrammarConfig, UpdateGrammar};
 pub use handler::SymbolicUpdateHandler;
 pub use hash::{sha256, Sha256};
 pub use interface::{AttestationRegistry, LocalVerdict};
-pub use snapshot::{
-    take_consistent_snapshot, take_instant_snapshot, SnapshotMetrics,
-};
-pub use symmark::{mark_none, mark_nlri_only, mark_update};
+pub use snapshot::{take_consistent_snapshot, take_instant_snapshot, SnapshotMetrics};
+pub use symmark::{mark_nlri_only, mark_none, mark_update};

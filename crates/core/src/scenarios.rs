@@ -3,7 +3,9 @@
 //! Figure 1 with Gao–Rexford policies.
 
 use dice_bgp::policy::gao_rexford;
-use dice_bgp::{net, Asn, BgpRouter, Ipv4Net, Match, Policy, Rule, RouterConfig, RouterId, Verdict};
+use dice_bgp::{
+    net, Asn, BgpRouter, Ipv4Net, Match, Policy, RouterConfig, RouterId, Rule, Verdict,
+};
 use dice_netsim::{LinkParams, NodeId, SimDuration, Simulator, Topology};
 
 /// The ASN hosted on simulator node `i` (`AS65000 + i`).
@@ -34,8 +36,14 @@ pub fn build_system(topo: &Topology, seed: u64) -> Simulator {
             let import_name = format!("imp-{}", m.0);
             let export_name = format!("exp-{}", m.0);
             cfg = cfg
-                .with_policy(Policy { name: import_name.clone(), ..import })
-                .with_policy(Policy { name: export_name.clone(), ..export });
+                .with_policy(Policy {
+                    name: import_name.clone(),
+                    ..import
+                })
+                .with_policy(Policy {
+                    name: export_name.clone(),
+                    ..export
+                });
             cfg = cfg.with_neighbor(m, asn_of(m.0), import_name, export_name);
         }
         sim.set_node(n, Box::new(BgpRouter::new(cfg)));
@@ -134,11 +142,31 @@ pub fn bad_gadget_scenario(seed: u64) -> Simulator {
     let mut topo = Topology::with_nodes(4);
     let lp = || LinkParams::fixed(SimDuration::from_millis(10));
     for ring in 1..=3u32 {
-        topo.add_edge(NodeId(0), NodeId(ring), lp(), dice_netsim::Relationship::Unlabeled);
+        topo.add_edge(
+            NodeId(0),
+            NodeId(ring),
+            lp(),
+            dice_netsim::Relationship::Unlabeled,
+        );
     }
-    topo.add_edge(NodeId(1), NodeId(2), lp(), dice_netsim::Relationship::Unlabeled);
-    topo.add_edge(NodeId(2), NodeId(3), lp(), dice_netsim::Relationship::Unlabeled);
-    topo.add_edge(NodeId(3), NodeId(1), lp(), dice_netsim::Relationship::Unlabeled);
+    topo.add_edge(
+        NodeId(1),
+        NodeId(2),
+        lp(),
+        dice_netsim::Relationship::Unlabeled,
+    );
+    topo.add_edge(
+        NodeId(2),
+        NodeId(3),
+        lp(),
+        dice_netsim::Relationship::Unlabeled,
+    );
+    topo.add_edge(
+        NodeId(3),
+        NodeId(1),
+        lp(),
+        dice_netsim::Relationship::Unlabeled,
+    );
 
     let gadget_prefix = prefix_of(0);
     let mut sim = Simulator::new(topo.clone(), seed);
@@ -187,7 +215,11 @@ pub fn bad_gadget_scenario(seed: u64) -> Simulator {
         };
         cfg = cfg.with_policy(from_center).with_policy(from_ring);
         for m in topo.neighbors(NodeId(i)) {
-            let import = if m.0 == succ(i) { "from-ring" } else if m.0 == 0 { "from-center" } else {
+            let import = if m.0 == succ(i) {
+                "from-ring"
+            } else if m.0 == 0 {
+                "from-center"
+            } else {
                 // The counterclockwise neighbor's routes are unusable but
                 // harmless; reuse the ring filter (it only admits 2-hop
                 // paths at high preference — the gadget still has no
@@ -219,7 +251,11 @@ mod tests {
         sim.run_until(SimTime::from_nanos(15_000_000_000));
         // Every node knows every prefix.
         for i in 0..4u32 {
-            let r = sim.node(NodeId(i)).as_any().downcast_ref::<BgpRouter>().unwrap();
+            let r = sim
+                .node(NodeId(i))
+                .as_any()
+                .downcast_ref::<BgpRouter>()
+                .unwrap();
             for j in 0..4u32 {
                 assert!(
                     r.loc_rib().best(&prefix_of(j)).is_some(),
@@ -236,10 +272,18 @@ mod tests {
             SimDuration::from_secs(5),
             SimTime::from_nanos(300_000_000_000),
         );
-        assert_eq!(out, dice_netsim::QuietOutcome::Quiescent, "demo27 must converge");
+        assert_eq!(
+            out,
+            dice_netsim::QuietOutcome::Quiescent,
+            "demo27 must converge"
+        );
         // Spot-check: every stub reaches a tier-1 prefix.
         for stub in 11..27u32 {
-            let r = sim.node(NodeId(stub)).as_any().downcast_ref::<BgpRouter>().unwrap();
+            let r = sim
+                .node(NodeId(stub))
+                .as_any()
+                .downcast_ref::<BgpRouter>()
+                .unwrap();
             assert!(
                 r.loc_rib().best(&prefix_of(0)).is_some(),
                 "stub {stub} cannot reach tier-1 prefix"
@@ -248,7 +292,11 @@ mod tests {
         // Valley-free spot check: a tier-1 node must not route to another
         // tier-1's prefix via a customer path that re-ascends ... minimal
         // check: its path to node 1's prefix is at most 2 AS hops (peering).
-        let r0 = sim.node(NodeId(0)).as_any().downcast_ref::<BgpRouter>().unwrap();
+        let r0 = sim
+            .node(NodeId(0))
+            .as_any()
+            .downcast_ref::<BgpRouter>()
+            .unwrap();
         let best = r0.loc_rib().best(&prefix_of(1)).expect("tier-1 reachable");
         assert!(best.route.attrs.as_path.path_len() <= 2);
     }
@@ -260,12 +308,25 @@ mod tests {
             SimDuration::from_secs(5),
             SimTime::from_nanos(120_000_000_000),
         );
-        assert_eq!(out, dice_netsim::QuietOutcome::TimedOut, "gadget must keep oscillating");
+        assert_eq!(
+            out,
+            dice_netsim::QuietOutcome::TimedOut,
+            "gadget must keep oscillating"
+        );
         // Ring nodes accumulate best-route flips on the contested prefix.
         let mut total = 0;
         for i in 1..=3u32 {
-            let r = sim.node(NodeId(i)).as_any().downcast_ref::<BgpRouter>().unwrap();
-            total += r.loc_rib().flips.get(&gadget_prefix()).copied().unwrap_or(0);
+            let r = sim
+                .node(NodeId(i))
+                .as_any()
+                .downcast_ref::<BgpRouter>()
+                .unwrap();
+            total += r
+                .loc_rib()
+                .flips
+                .get(&gadget_prefix())
+                .copied()
+                .unwrap_or(0);
         }
         assert!(total > 20, "expected heavy flapping, saw {total} flips");
     }
@@ -276,8 +337,15 @@ mod tests {
         sim.run_until(SimTime::from_nanos(10_000_000_000));
         apply_hijack(&mut sim);
         sim.run_until(SimTime::from_nanos(25_000_000_000));
-        let r1 = sim.node(NodeId(1)).as_any().downcast_ref::<BgpRouter>().unwrap();
-        let best = r1.loc_rib().best(&hijack_prefix()).expect("hijack visible at node 1");
+        let r1 = sim
+            .node(NodeId(1))
+            .as_any()
+            .downcast_ref::<BgpRouter>()
+            .unwrap();
+        let best = r1
+            .loc_rib()
+            .best(&hijack_prefix())
+            .expect("hijack visible at node 1");
         assert_eq!(best.route.attrs.as_path.origin_asn(), Some(asn_of(2)));
     }
 
@@ -289,7 +357,11 @@ mod tests {
             assert!(sim.crashed(NodeId(i)).is_none());
         }
         // Regular routing works despite the dormant bug.
-        let r2 = sim.node(NodeId(2)).as_any().downcast_ref::<BgpRouter>().unwrap();
+        let r2 = sim
+            .node(NodeId(2))
+            .as_any()
+            .downcast_ref::<BgpRouter>()
+            .unwrap();
         assert!(r2.loc_rib().best(&prefix_of(0)).is_some());
     }
 }

@@ -80,11 +80,7 @@ pub fn take_instant_snapshot(live: &Simulator) -> (ShadowSnapshot, SnapshotMetri
 
 /// Convenience: run a freshly instantiated clone of `shadow` for a bounded
 /// horizon and return it (used by exploration and tests).
-pub fn spawn_clone(
-    shadow: &ShadowSnapshot,
-    topo: &dice_netsim::Topology,
-    seed: u64,
-) -> Simulator {
+pub fn spawn_clone(shadow: &ShadowSnapshot, topo: &dice_netsim::Topology, seed: u64) -> Simulator {
     Simulator::from_shadow(shadow, topo, seed)
 }
 
@@ -128,10 +124,17 @@ mod tests {
                 .expect("snapshot completes");
         assert_eq!(metrics.nodes, 3);
         assert!(metrics.bytes > 0);
-        assert!(metrics.sim_duration_nanos > 0, "markers take time to propagate");
+        assert!(
+            metrics.sim_duration_nanos > 0,
+            "markers take time to propagate"
+        );
         // The cloned routers carry the converged RIB.
         let clone = spawn_clone(&shadow, sim.topology(), 1);
-        let r2 = clone.node(NodeId(2)).as_any().downcast_ref::<BgpRouter>().unwrap();
+        let r2 = clone
+            .node(NodeId(2))
+            .as_any()
+            .downcast_ref::<BgpRouter>()
+            .unwrap();
         assert!(r2.loc_rib().best(&net("10.0.0.0/8")).is_some());
     }
 

@@ -126,13 +126,25 @@ mod tests {
     fn plan_applies_in_time_order() {
         let mut sim = sim3();
         let mut plan = FaultPlan::new()
-            .at(SimTime::from_nanos(2_000_000_000), FaultAction::LinkUp(NodeId(0), NodeId(1)))
-            .at(SimTime::from_nanos(1_000_000_000), FaultAction::LinkDown(NodeId(0), NodeId(1)));
+            .at(
+                SimTime::from_nanos(2_000_000_000),
+                FaultAction::LinkUp(NodeId(0), NodeId(1)),
+            )
+            .at(
+                SimTime::from_nanos(1_000_000_000),
+                FaultAction::LinkDown(NodeId(0), NodeId(1)),
+            );
         plan.run_with_faults(&mut sim, SimTime::from_nanos(1_500_000_000));
-        assert!(!sim.session_up(NodeId(0), NodeId(1)), "link should be down at 1.5s");
+        assert!(
+            !sim.session_up(NodeId(0), NodeId(1)),
+            "link should be down at 1.5s"
+        );
         assert_eq!(plan.pending(), 1);
         plan.run_with_faults(&mut sim, SimTime::from_nanos(3_000_000_000));
-        assert!(sim.session_up(NodeId(0), NodeId(1)), "link should be back at 3s");
+        assert!(
+            sim.session_up(NodeId(0), NodeId(1)),
+            "link should be back at 3s"
+        );
         assert_eq!(plan.pending(), 0);
     }
 
@@ -140,8 +152,14 @@ mod tests {
     fn crash_and_restart_via_plan() {
         let mut sim = sim3();
         let mut plan = FaultPlan::new()
-            .at(SimTime::from_nanos(1_000_000_000), FaultAction::NodeCrash(NodeId(1)))
-            .at(SimTime::from_nanos(2_000_000_000), FaultAction::NodeRestart(NodeId(1)));
+            .at(
+                SimTime::from_nanos(1_000_000_000),
+                FaultAction::NodeCrash(NodeId(1)),
+            )
+            .at(
+                SimTime::from_nanos(2_000_000_000),
+                FaultAction::NodeRestart(NodeId(1)),
+            );
         plan.run_with_faults(&mut sim, SimTime::from_nanos(1_200_000_000));
         assert!(sim.crashed(NodeId(1)).is_some());
         plan.run_with_faults(&mut sim, SimTime::from_nanos(4_000_000_000));

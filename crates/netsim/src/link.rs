@@ -215,7 +215,12 @@ mod tests {
             loss: 0.5,
         };
         let base = SimDuration::from_millis(10);
-        let delayed = (0..200).filter(|_| p.delay_for(10, &mut rng) > base).count();
-        assert!(delayed > 50, "expected many retransmit delays, got {delayed}");
+        let delayed = (0..200)
+            .filter(|_| p.delay_for(10, &mut rng) > base)
+            .count();
+        assert!(
+            delayed > 50,
+            "expected many retransmit delays, got {delayed}"
+        );
     }
 }

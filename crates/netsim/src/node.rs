@@ -12,9 +12,7 @@ use serde::{Deserialize, Serialize};
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a node in a simulation. Dense, assigned by the topology.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -227,13 +225,17 @@ mod tests {
         assert!(matches!(effects[0], Effect::Send { to: NodeId(2), .. }));
         assert!(matches!(effects[1], Effect::SetTimer { token: 7, .. }));
         assert!(matches!(effects[2], Effect::CancelTimer { token: 7 }));
-        assert!(matches!(effects[3], Effect::ResetSession { peer: NodeId(2) }));
+        assert!(matches!(
+            effects[3],
+            Effect::ResetSession { peer: NodeId(2) }
+        ));
     }
 
     #[test]
     fn boxed_clone_preserves_state() {
-        let mut e = Echo::default();
-        e.seen = vec![1, 2, 3];
+        let e = Echo {
+            seen: vec![1, 2, 3],
+        };
         let b: Box<dyn Node> = Box::new(e);
         let c = b.clone();
         assert_eq!(c.state_size(), 3);

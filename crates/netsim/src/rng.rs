@@ -9,7 +9,7 @@
 //! split stream keeps runs reproducible even when the *order* in which
 //! components consume randomness changes (e.g. after a snapshot clone).
 
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 /// A deterministic random stream.

@@ -6,7 +6,7 @@
 //! clone a snapshot and explore it in isolation with reproducible outcomes.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
 use crate::link::LinkParams;
 use crate::node::{DownReason, Effect, Node, NodeApi, NodeId, SessionEvent};
@@ -53,9 +53,20 @@ struct NodeSlot {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Ev {
     Start(NodeId),
-    Deliver { src: NodeId, dst: NodeId, epoch: u64 },
-    Timer { node: NodeId, token: u64, gen: u64 },
-    SessionUp { a: NodeId, b: NodeId },
+    Deliver {
+        src: NodeId,
+        dst: NodeId,
+        epoch: u64,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+        gen: u64,
+    },
+    SessionUp {
+        a: NodeId,
+        b: NodeId,
+    },
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -153,7 +164,11 @@ impl Simulator {
             link_rngs.insert((e.b, e.a), rng.split(label ^ 0xFFFF_FFFF));
         }
         let nodes = (0..topo.len())
-            .map(|_| NodeSlot { node: None, crashed: None, timer_gen: BTreeMap::new() })
+            .map(|_| NodeSlot {
+                node: None,
+                crashed: None,
+                timer_gen: BTreeMap::new(),
+            })
             .collect();
         Simulator {
             now: SimTime::ZERO,
@@ -249,8 +264,7 @@ impl Simulator {
         }
         let base = self.config.session_setup_base;
         let stagger = self.config.session_setup_stagger;
-        let pairs: Vec<(NodeId, NodeId)> =
-            self.topo.edges().iter().map(|e| (e.a, e.b)).collect();
+        let pairs: Vec<(NodeId, NodeId)> = self.topo.edges().iter().map(|e| (e.a, e.b)).collect();
         for (i, (a, b)) in pairs.into_iter().enumerate() {
             self.schedule(
                 SimTime::ZERO + base + stagger.saturating_mul(i as u64),
@@ -262,7 +276,11 @@ impl Simulator {
     fn schedule(&mut self, at: SimTime, ev: Ev) {
         debug_assert!(at >= self.now, "scheduling into the past");
         self.seq += 1;
-        self.queue.push(Reverse(Queued { at, seq: self.seq, ev }));
+        self.queue.push(Reverse(Queued {
+            at,
+            seq: self.seq,
+            ev,
+        }));
     }
 
     // ------------------------------------------------------------------
@@ -348,7 +366,8 @@ impl Simulator {
         if slot.crashed.is_some() || slot.timer_gen.get(&token) != Some(&gen) {
             return;
         }
-        self.trace.push(self.now, TraceKind::TimerFired { node: n, token });
+        self.trace
+            .push(self.now, TraceKind::TimerFired { node: n, token });
         self.with_node(n, |node, api| node.on_timer(token, api));
     }
 
@@ -370,8 +389,14 @@ impl Simulator {
                 if !quiet {
                     self.last_activity = self.now;
                 }
-                self.trace
-                    .push(self.now, TraceKind::Delivered { src, dst, bytes: bytes.len() });
+                self.trace.push(
+                    self.now,
+                    TraceKind::Delivered {
+                        src,
+                        dst,
+                        bytes: bytes.len(),
+                    },
+                );
                 self.with_node(dst, |node, api| node.on_message(src, &bytes, api));
             }
             Frame::Marker(id) => self.snapshot_on_marker(id, src, dst),
@@ -411,7 +436,14 @@ impl Simulator {
                         .or_insert(1);
                     let gen = *gen;
                     let at = self.now + delay;
-                    self.schedule(at, Ev::Timer { node: n, token, gen });
+                    self.schedule(
+                        at,
+                        Ev::Timer {
+                            node: n,
+                            token,
+                            gen,
+                        },
+                    );
                 }
                 Effect::CancelTimer { token } => {
                     self.nodes[n.index()]
@@ -424,7 +456,14 @@ impl Simulator {
                     self.teardown_session(n, peer, DownReason::Reset, true);
                 }
                 Effect::Trace { tag, detail } => {
-                    self.trace.push(self.now, TraceKind::Node { node: n, tag, detail });
+                    self.trace.push(
+                        self.now,
+                        TraceKind::Node {
+                            node: n,
+                            tag,
+                            detail,
+                        },
+                    );
                 }
                 Effect::Crash { reason } => self.crash_node(n, reason),
             }
@@ -460,13 +499,19 @@ impl Simulator {
             .link_params(src, dst)
             .cloned()
             .expect("send on non-adjacent pair");
-        let rng = self.link_rngs.get_mut(&(src, dst)).expect("missing link rng");
+        let rng = self
+            .link_rngs
+            .get_mut(&(src, dst))
+            .expect("missing link rng");
         let delay = params.delay_for(size, rng);
         let ch = self.channels.get_mut(&(src, dst)).expect("unknown channel");
         // Reliable in-order channel: arrivals are monotone.
         let arrival = (self.now + delay).max(ch.last_arrival + SimDuration::from_nanos(1));
         ch.last_arrival = arrival;
-        ch.queue.push_back(Flight { deliver_at: arrival, frame });
+        ch.queue.push_back(Flight {
+            deliver_at: arrival,
+            frame,
+        });
         let epoch = ch.epoch;
         if !quietness {
             self.last_activity = self.now;
@@ -475,7 +520,14 @@ impl Simulator {
             Some(_) => {}
             None => unreachable!(),
         }
-        self.trace.push(self.now, TraceKind::Sent { src, dst, bytes: size });
+        self.trace.push(
+            self.now,
+            TraceKind::Sent {
+                src,
+                dst,
+                bytes: size,
+            },
+        );
         self.schedule(arrival, Ev::Deliver { src, dst, epoch });
     }
 
@@ -502,7 +554,8 @@ impl Simulator {
             return;
         }
         self.sessions.insert(key, SessionState::Down);
-        self.trace.push(self.now, TraceKind::SessionDown { a, b, reason });
+        self.trace
+            .push(self.now, TraceKind::SessionDown { a, b, reason });
         // Drop in-flight data in both directions; bump epochs so queued
         // delivery events become no-ops.
         for dir in [(a, b), (b, a)] {
@@ -530,13 +583,15 @@ impl Simulator {
         for s in self.snapshots.values_mut() {
             s.channel_reset(a, b);
         }
-        let alive = |n: NodeId, slot: &NodeSlot| slot.crashed.is_none() && n != a || n != a;
-        let _ = alive;
         if self.nodes[a.index()].crashed.is_none() {
-            self.with_node(a, |node, api| node.on_session(b, SessionEvent::Down(reason), api));
+            self.with_node(a, |node, api| {
+                node.on_session(b, SessionEvent::Down(reason), api)
+            });
         }
         if self.nodes[b.index()].crashed.is_none() {
-            self.with_node(b, |node, api| node.on_session(a, SessionEvent::Down(reason), api));
+            self.with_node(b, |node, api| {
+                node.on_session(a, SessionEvent::Down(reason), api)
+            });
         }
         if reconnect {
             if let Some(d) = self.config.reconnect_delay {
@@ -551,7 +606,8 @@ impl Simulator {
             return;
         }
         self.nodes[n.index()].crashed = Some(reason.clone());
-        self.trace.push(self.now, TraceKind::NodeCrashed { node: n, reason });
+        self.trace
+            .push(self.now, TraceKind::NodeCrashed { node: n, reason });
         let peers: Vec<NodeId> = self.topo.neighbors(n);
         for m in peers {
             self.teardown_session(n, m, DownReason::PeerCrash, false);
@@ -601,7 +657,11 @@ impl Simulator {
             .get(&n)
             .expect("restart before start()")
             .clone_node();
-        self.nodes[n.index()] = NodeSlot { node: Some(fresh), crashed: None, timer_gen: BTreeMap::new() };
+        self.nodes[n.index()] = NodeSlot {
+            node: Some(fresh),
+            crashed: None,
+            timer_gen: BTreeMap::new(),
+        };
         self.with_node(n, |node, api| node.on_start(api));
         let peers = self.topo.neighbors(n);
         for (i, m) in peers.into_iter().enumerate() {
@@ -624,8 +684,14 @@ impl Simulator {
     /// point: subjecting a node to a generated input.
     pub fn deliver_direct(&mut self, src: NodeId, dst: NodeId, bytes: &[u8]) {
         self.last_activity = self.now;
-        self.trace
-            .push(self.now, TraceKind::Delivered { src, dst, bytes: bytes.len() });
+        self.trace.push(
+            self.now,
+            TraceKind::Delivered {
+                src,
+                dst,
+                bytes: bytes.len(),
+            },
+        );
         self.with_node(dst, |node, api| node.on_message(src, bytes, api));
     }
 
@@ -679,8 +745,14 @@ impl Simulator {
         let outgoing: Vec<NodeId> = st.outgoing_of(initiator);
         self.snapshots.insert(id, st);
         for m in outgoing {
-            self.trace
-                .push(self.now, TraceKind::MarkerSent { src: initiator, dst: m, snapshot: id.0 });
+            self.trace.push(
+                self.now,
+                TraceKind::MarkerSent {
+                    src: initiator,
+                    dst: m,
+                    snapshot: id.0,
+                },
+            );
             self.send_frame(initiator, m, Frame::Marker(id));
         }
         self.finalize_snapshot_if_done(id);
@@ -707,8 +779,14 @@ impl Simulator {
             st.channel_done_empty(src, dst);
             let outgoing = st.outgoing_of(dst);
             for m in outgoing {
-                self.trace
-                    .push(self.now, TraceKind::MarkerSent { src: dst, dst: m, snapshot: id.0 });
+                self.trace.push(
+                    self.now,
+                    TraceKind::MarkerSent {
+                        src: dst,
+                        dst: m,
+                        snapshot: id.0,
+                    },
+                );
                 self.send_frame(dst, m, Frame::Marker(id));
             }
         } else {
@@ -727,7 +805,8 @@ impl Simulator {
     fn finalize_snapshot_if_done(&mut self, id: SnapshotId) {
         if let Some(st) = self.snapshots.get_mut(&id) {
             if st.all_done() {
-                self.trace.push(self.now, TraceKind::SnapshotComplete { snapshot: id.0 });
+                self.trace
+                    .push(self.now, TraceKind::SnapshotComplete { snapshot: id.0 });
                 st.complete();
             }
         }
@@ -822,7 +901,14 @@ impl Simulator {
         for (src, dst, msgs) in inflight {
             for bytes in msgs {
                 if sim.session_up(src, dst) {
-                    sim.send_frame(src, dst, Frame::Data { bytes, quiet: false });
+                    sim.send_frame(
+                        src,
+                        dst,
+                        Frame::Data {
+                            bytes,
+                            quiet: false,
+                        },
+                    );
                 }
             }
         }
@@ -847,7 +933,12 @@ mod tests {
 
     impl Pinger {
         fn new(initiate: bool) -> Self {
-            Pinger { initiate, sent: 0, got: Vec::new(), max_rounds: 4 }
+            Pinger {
+                initiate,
+                sent: 0,
+                got: Vec::new(),
+                max_rounds: 4,
+            }
         }
     }
 
@@ -889,11 +980,18 @@ mod tests {
     fn ping_pong_round_trips() {
         let mut sim = two_node_sim(1);
         sim.run_until(SimTime::from_nanos(10_000_000_000));
-        let p1 = sim.node(NodeId(1)).as_any().downcast_ref::<Pinger>().unwrap();
+        let p1 = sim
+            .node(NodeId(1))
+            .as_any()
+            .downcast_ref::<Pinger>()
+            .unwrap();
         assert!(!p1.got.is_empty(), "peer received nothing");
         assert_eq!(p1.got[0].1, vec![0]);
         let stats = sim.trace().stats();
-        assert!(stats.msgs_delivered >= 5, "expected full ping-pong exchange");
+        assert!(
+            stats.msgs_delivered >= 5,
+            "expected full ping-pong exchange"
+        );
     }
 
     #[test]
@@ -915,7 +1013,11 @@ mod tests {
         );
         assert_eq!(out, QuietOutcome::Quiescent);
         // After quiescence the exchange is over (4 rounds + initial).
-        let p0 = sim.node(NodeId(0)).as_any().downcast_ref::<Pinger>().unwrap();
+        let p0 = sim
+            .node(NodeId(0))
+            .as_any()
+            .downcast_ref::<Pinger>()
+            .unwrap();
         assert!(p0.sent >= 2);
     }
 
@@ -953,7 +1055,10 @@ mod tests {
         assert!(sim.crashed(NodeId(1)).is_some());
         assert!(!sim.session_up(NodeId(0), NodeId(1)));
         sim.run_until(SimTime::from_nanos(10_000_000_000));
-        assert!(!sim.session_up(NodeId(0), NodeId(1)), "crashed node must not reconnect");
+        assert!(
+            !sim.session_up(NodeId(0), NodeId(1)),
+            "crashed node must not reconnect"
+        );
     }
 
     #[test]
@@ -966,7 +1071,11 @@ mod tests {
         sim.run_until(SimTime::from_nanos(12_000_000_000));
         assert!(sim.crashed(NodeId(1)).is_none());
         assert!(sim.session_up(NodeId(0), NodeId(1)));
-        let p1 = sim.node(NodeId(1)).as_any().downcast_ref::<Pinger>().unwrap();
+        let p1 = sim
+            .node(NodeId(1))
+            .as_any()
+            .downcast_ref::<Pinger>()
+            .unwrap();
         // Restarted from pristine: history cleared, then new exchange happened.
         assert!(p1.got.len() <= 5);
     }
@@ -1044,9 +1153,19 @@ mod tests {
     fn deliver_direct_bypasses_channel() {
         let mut sim = two_node_sim(8);
         sim.run_until(SimTime::from_nanos(2_000_000));
-        let before = sim.node(NodeId(1)).as_any().downcast_ref::<Pinger>().unwrap().got.len();
+        let before = sim
+            .node(NodeId(1))
+            .as_any()
+            .downcast_ref::<Pinger>()
+            .unwrap()
+            .got
+            .len();
         sim.deliver_direct(NodeId(0), NodeId(1), &[99]);
-        let p1 = sim.node(NodeId(1)).as_any().downcast_ref::<Pinger>().unwrap();
+        let p1 = sim
+            .node(NodeId(1))
+            .as_any()
+            .downcast_ref::<Pinger>()
+            .unwrap();
         assert_eq!(p1.got.len(), before + 1);
         assert_eq!(p1.got.last().unwrap().1, vec![99]);
     }

@@ -123,7 +123,10 @@ impl SnapshotState {
             return;
         }
         if self.is_marked(dst) {
-            self.recorded.entry((src, dst)).or_default().push(bytes.to_vec());
+            self.recorded
+                .entry((src, dst))
+                .or_default()
+                .push(bytes.to_vec());
         }
     }
 
@@ -133,7 +136,10 @@ impl SnapshotState {
         }
         for dir in [(a, b), (b, a)] {
             if self.channels.contains(&dir) && !self.done.contains(&dir) {
-                self.fail(format!("channel {}->{} reset during snapshot", dir.0, dir.1));
+                self.fail(format!(
+                    "channel {}->{} reset during snapshot",
+                    dir.0, dir.1
+                ));
                 return;
             }
         }
@@ -202,7 +208,12 @@ impl ShadowSnapshot {
         in_flight: Vec<(NodeId, NodeId, Vec<Vec<u8>>)>,
         sessions_up: Vec<(NodeId, NodeId)>,
     ) -> Self {
-        ShadowSnapshot { base_time, nodes, in_flight, sessions_up }
+        ShadowSnapshot {
+            base_time,
+            nodes,
+            in_flight,
+            sessions_up,
+        }
     }
 
     /// Assemble a snapshot from hand-collected parts. Exists for
@@ -342,7 +353,11 @@ mod tests {
         match sim.poll_snapshot(id) {
             SnapshotProgress::Complete(shadow) => {
                 assert_eq!(shadow.node_count(), 5);
-                assert_eq!(shadow.in_flight_count(), 0, "quiet ring has nothing in flight");
+                assert_eq!(
+                    shadow.in_flight_count(),
+                    0,
+                    "quiet ring has nothing in flight"
+                );
             }
             SnapshotProgress::InProgress => panic!("snapshot did not complete"),
             SnapshotProgress::Failed(e) => panic!("snapshot failed: {e}"),
@@ -366,7 +381,11 @@ mod tests {
                 // final total as the live run.
                 let live_total: u64 = (0..4)
                     .map(|i| {
-                        sim.node(NodeId(i)).as_any().downcast_ref::<Acc>().unwrap().sum
+                        sim.node(NodeId(i))
+                            .as_any()
+                            .downcast_ref::<Acc>()
+                            .unwrap()
+                            .sum
                     })
                     .sum::<u64>();
                 let mut replay = Simulator::from_shadow(&shadow, sim.topology(), 99);
@@ -374,12 +393,21 @@ mod tests {
                 sim.run_until(SimTime::from_nanos(60_000_000_000));
                 let live_final: u64 = (0..4)
                     .map(|i| {
-                        sim.node(NodeId(i)).as_any().downcast_ref::<Acc>().unwrap().sum
+                        sim.node(NodeId(i))
+                            .as_any()
+                            .downcast_ref::<Acc>()
+                            .unwrap()
+                            .sum
                     })
                     .sum();
                 let replay_final: u64 = (0..4)
                     .map(|i| {
-                        replay.node(NodeId(i)).as_any().downcast_ref::<Acc>().unwrap().sum
+                        replay
+                            .node(NodeId(i))
+                            .as_any()
+                            .downcast_ref::<Acc>()
+                            .unwrap()
+                            .sum
                     })
                     .sum();
                 assert!(replay_final >= live_total);
@@ -423,8 +451,18 @@ mod tests {
         let mut s1 = Simulator::from_shadow(&clone, &topo, 5);
         s1.deliver_direct(NodeId(1), NodeId(0), &[3]);
         let s2 = Simulator::from_shadow(&shadow, &topo, 5);
-        let a0 = s1.node(NodeId(0)).as_any().downcast_ref::<Acc>().unwrap().sum;
-        let b0 = s2.node(NodeId(0)).as_any().downcast_ref::<Acc>().unwrap().sum;
+        let a0 = s1
+            .node(NodeId(0))
+            .as_any()
+            .downcast_ref::<Acc>()
+            .unwrap()
+            .sum;
+        let b0 = s2
+            .node(NodeId(0))
+            .as_any()
+            .downcast_ref::<Acc>()
+            .unwrap()
+            .sum;
         assert!(a0 > b0);
     }
 

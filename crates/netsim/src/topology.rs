@@ -75,12 +75,12 @@ impl Topology {
     /// Add an undirected edge. Panics on out-of-range endpoints, self-loops
     /// or duplicate edges — topology bugs should fail fast.
     pub fn add_edge(&mut self, a: NodeId, b: NodeId, params: LinkParams, rel: Relationship) {
-        assert!(a.index() < self.nodes && b.index() < self.nodes, "endpoint out of range");
-        assert_ne!(a, b, "self loops are not allowed");
         assert!(
-            !self.are_adjacent(a, b),
-            "duplicate edge {a}-{b}"
+            a.index() < self.nodes && b.index() < self.nodes,
+            "endpoint out of range"
         );
+        assert_ne!(a, b, "self loops are not allowed");
+        assert!(!self.are_adjacent(a, b), "duplicate edge {a}-{b}");
         self.edges.push(EdgeSpec { a, b, params, rel });
     }
 
@@ -289,7 +289,7 @@ impl Topology {
         // Preferential attachment for everyone else: pick 1..=max_providers
         // distinct providers among already-placed nodes, weighted by degree+1.
         for i in p.tier1..n {
-            let want = 1 + rng.index(p.max_providers) as usize;
+            let want = 1 + rng.index(p.max_providers);
             let mut chosen: BTreeSet<NodeId> = BTreeSet::new();
             let mut guard = 0;
             while chosen.len() < want.min(i) && guard < 64 {
@@ -309,7 +309,12 @@ impl Topology {
             }
             for provider in chosen {
                 // provider -> customer edge.
-                t.add_edge(provider, NodeId(i as u32), wan(), Relationship::ProviderCustomer);
+                t.add_edge(
+                    provider,
+                    NodeId(i as u32),
+                    wan(),
+                    Relationship::ProviderCustomer,
+                );
             }
         }
 
@@ -318,7 +323,12 @@ impl Topology {
             for j in (i + 1)..n {
                 if !t.are_adjacent(NodeId(i as u32), NodeId(j as u32)) && rng.chance(p.peering_prob)
                 {
-                    t.add_edge(NodeId(i as u32), NodeId(j as u32), wan(), Relationship::PeerPeer);
+                    t.add_edge(
+                        NodeId(i as u32),
+                        NodeId(j as u32),
+                        wan(),
+                        Relationship::PeerPeer,
+                    );
                 }
             }
         }
@@ -431,8 +441,14 @@ mod tests {
     fn relationship_orientation() {
         let mut t = Topology::with_nodes(2);
         t.add_edge(NodeId(0), NodeId(1), p(), Relationship::ProviderCustomer);
-        assert_eq!(t.relationship(NodeId(0), NodeId(1)), Some(NeighborRole::Customer));
-        assert_eq!(t.relationship(NodeId(1), NodeId(0)), Some(NeighborRole::Provider));
+        assert_eq!(
+            t.relationship(NodeId(0), NodeId(1)),
+            Some(NeighborRole::Customer)
+        );
+        assert_eq!(
+            t.relationship(NodeId(1), NodeId(0)),
+            Some(NeighborRole::Provider)
+        );
         assert_eq!(t.relationship(NodeId(0), NodeId(0)), None);
     }
 
@@ -477,8 +493,15 @@ mod tests {
             .iter()
             .filter(|e| e.rel == Relationship::ProviderCustomer)
             .count();
-        let pp = t.edges().iter().filter(|e| e.rel == Relationship::PeerPeer).count();
-        assert!(pc >= 27, "expected at least one provider edge per non-tier1 node");
+        let pp = t
+            .edges()
+            .iter()
+            .filter(|e| e.rel == Relationship::PeerPeer)
+            .count();
+        assert!(
+            pc >= 27,
+            "expected at least one provider edge per non-tier1 node"
+        );
         assert!(pp >= 3, "tier-1 clique should peer");
     }
 

@@ -22,23 +22,43 @@ pub struct TraceEvent {
 #[allow(missing_docs)]
 pub enum TraceKind {
     /// A data frame was handed to the channel.
-    Sent { src: NodeId, dst: NodeId, bytes: usize },
+    Sent {
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+    },
     /// A data frame was delivered to its destination handler.
-    Delivered { src: NodeId, dst: NodeId, bytes: usize },
+    Delivered {
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+    },
     /// A session came up.
     SessionUp { a: NodeId, b: NodeId },
     /// A session went down.
-    SessionDown { a: NodeId, b: NodeId, reason: DownReason },
+    SessionDown {
+        a: NodeId,
+        b: NodeId,
+        reason: DownReason,
+    },
     /// A timer fired at a node.
     TimerFired { node: NodeId, token: u64 },
     /// A node crashed.
     NodeCrashed { node: NodeId, reason: String },
     /// A snapshot marker was forwarded on a channel.
-    MarkerSent { src: NodeId, dst: NodeId, snapshot: u32 },
+    MarkerSent {
+        src: NodeId,
+        dst: NodeId,
+        snapshot: u32,
+    },
     /// A consistent snapshot completed.
     SnapshotComplete { snapshot: u32 },
     /// Free-form annotation emitted by a node handler.
-    Node { node: NodeId, tag: &'static str, detail: String },
+    Node {
+        node: NodeId,
+        tag: &'static str,
+        detail: String,
+    },
 }
 
 /// Aggregate counters, maintained regardless of trace capacity.
@@ -134,9 +154,11 @@ impl Trace {
         tag: &'a str,
     ) -> impl Iterator<Item = (SimTime, NodeId, &'a str)> + 'a {
         self.events.iter().filter_map(move |e| match &e.kind {
-            TraceKind::Node { node, tag: t, detail } if *t == tag => {
-                Some((e.t, *node, detail.as_str()))
-            }
+            TraceKind::Node {
+                node,
+                tag: t,
+                detail,
+            } if *t == tag => Some((e.t, *node, detail.as_str())),
             _ => None,
         })
     }
@@ -156,13 +178,27 @@ mod tests {
         let mut tr = Trace::default();
         tr.push(
             SimTime::ZERO,
-            TraceKind::Sent { src: NodeId(0), dst: NodeId(1), bytes: 10 },
+            TraceKind::Sent {
+                src: NodeId(0),
+                dst: NodeId(1),
+                bytes: 10,
+            },
         );
         tr.push(
             SimTime::ZERO,
-            TraceKind::Delivered { src: NodeId(0), dst: NodeId(1), bytes: 10 },
+            TraceKind::Delivered {
+                src: NodeId(0),
+                dst: NodeId(1),
+                bytes: 10,
+            },
         );
-        tr.push(SimTime::ZERO, TraceKind::TimerFired { node: NodeId(0), token: 1 });
+        tr.push(
+            SimTime::ZERO,
+            TraceKind::TimerFired {
+                node: NodeId(0),
+                token: 1,
+            },
+        );
         let s = tr.stats();
         assert_eq!(s.msgs_sent, 1);
         assert_eq!(s.msgs_delivered, 1);
@@ -177,7 +213,11 @@ mod tests {
         for i in 0..5 {
             tr.push(
                 SimTime::from_nanos(i),
-                TraceKind::Sent { src: NodeId(0), dst: NodeId(1), bytes: 1 },
+                TraceKind::Sent {
+                    src: NodeId(0),
+                    dst: NodeId(1),
+                    bytes: 1,
+                },
             );
         }
         assert_eq!(tr.len(), 2);
@@ -192,11 +232,19 @@ mod tests {
         let mut tr = Trace::default();
         tr.push(
             SimTime::ZERO,
-            TraceKind::Node { node: NodeId(2), tag: "best", detail: "10.0.0.0/8".into() },
+            TraceKind::Node {
+                node: NodeId(2),
+                tag: "best",
+                detail: "10.0.0.0/8".into(),
+            },
         );
         tr.push(
             SimTime::ZERO,
-            TraceKind::Node { node: NodeId(2), tag: "other", detail: "x".into() },
+            TraceKind::Node {
+                node: NodeId(2),
+                tag: "other",
+                detail: "x".into(),
+            },
         );
         let hits: Vec<_> = tr.annotations("best").collect();
         assert_eq!(hits.len(), 1);

@@ -42,15 +42,26 @@ fn main() {
 
     let mut grammar = UpdateGrammar::new(GrammarConfig::for_peer(Asn(65002)), 5);
     let seeds = vec![grammar.generate(), grammar.generate_large_unknown()];
-    println!("seeds: {} messages ({} bytes total)", seeds.len(), seeds.iter().map(Vec::len).sum::<usize>());
+    println!(
+        "seeds: {} messages ({} bytes total)",
+        seeds.len(),
+        seeds.iter().map(Vec::len).sum::<usize>()
+    );
 
-    for (name, strategy) in [("generational", Strategy::Generational), ("dfs", Strategy::Dfs)] {
+    for (name, strategy) in [
+        ("generational", Strategy::Generational),
+        ("dfs", Strategy::Dfs),
+    ] {
         let mut handler = SymbolicUpdateHandler::new(cfg.clone(), NodeId(2));
         let report = explore(
             &mut handler,
             &seeds,
             &mark_update,
-            &ExploreConfig { strategy, max_executions: 160, ..Default::default() },
+            &ExploreConfig {
+                strategy,
+                max_executions: 160,
+                ..Default::default()
+            },
         );
         println!("\n== {name} search ==");
         println!(
@@ -88,9 +99,7 @@ fn main() {
                 );
                 // Show the synthesized trigger: the unknown attr type code
                 // the solver pushed into the defect window.
-                println!(
-                    "  solver-synthesized input reaches the 0xF0+/0x90+ overflow window"
-                );
+                println!("  solver-synthesized input reaches the 0xF0+/0x90+ overflow window");
             }
             None => println!("no crash found (unexpected for this budget)"),
         }

@@ -25,7 +25,10 @@ fn tier(i: u32) -> &'static str {
 fn main() {
     let topo = Topology::demo27();
     println!("# Figure 1 topology (Graphviz DOT)\n");
-    println!("{}", topo.to_dot(|n| format!("AS{} ({})", 65000 + n.0, tier(n.0))));
+    println!(
+        "{}",
+        topo.to_dot(|n| format!("AS{} ({})", 65000 + n.0, tier(n.0)))
+    );
 
     let mut live = scenarios::demo27_system(27);
     let outcome = live.run_until_quiet(
@@ -35,9 +38,16 @@ fn main() {
     println!("# Convergence: {outcome:?} at t={}\n", live.now());
 
     println!("# Router status");
-    println!("{:<6} {:<8} {:<7} {:>9} {:>10} {:>10}", "node", "as", "tier", "loc-rib", "upd-rx", "upd-tx");
+    println!(
+        "{:<6} {:<8} {:<7} {:>9} {:>10} {:>10}",
+        "node", "as", "tier", "loc-rib", "upd-rx", "upd-tx"
+    );
     for i in 0..27u32 {
-        let r = live.node(NodeId(i)).as_any().downcast_ref::<BgpRouter>().unwrap();
+        let r = live
+            .node(NodeId(i))
+            .as_any()
+            .downcast_ref::<BgpRouter>()
+            .unwrap();
         println!(
             "{:<6} {:<8} {:<7} {:>9} {:>10} {:>10}",
             i,

@@ -19,10 +19,23 @@ fn main() {
     let mut live = scenarios::bad_gadget_scenario(99);
     live.run_until(SimTime::from_nanos(20_000_000_000));
 
-    println!("t={}: the gadget is live. Flip counts on {}:", live.now(), scenarios::gadget_prefix());
+    println!(
+        "t={}: the gadget is live. Flip counts on {}:",
+        live.now(),
+        scenarios::gadget_prefix()
+    );
     for i in 1..=3u32 {
-        let r = live.node(NodeId(i)).as_any().downcast_ref::<BgpRouter>().unwrap();
-        let flips = r.loc_rib().flips.get(&scenarios::gadget_prefix()).copied().unwrap_or(0);
+        let r = live
+            .node(NodeId(i))
+            .as_any()
+            .downcast_ref::<BgpRouter>()
+            .unwrap();
+        let flips = r
+            .loc_rib()
+            .flips
+            .get(&scenarios::gadget_prefix())
+            .copied()
+            .unwrap_or(0);
         println!("  ring node {i}: {flips} best-route changes so far");
     }
 

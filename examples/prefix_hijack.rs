@@ -22,7 +22,10 @@ use dice_system::netsim::{NodeId, SimTime};
 fn main() {
     let mut live = scenarios::hijack_scenario(77);
     live.run_until(SimTime::from_nanos(10_000_000_000));
-    println!("t={}: converged; 10.10.0.0/16 originated by AS65000 (node 0)", live.now());
+    println!(
+        "t={}: converged; 10.10.0.0/16 originated by AS65000 (node 0)",
+        live.now()
+    );
 
     // DiCE is set up while the system is healthy: the registry records that
     // only node 0 may originate inside 10.10.0.0/16.
@@ -34,7 +37,10 @@ fn main() {
     let healthy = dice.run_round(&mut live).expect("round runs");
     println!(
         "round {} (healthy): {} faults, {} verdicts ({} failed)",
-        healthy.round, healthy.faults.len(), healthy.verdicts_total, healthy.verdicts_failed
+        healthy.round,
+        healthy.faults.len(),
+        healthy.verdicts_total,
+        healthy.verdicts_failed
     );
     assert!(healthy.faults.is_empty(), "no faults before the mistake");
 
@@ -44,8 +50,15 @@ fn main() {
     live.run_until(SimTime::from_nanos(25_000_000_000));
 
     // The hijack is live: node 1 now routes the /24 toward AS65002.
-    let r1 = live.node(NodeId(1)).as_any().downcast_ref::<BgpRouter>().unwrap();
-    let best = r1.loc_rib().best(&scenarios::hijack_prefix()).expect("hijack installed");
+    let r1 = live
+        .node(NodeId(1))
+        .as_any()
+        .downcast_ref::<BgpRouter>()
+        .unwrap();
+    let best = r1
+        .loc_rib()
+        .best(&scenarios::hijack_prefix())
+        .expect("hijack installed");
     println!(
         "node 1 best route for {}: origin {}",
         scenarios::hijack_prefix(),
@@ -62,7 +75,11 @@ fn main() {
         caught.classes().contains(&FaultClass::OperatorMistake),
         "hijack must be classified as an operator mistake"
     );
-    let ordinal = caught.detection_input_ordinal.get("operator-mistake").copied().unwrap_or(0);
+    let ordinal = caught
+        .detection_input_ordinal
+        .get("operator-mistake")
+        .copied()
+        .unwrap_or(0);
     println!(
         "\ndetected after {ordinal} validated clone(s) — a state fault, visible even \
          on the un-perturbed clone."

@@ -16,7 +16,11 @@ fn detects_all_three_fault_classes() {
     cfg.workers = 4;
     let mut dice = DiceRunner::from_sim(cfg, &live);
     let r = dice.run_round(&mut live).unwrap();
-    assert!(r.classes().contains(&FaultClass::ProgrammingError), "{:?}", r.faults);
+    assert!(
+        r.classes().contains(&FaultClass::ProgrammingError),
+        "{:?}",
+        r.faults
+    );
 
     // Class 2: policy conflict.
     let mut live = scenarios::bad_gadget_scenario(1002);
@@ -27,7 +31,11 @@ fn detects_all_three_fault_classes() {
     cfg.horizon = SimDuration::from_secs(120);
     let mut dice = DiceRunner::from_sim(cfg, &live);
     let r = dice.run_round(&mut live).unwrap();
-    assert!(r.classes().contains(&FaultClass::PolicyConflict), "{:?}", r.faults);
+    assert!(
+        r.classes().contains(&FaultClass::PolicyConflict),
+        "{:?}",
+        r.faults
+    );
 
     // Class 3: operator mistake.
     let mut live = scenarios::hijack_scenario(1003);
@@ -39,7 +47,11 @@ fn detects_all_three_fault_classes() {
     scenarios::apply_hijack(&mut live);
     live.run_until(SimTime::from_nanos(25_000_000_000));
     let r = dice.run_round(&mut live).unwrap();
-    assert!(r.classes().contains(&FaultClass::OperatorMistake), "{:?}", r.faults);
+    assert!(
+        r.classes().contains(&FaultClass::OperatorMistake),
+        "{:?}",
+        r.faults
+    );
 }
 
 #[test]
@@ -102,7 +114,10 @@ fn fault_free_round_publishes_only_passing_verdicts() {
     let r = dice.run_round(&mut live).unwrap();
     assert!(r.faults.is_empty());
     assert_eq!(r.verdicts_failed, 0);
-    assert!(r.verdicts_total >= r.validated, "each clone publishes verdicts");
+    assert!(
+        r.verdicts_total >= r.validated,
+        "each clone publishes verdicts"
+    );
 }
 
 #[test]

@@ -5,23 +5,30 @@
 
 use dice_system::bgp::BgpRouter;
 use dice_system::dice::scenarios::{self, prefix_of};
-use dice_system::netsim::{
-    FaultAction, FaultPlan, NodeId, QuietOutcome, SimDuration, SimTime,
-};
+use dice_system::netsim::{FaultAction, FaultPlan, NodeId, QuietOutcome, SimDuration, SimTime};
 
 fn router(sim: &dice_system::netsim::Simulator, i: u32) -> &BgpRouter {
-    sim.node(NodeId(i)).as_any().downcast_ref::<BgpRouter>().unwrap()
+    sim.node(NodeId(i))
+        .as_any()
+        .downcast_ref::<BgpRouter>()
+        .unwrap()
 }
 
 #[test]
 fn link_failure_reroutes_around_ring() {
     // demo27 is multihomed: stubs with two providers survive losing one.
     let mut sim = scenarios::demo27_system(9001);
-    sim.run_until_quiet(SimDuration::from_secs(5), SimTime::from_nanos(300_000_000_000));
+    sim.run_until_quiet(
+        SimDuration::from_secs(5),
+        SimTime::from_nanos(300_000_000_000),
+    );
     // Node 11 (stub, k=0) has providers 3 and 7 (k % 3 == 0 gives a second).
     assert!(router(&sim, 11).loc_rib().best(&prefix_of(0)).is_some());
     sim.inject_link_down(NodeId(3), NodeId(11));
-    sim.run_until_quiet(SimDuration::from_secs(5), SimTime::from_nanos(500_000_000_000));
+    sim.run_until_quiet(
+        SimDuration::from_secs(5),
+        SimTime::from_nanos(500_000_000_000),
+    );
     let best = router(&sim, 11)
         .loc_rib()
         .best(&prefix_of(0))
@@ -73,7 +80,10 @@ fn crash_withdraws_prefix_network_wide_and_restart_restores() {
     assert!(router(&sim, 4).loc_rib().best(&prefix_of(0)).is_some());
 
     sim.inject_node_crash(NodeId(0));
-    sim.run_until_quiet(SimDuration::from_secs(5), SimTime::from_nanos(90_000_000_000));
+    sim.run_until_quiet(
+        SimDuration::from_secs(5),
+        SimTime::from_nanos(90_000_000_000),
+    );
     assert!(
         router(&sim, 4).loc_rib().best(&prefix_of(0)).is_none(),
         "crashed origin's prefix must be withdrawn end to end"
@@ -82,7 +92,10 @@ fn crash_withdraws_prefix_network_wide_and_restart_restores() {
     assert!(router(&sim, 4).loc_rib().best(&prefix_of(2)).is_some());
 
     sim.inject_node_restart(NodeId(0));
-    sim.run_until_quiet(SimDuration::from_secs(5), SimTime::from_nanos(200_000_000_000));
+    sim.run_until_quiet(
+        SimDuration::from_secs(5),
+        SimTime::from_nanos(200_000_000_000),
+    );
     assert!(
         router(&sim, 4).loc_rib().best(&prefix_of(0)).is_some(),
         "restarted origin must re-announce"
@@ -123,7 +136,10 @@ fn dice_round_succeeds_under_background_churn() {
         }
     }
     // The live system recovers regardless.
-    sim.run_until_quiet(SimDuration::from_secs(5), SimTime::from_nanos(200_000_000_000));
+    sim.run_until_quiet(
+        SimDuration::from_secs(5),
+        SimTime::from_nanos(200_000_000_000),
+    );
     assert!(sim.session_up(NodeId(4), NodeId(5)));
 }
 
@@ -134,14 +150,20 @@ fn partition_and_heal() {
     let mut sim = scenarios::healthy_line(6, 9005);
     sim.run_until(SimTime::from_nanos(30_000_000_000));
     sim.inject_link_down(NodeId(2), NodeId(3));
-    sim.run_until_quiet(SimDuration::from_secs(5), SimTime::from_nanos(120_000_000_000));
+    sim.run_until_quiet(
+        SimDuration::from_secs(5),
+        SimTime::from_nanos(120_000_000_000),
+    );
     assert!(router(&sim, 0).loc_rib().best(&prefix_of(5)).is_none());
     assert!(router(&sim, 5).loc_rib().best(&prefix_of(0)).is_none());
     assert!(router(&sim, 0).loc_rib().best(&prefix_of(2)).is_some());
     assert!(router(&sim, 5).loc_rib().best(&prefix_of(3)).is_some());
 
     sim.inject_link_up(NodeId(2), NodeId(3));
-    sim.run_until_quiet(SimDuration::from_secs(5), SimTime::from_nanos(300_000_000_000));
+    sim.run_until_quiet(
+        SimDuration::from_secs(5),
+        SimTime::from_nanos(300_000_000_000),
+    );
     for i in 0..6u32 {
         for j in 0..6u32 {
             assert!(

@@ -18,9 +18,9 @@ fn test_config(policy_variant: u8) -> RouterConfig {
         0 => Policy::accept_all("imp"),
         1 => Policy {
             name: "imp".into(),
-            rules: vec![Rule::reject(vec![Match::PrefixIn(vec![PrefixFilter::or_longer(
-                dice_system::bgp::net("10.0.0.0/8"),
-            )])])],
+            rules: vec![Rule::reject(vec![Match::PrefixIn(vec![
+                PrefixFilter::or_longer(dice_system::bgp::net("10.0.0.0/8")),
+            ])])],
             default: Verdict::Accept,
         },
         _ => Policy {

@@ -17,7 +17,10 @@ fn rib_fingerprint(sim: &Simulator) -> BTreeMap<(u32, String), String> {
         }
         if let Some(r) = sim.node(id).as_any().downcast_ref::<BgpRouter>() {
             for (p, sel) in r.loc_rib().iter() {
-                out.insert((id.0, p.to_string()), format!("{}", sel.route.attrs.as_path));
+                out.insert(
+                    (id.0, p.to_string()),
+                    format!("{}", sel.route.attrs.as_path),
+                );
             }
         }
     }

@@ -3,8 +3,7 @@
 //! concrete/symbolic evaluation agreement.
 
 use dice_system::concolic::{
-    BinOp, CmpOp, ConcolicCtx, Constraint, ExprArena, ExprId, SiteId, SolveResult, Solver,
-    SymInput,
+    BinOp, CmpOp, ConcolicCtx, Constraint, ExprArena, ExprId, SiteId, SolveResult, Solver, SymInput,
 };
 use proptest::prelude::*;
 
@@ -49,7 +48,12 @@ fn build(arena: &mut ExprArena, s: &Shape) -> ExprId {
 }
 
 fn arb_cmp() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![Just(CmpOp::Eq), Just(CmpOp::Ne), Just(CmpOp::Ult), Just(CmpOp::Ule)]
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Ult),
+        Just(CmpOp::Ule)
+    ]
 }
 
 proptest! {

@@ -12,7 +12,11 @@ fn arb_prefix() -> impl Strategy<Value = Ipv4Net> {
 }
 
 fn arb_origin() -> impl Strategy<Value = Origin> {
-    prop_oneof![Just(Origin::Igp), Just(Origin::Egp), Just(Origin::Incomplete)]
+    prop_oneof![
+        Just(Origin::Igp),
+        Just(Origin::Egp),
+        Just(Origin::Incomplete)
+    ]
 }
 
 fn arb_segment() -> impl Strategy<Value = AsPathSegment> {
@@ -55,7 +59,11 @@ fn arb_update() -> impl Strategy<Value = UpdateMsg> {
         arb_attrs(),
         prop::collection::vec(arb_prefix(), 1..5),
     )
-        .prop_map(|(withdrawn, attrs, nlri)| UpdateMsg { withdrawn, attrs: Some(attrs), nlri })
+        .prop_map(|(withdrawn, attrs, nlri)| UpdateMsg {
+            withdrawn,
+            attrs: Some(attrs),
+            nlri,
+        })
 }
 
 proptest! {

@@ -1,0 +1,92 @@
+//! Minimal, API-compatible stand-in for the `rand` crate, vendored because
+//! this workspace builds offline (see `vendor/README.md`).
+//!
+//! Provides the trait surface the workspace uses: [`RngCore`], the [`Rng`]
+//! extension alias, and [`SeedableRng`] with the SplitMix64-based
+//! `seed_from_u64` seed expansion.
+
+#![forbid(unsafe_code)]
+
+/// Core random number generation: raw 32/64-bit words and byte fills.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// Extension alias over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {}
+impl<T: RngCore> Rng for T {}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a 64-bit seed, expanding it with SplitMix64 exactly
+    /// like `rand`'s default implementation.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 += 1;
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+    impl SeedableRng for Counter {
+        type Seed = [u8; 8];
+        fn from_seed(seed: [u8; 8]) -> Self {
+            Counter(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let a = Counter::seed_from_u64(42).0;
+        let b = Counter::seed_from_u64(42).0;
+        assert_eq!(a, b);
+        assert_ne!(a, Counter::seed_from_u64(43).0);
+    }
+
+    #[test]
+    fn rng_alias_applies() {
+        fn takes_rng<R: Rng>(r: &mut R) -> u64 {
+            r.next_u64()
+        }
+        assert_eq!(takes_rng(&mut Counter(0)), 1);
+    }
+}

@@ -1,0 +1,330 @@
+//! Minimal, API-compatible stand-in for the `serde` crate, vendored because
+//! this workspace builds offline (see `vendor/README.md`).
+//!
+//! Instead of serde's visitor-based zero-copy model, serialization funnels
+//! through a small owned data model ([`Value`]): `Serialize::to_value`
+//! produces a [`Value`], and backends such as the vendored `serde_json`
+//! render it. `Deserialize` exists so `#[derive(Deserialize)]` and
+//! `T: Deserialize` bounds compile; nothing in this workspace deserializes
+//! through serde yet.
+
+#![forbid(unsafe_code)]
+
+// The derive macros emit `serde::`-prefixed paths; this alias lets them
+// resolve inside this crate's own tests too.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+/// The owned serialization data model.
+///
+/// Deliberately small: sequences, string-keyed maps, and scalars cover every
+/// type this workspace serializes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unit / `None`.
+    Null,
+    /// Booleans.
+    Bool(bool),
+    /// Unsigned integers.
+    U64(u64),
+    /// Signed integers.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Strings (and chars).
+    Str(String),
+    /// Sequences, tuples, sets, arrays.
+    Seq(Vec<Value>),
+    /// Maps and struct bodies. Keys are stringified.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Render this value as a map key (JSON requires string keys).
+    pub fn as_key(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            Value::Bool(b) => b.to_string(),
+            Value::U64(n) => n.to_string(),
+            Value::I64(n) => n.to_string(),
+            Value::F64(n) => n.to_string(),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+/// Types that can serialize themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert `self` into the owned data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait so `#[derive(Deserialize)]` and `T: Deserialize` bounds
+/// compile. The vendored stack does not deserialize through serde.
+pub trait Deserialize: Sized {}
+
+// ---------------------------------------------------------------------------
+// Scalar impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => { $(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {}
+    )* };
+}
+macro_rules! ser_int {
+    ($($t:ty),*) => { $(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {}
+    )* };
+}
+ser_uint!(u8, u16, u32, u64, usize);
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+impl Deserialize for () {}
+
+// ---------------------------------------------------------------------------
+// Pointer / wrapper impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+// ---------------------------------------------------------------------------
+// Sequence impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for VecDeque<T> {}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for BTreeSet<T> {}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for HashSet<T> {}
+
+// ---------------------------------------------------------------------------
+// Map impls (keys stringified through their serialized form)
+// ---------------------------------------------------------------------------
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_value().as_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize, V: Deserialize> Deserialize for BTreeMap<K, V> {}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_value().as_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize, V: Deserialize> Deserialize for HashMap<K, V> {}
+
+// ---------------------------------------------------------------------------
+// Tuple impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => { $(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {}
+    )+ };
+}
+ser_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_map_to_expected_variants() {
+        assert_eq!(7u8.to_value(), Value::U64(7));
+        assert_eq!((-3i32).to_value(), Value::I64(-3));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("hi".to_string().to_value(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn containers_nest() {
+        let v = vec![1u8, 2];
+        assert_eq!(v.to_value(), Value::Seq(vec![Value::U64(1), Value::U64(2)]));
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), 1u32);
+        assert_eq!(m.to_value(), Value::Map(vec![("k".into(), Value::U64(1))]));
+    }
+
+    #[test]
+    fn derive_named_struct_round() {
+        #[derive(Serialize)]
+        struct S {
+            a: u8,
+            b: String,
+        }
+        let s = S {
+            a: 1,
+            b: "x".into(),
+        };
+        assert_eq!(
+            s.to_value(),
+            Value::Map(vec![
+                ("a".into(), Value::U64(1)),
+                ("b".into(), Value::Str("x".into()))
+            ])
+        );
+    }
+
+    #[test]
+    fn derive_newtype_and_enum() {
+        #[derive(Serialize)]
+        struct N(u16);
+        assert_eq!(N(9).to_value(), Value::U64(9));
+
+        #[derive(Serialize)]
+        enum E {
+            Unit,
+            Tup(u8, u8),
+            Named { x: bool },
+        }
+        assert_eq!(E::Unit.to_value(), Value::Str("Unit".into()));
+        assert_eq!(
+            E::Tup(1, 2).to_value(),
+            Value::Map(vec![(
+                "Tup".into(),
+                Value::Seq(vec![Value::U64(1), Value::U64(2)])
+            )])
+        );
+        assert_eq!(
+            E::Named { x: true }.to_value(),
+            Value::Map(vec![(
+                "Named".into(),
+                Value::Map(vec![("x".into(), Value::Bool(true))])
+            )])
+        );
+    }
+}

@@ -1,0 +1,294 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! `#[derive(Serialize)]` generates an `impl serde::Serialize` that maps the
+//! item onto the owned `serde::Value` data model (named struct → `Map`,
+//! newtype → inner value, tuple struct/variant → `Seq`, unit variant →
+//! `Str`). `#[derive(Deserialize)]` generates an empty marker impl.
+//!
+//! The input is parsed with a hand-rolled scanner over `proc_macro` token
+//! trees — no `syn`/`quote`, because this workspace builds offline with zero
+//! registry dependencies. Generic items are rejected (none of the workspace
+//! types that derive serde traits are generic).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What kind of item body we found.
+enum Body {
+    /// `struct S;`
+    UnitStruct,
+    /// `struct S { a: A, b: B }` — field names.
+    NamedStruct(Vec<String>),
+    /// `struct S(A, B);` — field count.
+    TupleStruct(usize),
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Skip attributes (`#[...]`) and doc comments at the cursor position.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...) at the cursor.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Split a delimited token stream on top-level commas. Commas inside
+/// generic argument lists (`BTreeMap<String, Policy>`) are not split
+/// points, so angle-bracket depth is tracked; `<`/`>` appearing as
+/// punctuation in field position can only be generics.
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth: usize = 0;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                cur.push(tt);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+                cur.push(tt);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(tt),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parse one field segment (`#[attr] pub name: Type`) to its name.
+fn field_name(seg: &[TokenTree]) -> Option<String> {
+    let mut i = skip_attrs(seg, 0);
+    i = skip_vis(seg, i);
+    match seg.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_commas(stream)
+        .iter()
+        .filter(|seg| !seg.is_empty())
+        .filter_map(|seg| field_name(seg))
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_commas(stream)
+        .iter()
+        .filter(|seg| !seg.is_empty())
+        .count()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(_) => {
+                i += 1;
+                continue;
+            }
+            None => break,
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let k = VariantKind::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                k
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let k = VariantKind::Named(parse_named_fields(g.stream()));
+                i += 1;
+                k
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Parse the derive input down to (type name, body shape).
+fn parse_item(input: TokenStream) -> (String, Body) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Find the `struct` / `enum` keyword, skipping attrs and visibility.
+    let mut is_enum = false;
+    loop {
+        i = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, i);
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                is_enum = true;
+                break;
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive: expected `struct` or `enum`"),
+        }
+    }
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported; write the impl by hand for `{name}`");
+        }
+    }
+    if is_enum {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return (name, Body::Enum(parse_variants(g.stream())));
+            }
+            other => panic!("serde_derive: malformed enum body {other:?}"),
+        }
+    }
+    // Struct: `;` (unit), `(...)` (tuple), `{...}` (named). A `where` clause
+    // cannot appear (generics are rejected above).
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            (name, Body::NamedStruct(parse_named_fields(g.stream())))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            (name, Body::TupleStruct(count_tuple_fields(g.stream())))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => (name, Body::UnitStruct),
+        other => panic!("serde_derive: malformed struct body {other:?}"),
+    }
+}
+
+/// `#[derive(Serialize)]`: emit `impl serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_item(input);
+    let to_value = match &body {
+        Body::UnitStruct => "serde::Value::Null".to_string(),
+        Body::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Body::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("serde::Value::Seq(vec![{}])", entries.join(", "))
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => serde::Value::Str({vname:?}.to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => serde::Value::Map(vec![({vname:?}.to_string(), serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let vals: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => serde::Value::Map(vec![({vname:?}.to_string(), serde::Value::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let vals: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("({f:?}.to_string(), serde::Serialize::to_value({f}))")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => serde::Value::Map(vec![({vname:?}.to_string(), serde::Value::Map(vec![{}]))]),",
+                                fields.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let out = format!(
+        "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{ {to_value} }}\n}}"
+    );
+    out.parse().expect("serde_derive: generated impl parses")
+}
+
+/// `#[derive(Deserialize)]`: emit the empty marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, _) = parse_item(input);
+    format!("impl serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive: generated impl parses")
+}

@@ -1,0 +1,418 @@
+//! Minimal, API-compatible stand-in for the `serde_json` crate, vendored
+//! because this workspace builds offline (see `vendor/README.md`).
+//!
+//! Covers the surface this workspace uses: [`Value`], [`Map`], the [`json!`]
+//! macro, [`to_string`] / [`to_string_pretty`] over anything implementing the
+//! vendored `serde::Serialize`, and `Index`/`PartialEq` conveniences for
+//! assertions.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object (insertion-ordered).
+    Object(Map<String, Value>),
+}
+
+/// An insertion-ordered string-keyed map, mirroring `serde_json::Map`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map<K, V> {
+    entries: Vec<(K, V)>,
+}
+
+impl<K: PartialEq, V> Map<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Map {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Insert, replacing any existing entry with an equal key.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Look up by key.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: PartialEq + ?Sized,
+    {
+        self.entries
+            .iter()
+            .find(|(k, _)| k.borrow() == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl<K: PartialEq, V> FromIterator<(K, V)> for Map<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conversions into Value
+// ---------------------------------------------------------------------------
+
+/// By-reference conversion into [`Value`], used by the [`json!`] macro so
+/// that field accesses like `self.title` are not moved out of `&self`.
+pub trait ToJsonValue {
+    /// Produce the JSON value for `self`.
+    fn to_json_value(&self) -> Value;
+}
+
+impl ToJsonValue for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl ToJsonValue for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl ToJsonValue for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl ToJsonValue for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+macro_rules! to_json_uint {
+    ($($t:ty),*) => { $(impl ToJsonValue for $t {
+        fn to_json_value(&self) -> Value { Value::U64(*self as u64) }
+    })* };
+}
+macro_rules! to_json_int {
+    ($($t:ty),*) => { $(impl ToJsonValue for $t {
+        fn to_json_value(&self) -> Value { Value::I64(*self as i64) }
+    })* };
+}
+to_json_uint!(u8, u16, u32, u64, usize);
+to_json_int!(i8, i16, i32, i64, isize);
+impl ToJsonValue for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl<T: ToJsonValue, const N: usize> ToJsonValue for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(ToJsonValue::to_json_value).collect())
+    }
+}
+impl<T: ToJsonValue> ToJsonValue for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(ToJsonValue::to_json_value).collect())
+    }
+}
+impl<T: ToJsonValue> ToJsonValue for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl ToJsonValue for Map<String, Value> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+impl<T: ToJsonValue + ?Sized> ToJsonValue for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+/// Build a [`Value`] from literal-ish syntax, like `serde_json::json!`.
+///
+/// Supports `null`, arrays of expressions, objects with string-literal keys
+/// and expression values, and bare expressions (anything implementing
+/// [`ToJsonValue`]). Nest objects by nesting `json!` calls.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::ToJsonValue::to_json_value(&$elem)),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        let mut map = $crate::Map::new();
+        $( map.insert($key.to_string(), $crate::ToJsonValue::to_json_value(&$val)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::ToJsonValue::to_json_value(&$other) };
+}
+
+// ---------------------------------------------------------------------------
+// Indexing and comparison sugar
+// ---------------------------------------------------------------------------
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(m) => m.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization to text
+// ---------------------------------------------------------------------------
+
+/// Error type for serialization. The vendored model is infallible in
+/// practice; this exists for API compatibility.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn from_ser(v: &serde::Value) -> Value {
+    match v {
+        serde::Value::Null => Value::Null,
+        serde::Value::Bool(b) => Value::Bool(*b),
+        serde::Value::U64(n) => Value::U64(*n),
+        serde::Value::I64(n) => Value::I64(*n),
+        serde::Value::F64(n) => Value::F64(*n),
+        serde::Value::Str(s) => Value::String(s.clone()),
+        serde::Value::Seq(xs) => Value::Array(xs.iter().map(from_ser).collect()),
+        serde::Value::Map(kvs) => {
+            Value::Object(kvs.iter().map(|(k, v)| (k.clone(), from_ser(v))).collect())
+        }
+    }
+}
+
+impl serde::Serialize for Value {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            Value::Null => serde::Value::Null,
+            Value::Bool(b) => serde::Value::Bool(*b),
+            Value::U64(n) => serde::Value::U64(*n),
+            Value::I64(n) => serde::Value::I64(*n),
+            Value::F64(n) => serde::Value::F64(*n),
+            Value::String(s) => serde::Value::Str(s.clone()),
+            Value::Array(xs) => {
+                serde::Value::Seq(xs.iter().map(serde::Serialize::to_value).collect())
+            }
+            Value::Object(m) => serde::Value::Map(
+                m.iter()
+                    .map(|(k, v)| (k.clone(), serde::Serialize::to_value(v)))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn render(v: &Value, pretty: bool, indent: usize, out: &mut String) {
+    let pad = |n: usize, out: &mut String| {
+        if pretty {
+            out.push('\n');
+            out.push_str(&"  ".repeat(n));
+        }
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(xs) => {
+            if xs.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(indent + 1, out);
+                render(x, pretty, indent + 1, out);
+            }
+            pad(indent, out);
+            out.push(']');
+        }
+        Value::Object(m) => {
+            if m.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, x)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(indent + 1, out);
+                escape_into(k, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                render(x, pretty, indent + 1, out);
+            }
+            pad(indent, out);
+            out.push('}');
+        }
+    }
+}
+
+/// Serialize any `serde::Serialize` value to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = from_ser(&value.to_value());
+    let mut out = String::new();
+    render(&v, false, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize any `serde::Serialize` value to pretty-printed JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = from_ser(&value.to_value());
+    let mut out = String::new();
+    render(&v, true, 0, &mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let rows = vec![json!({ "k": "v" })];
+        let j = json!({ "title": "T", "rows": rows, "n": 3u32, "none": json!(null) });
+        assert_eq!(j["title"], "T");
+        assert_eq!(j["rows"][0]["k"], "v");
+        assert_eq!(j["n"], Value::U64(3));
+        assert_eq!(j["none"], Value::Null);
+        assert_eq!(j["missing"], Value::Null);
+    }
+
+    #[test]
+    fn to_string_escapes_and_nests() {
+        let v = json!({ "a": "x\"y", "b": [1u8, 2u8] });
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":"x\"y","b":[1,2]}"#);
+    }
+
+    #[test]
+    fn pretty_has_indentation() {
+        let v = json!({ "a": 1u8 });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\n  \"a\": 1"));
+    }
+
+    #[test]
+    fn derived_types_serialize() {
+        #[derive(serde::Serialize)]
+        struct P {
+            x: u8,
+            tag: String,
+        }
+        let s = to_string(&P {
+            x: 5,
+            tag: "t".into(),
+        })
+        .unwrap();
+        assert_eq!(s, r#"{"x":5,"tag":"t"}"#);
+    }
+}
