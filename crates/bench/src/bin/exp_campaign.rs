@@ -1,0 +1,144 @@
+//! **C1 — Campaign throughput and detection**: DiCE sweeping a federation
+//! end-to-end, the headline number every scale PR moves.
+//!
+//! Two campaigns:
+//!
+//! 1. The 27-router Figure 1 demo (healthy): rounds/s, coverage union,
+//!    per-explorer coverage — the cost of *continuously* testing a
+//!    federation.
+//! 2. The seeded-bug line (faulty): per-class detection latency at
+//!    campaign granularity.
+//!
+//! Prints Markdown tables; `--json PATH` archives the raw rows.
+
+use dice_bench::{fmt_nanos, maybe_write_json, Table};
+use dice_core::{scenarios, Campaign, CampaignReport};
+use dice_netsim::{NodeId, SimDuration, SimTime};
+
+fn fault_counts(report: &CampaignReport) -> String {
+    let mut by_class: std::collections::BTreeMap<String, usize> = Default::default();
+    for f in &report.faults {
+        *by_class.entry(f.class.to_string()).or_default() += 1;
+    }
+    if by_class.is_empty() {
+        "none".into()
+    } else {
+        by_class
+            .iter()
+            .map(|(c, n)| format!("{c}:{n}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+fn summarize(table: &mut Table, label: &str, report: &CampaignReport) {
+    table.row(vec![
+        label.into(),
+        "rounds".into(),
+        report.rounds.len().to_string(),
+    ]);
+    table.row(vec![
+        label.into(),
+        "wall".into(),
+        format!("{}ms", report.wall_ms),
+    ]);
+    table.row(vec![
+        label.into(),
+        "rounds/s".into(),
+        format!("{:.2}", report.rounds_per_sec()),
+    ]);
+    table.row(vec![
+        label.into(),
+        "sim time consumed".into(),
+        fmt_nanos(report.sim_nanos),
+    ]);
+    table.row(vec![
+        label.into(),
+        "concolic executions".into(),
+        report.executions_total.to_string(),
+    ]);
+    table.row(vec![
+        label.into(),
+        "inputs validated".into(),
+        report.validated_total.to_string(),
+    ]);
+    table.row(vec![
+        label.into(),
+        "coverage union".into(),
+        report.coverage_union.to_string(),
+    ]);
+    table.row(vec![
+        label.into(),
+        "faults by class".into(),
+        fault_counts(report),
+    ]);
+}
+
+fn main() {
+    // C1a: continuous testing cost on the healthy Figure 1 federation.
+    let mut live = scenarios::demo27_system(11);
+    live.run_until_quiet(
+        SimDuration::from_secs(5),
+        SimTime::from_nanos(300_000_000_000),
+    );
+    let demo = Campaign::new(&live)
+        .explorers([NodeId(0), NodeId(3), NodeId(5), NodeId(11), NodeId(12)])
+        .max_peers_per_explorer(2)
+        .executions(64)
+        .validate_top(8)
+        .horizon(SimDuration::from_secs(30))
+        .workers(4)
+        .run(&mut live)
+        .expect("demo campaign runs");
+
+    let mut t1 = Table::new(
+        "C1a — campaign over the 27-router demo (healthy)",
+        &["campaign", "metric", "value"],
+    );
+    summarize(&mut t1, "demo27", &demo);
+    t1.print();
+
+    let mut t2 = Table::new(
+        "C1b — per-explorer coverage (demo27)",
+        &["explorer", "kind", "rounds", "coverage", "executions"],
+    );
+    for e in &demo.per_explorer {
+        t2.row(vec![
+            e.explorer.to_string(),
+            e.kind.clone(),
+            e.rounds.to_string(),
+            e.coverage.to_string(),
+            e.executions.to_string(),
+        ]);
+    }
+    t2.print();
+
+    // C1c: detection latency on a faulty deployment.
+    let mut buggy = scenarios::buggy_parser_scenario(7);
+    buggy.run_until(SimTime::from_nanos(10_000_000_000));
+    let faulty = Campaign::new(&buggy)
+        .executions(160)
+        .validate_top(16)
+        .workers(4)
+        .run(&mut buggy)
+        .expect("buggy campaign runs");
+
+    let mut t3 = Table::new(
+        "C1c — campaign detection latency (seeded parser bug)",
+        &["campaign", "metric", "value"],
+    );
+    summarize(&mut t3, "buggy-line", &faulty);
+    for d in &faulty.detection {
+        t3.row(vec![
+            "buggy-line".into(),
+            format!("first {} detection", d.class),
+            format!(
+                "round {} ({} via {}), input #{}, {}ms cumulative",
+                d.round, d.explorer, d.inject_peer, d.input_ordinal, d.wall_ms_cum
+            ),
+        ]);
+    }
+    t3.print();
+
+    maybe_write_json(&[&t1, &t2, &t3]);
+}

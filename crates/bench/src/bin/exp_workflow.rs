@@ -10,7 +10,7 @@ use dice_concolic::{explore, ExploreConfig};
 use dice_core::snapshot::take_consistent_snapshot;
 use dice_core::{
     check::{default_checkers, flips_baseline, run_checkers, CheckContext},
-    mark_update, scenarios, GrammarConfig, SymbolicUpdateHandler, UpdateGrammar,
+    scenarios, SutCatalog,
 };
 use dice_netsim::{NodeId, SimDuration, SimTime, Simulator};
 
@@ -51,21 +51,18 @@ fn main() {
         ),
     ]);
 
-    // Phase 2: concolic exploration at the explorer node.
-    let router_cfg = shadow.nodes()[&explorer]
-        .as_any()
-        .downcast_ref::<dice_bgp::BgpRouter>()
-        .unwrap()
-        .config()
-        .clone();
-    let peer_asn = router_cfg.neighbor(peer).unwrap().asn;
-    let mut grammar = UpdateGrammar::new(GrammarConfig::for_peer(peer_asn), 8);
-    let seeds = vec![grammar.generate(), grammar.generate_large_unknown()];
-    let mut handler = SymbolicUpdateHandler::new(router_cfg, peer);
+    // Phase 2: concolic exploration at the explorer node, through the
+    // protocol-agnostic SUT seam.
+    let catalog = SutCatalog::default();
+    let sut = catalog
+        .resolve(shadow.nodes()[&explorer].as_ref())
+        .expect("explorer is explorable");
+    let plan = sut.exploration_plan(peer, 1, 8).unwrap();
+    let mut program = plan.program;
     let exploration = explore(
-        &mut handler,
-        &seeds,
-        &mark_update,
+        &mut *program,
+        &plan.seeds,
+        &plan.marker,
         &ExploreConfig {
             max_executions: 96,
             ..Default::default()
@@ -85,17 +82,9 @@ fn main() {
 
     // Phase 3: three clones explored input-by-input.
     let topo = live.topology().clone();
-    let baseline = flips_baseline(&shadow);
+    let baseline = flips_baseline(&catalog, &shadow);
     let checkers = default_checkers(20);
-    let registry = dice_core::check::build_registry(
-        topo.node_ids().filter_map(|id| {
-            live.node(id)
-                .as_any()
-                .downcast_ref::<dice_bgp::BgpRouter>()
-                .map(|r| (id, r.config().clone()))
-        }),
-        99,
-    );
+    let registry = catalog.build_registry(&live, 99);
     let mut verdicts = 0usize;
     for (k, exec) in exploration.executions.iter().take(3).enumerate() {
         let mut clone = Simulator::from_shadow(&shadow, &topo, k as u64);
@@ -104,6 +93,7 @@ fn main() {
         let quiet = clone.run_until_quiet(SimDuration::from_secs(5), end);
         let cx = CheckContext {
             sim: &clone,
+            catalog: &catalog,
             registry: &registry,
             baseline_flips: &baseline,
             quiet,

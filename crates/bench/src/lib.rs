@@ -12,6 +12,7 @@
 //! | `exp_code_config` | T3 — constraints scale with configuration |
 //! | `exp_workflow` | F3 — one round's phase timeline |
 //! | `exp_snapshot_consistency` | A1 — consistent vs uncoordinated snapshots |
+//! | `exp_campaign` | C1 — federation-scale campaign throughput and detection latency |
 //!
 //! Criterion micro-benches (`snapshot_bench`, `handler_bench`,
 //! `solver_bench`) cover T4 (instrumentation and snapshot tax).

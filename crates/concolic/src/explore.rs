@@ -9,6 +9,8 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
+use serde::{Deserialize, Serialize};
+
 use crate::ctx::{BranchRec, ConcolicCtx, SymInput};
 use crate::solve::{negation_query, SolveResult, Solver, SolverBudget, SolverStats};
 
@@ -68,10 +70,17 @@ impl Coverage {
     pub fn is_empty(&self) -> bool {
         self.seen.is_empty()
     }
+
+    /// Iterate the covered (site, direction) pairs in ascending order.
+    /// Lets callers (e.g. DiCE campaign aggregation) union coverage across
+    /// independent exploration sessions.
+    pub fn sites(&self) -> impl Iterator<Item = (u32, bool)> + '_ {
+        self.seen.iter().copied()
+    }
 }
 
 /// Search order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Strategy {
     /// Negate deepest-first, LIFO worklist.
     Dfs,
@@ -130,6 +139,9 @@ pub struct ExplorationReport {
     pub crashes: Vec<usize>,
     /// Aggregate solver statistics.
     pub solver: SolverStats,
+    /// The final branch-coverage ledger (set of covered (site, direction)
+    /// pairs), for cross-session coverage unions.
+    pub coverage: Coverage,
 }
 
 impl ExplorationReport {
@@ -295,6 +307,7 @@ pub fn explore(
 
     report.distinct_paths = seen_paths.len();
     report.solver = solver.stats;
+    report.coverage = coverage;
     report
 }
 
@@ -363,6 +376,7 @@ pub fn random_fuzz(
         report.coverage_timeline.push(coverage.len());
     }
     report.distinct_paths = seen_paths.len();
+    report.coverage = coverage;
     report
 }
 

@@ -16,7 +16,7 @@
 //! * [`solve`] — a byte-domain solver: exact unary filtering over the
 //!   0..=255 domain plus bounded backtracking for multi-byte constraints;
 //!   every SAT model is re-checkable.
-//! * [`explore`] — the exploration loop: DFS negation and SAGE-style
+//! * [`mod@explore`] — the exploration loop: DFS negation and SAGE-style
 //!   generational search, branch-coverage accounting, and a random-mutation
 //!   baseline.
 //!

@@ -90,7 +90,7 @@ pub enum SolveResult {
 }
 
 /// Tuning knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
 pub struct SolverBudget {
     /// Maximum backtracking steps (assignments attempted).
     pub max_steps: u64,

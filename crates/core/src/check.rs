@@ -11,17 +11,20 @@
 //!   not attested, i.e. prefix hijacking by misconfiguration
 //!   ([`OriginAuthorityChecker`]).
 //!
-//! All checks are *local*: they read only the node's own state and the
-//! shared [`AttestationRegistry`] digests, and publish [`LocalVerdict`]s —
-//! the narrow interface that keeps federated domains' state confidential.
+//! All checks are *local*: they read only the node's own state — through
+//! the protocol-agnostic [`CheckView`] seam resolved by a [`SutCatalog`] —
+//! and the shared [`AttestationRegistry`] digests, and publish
+//! [`LocalVerdict`]s — the narrow interface that keeps federated domains'
+//! state confidential.
 
 use std::collections::BTreeMap;
 
-use dice_bgp::{BgpRouter, Ipv4Net};
+use dice_bgp::Ipv4Net;
 use dice_netsim::{NodeId, QuietOutcome, ShadowSnapshot, Simulator};
 use serde::{Deserialize, Serialize};
 
 use crate::interface::{AttestationRegistry, LocalVerdict};
+use crate::sut::{CheckView, SutCatalog};
 
 /// The paper's fault classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
@@ -49,8 +52,9 @@ impl core::fmt::Display for FaultClass {
 pub struct FaultReport {
     /// Classification.
     pub class: FaultClass,
-    /// Node where the fault manifested (`u32::MAX` = system-wide).
-    pub node: u32,
+    /// Node where the fault manifested ([`FaultReport::SYSTEM_WIDE`] when
+    /// no single node is responsible).
+    pub node: NodeId,
     /// Human-readable description (non-confidential).
     pub detail: String,
     /// Simulated time of detection.
@@ -58,8 +62,11 @@ pub struct FaultReport {
 }
 
 impl FaultReport {
+    /// Sentinel node id for system-wide faults (e.g. non-convergence).
+    pub const SYSTEM_WIDE: NodeId = NodeId(u32::MAX);
+
     /// Dedup key: class + node + detail.
-    pub fn key(&self) -> (FaultClass, u32, String) {
+    pub fn key(&self) -> (FaultClass, NodeId, String) {
         (self.class, self.node, self.detail.clone())
     }
 }
@@ -68,10 +75,12 @@ impl FaultReport {
 pub struct CheckContext<'a> {
     /// The clone after running the exploration horizon.
     pub sim: &'a Simulator,
+    /// Resolves nodes to their checker-visible state.
+    pub catalog: &'a SutCatalog,
     /// Shared attestation digests.
     pub registry: &'a AttestationRegistry,
     /// Per-(node, prefix) best-route flip counts at snapshot time.
-    pub baseline_flips: &'a BTreeMap<(u32, Ipv4Net), u64>,
+    pub baseline_flips: &'a BTreeMap<(NodeId, Ipv4Net), u64>,
     /// Whether the clone quiesced within the horizon.
     pub quiet: QuietOutcome,
     /// Whether a synthetic exploration input was injected into this clone.
@@ -83,16 +92,17 @@ pub struct CheckContext<'a> {
 }
 
 impl<'a> CheckContext<'a> {
-    fn routers(&self) -> impl Iterator<Item = (NodeId, &'a BgpRouter)> + 'a {
+    /// The checker-visible state of every live (non-crashed) node the
+    /// catalog recognizes.
+    pub fn views(&self) -> impl Iterator<Item = (NodeId, &'a dyn CheckView)> + '_ {
         let sim = self.sim;
         sim.topology().node_ids().filter_map(move |id| {
             if sim.crashed(id).is_some() {
                 return None;
             }
-            sim.node(id)
-                .as_any()
-                .downcast_ref::<BgpRouter>()
-                .map(|r| (id, r))
+            self.catalog
+                .resolve(sim.node(id))
+                .map(|e| (id, e.check_view()))
         })
     }
 }
@@ -125,7 +135,7 @@ impl Checker for CrashChecker {
                     verdicts.push(LocalVerdict::fail(id, self.name(), "node crashed"));
                     faults.push(FaultReport {
                         class: FaultClass::ProgrammingError,
-                        node: id.0,
+                        node: id,
                         detail: format!("crash: {reason}"),
                         at_nanos: cx.sim.now().as_nanos(),
                     });
@@ -160,19 +170,15 @@ impl Checker for OscillationChecker {
     fn check(&self, cx: &CheckContext<'_>) -> (Vec<LocalVerdict>, Vec<FaultReport>) {
         let mut verdicts = Vec::new();
         let mut faults = Vec::new();
-        for (id, router) in cx.routers() {
+        for (id, view) in cx.views() {
             let mut worst: Option<(Ipv4Net, u64)> = None;
-            for (prefix, flips) in &router.loc_rib().flips {
-                let base = cx
-                    .baseline_flips
-                    .get(&(id.0, *prefix))
-                    .copied()
-                    .unwrap_or(0);
+            view.for_each_route_flip(&mut |prefix, flips| {
+                let base = cx.baseline_flips.get(&(id, prefix)).copied().unwrap_or(0);
                 let delta = flips.saturating_sub(base);
                 if delta >= self.threshold && worst.map(|(_, w)| delta > w).unwrap_or(true) {
-                    worst = Some((*prefix, delta));
+                    worst = Some((prefix, delta));
                 }
-            }
+            });
             match worst {
                 Some((prefix, delta)) => {
                     verdicts.push(LocalVerdict::fail(
@@ -182,7 +188,7 @@ impl Checker for OscillationChecker {
                     ));
                     faults.push(FaultReport {
                         class: FaultClass::PolicyConflict,
-                        node: id.0,
+                        node: id,
                         detail: format!("oscillation on {prefix} ({delta} flips)"),
                         at_nanos: cx.sim.now().as_nanos(),
                     });
@@ -212,21 +218,19 @@ impl Checker for OriginAuthorityChecker {
         }
         let mut verdicts = Vec::new();
         let mut faults = Vec::new();
-        for (id, router) in cx.routers() {
-            let own = router.config().asn;
+        for (id, view) in cx.views() {
             let mut bad: Vec<String> = Vec::new();
-            for (prefix, sel) in router.loc_rib().iter() {
-                let origin = sel.route.attrs.as_path.origin_asn().unwrap_or(own);
-                if !cx.registry.is_attested(prefix, origin) {
+            view.for_each_best_route(&mut |prefix, origin| {
+                if !cx.registry.is_attested(&prefix, origin) {
                     bad.push(format!("{prefix} originated by {origin} unattested"));
                     faults.push(FaultReport {
                         class: FaultClass::OperatorMistake,
-                        node: id.0,
+                        node: id,
                         detail: format!("hijack: {prefix} via {origin}"),
                         at_nanos: cx.sim.now().as_nanos(),
                     });
                 }
-            }
+            });
             if bad.is_empty() {
                 verdicts.push(LocalVerdict::pass(id, self.name()));
             } else {
@@ -249,18 +253,18 @@ impl Checker for ConvergenceChecker {
     fn check(&self, cx: &CheckContext<'_>) -> (Vec<LocalVerdict>, Vec<FaultReport>) {
         match cx.quiet {
             QuietOutcome::Quiescent => (
-                vec![LocalVerdict::pass(NodeId(u32::MAX), self.name())],
+                vec![LocalVerdict::pass(FaultReport::SYSTEM_WIDE, self.name())],
                 vec![],
             ),
             QuietOutcome::TimedOut => (
                 vec![LocalVerdict::fail(
-                    NodeId(u32::MAX),
+                    FaultReport::SYSTEM_WIDE,
                     self.name(),
                     "no quiescence within horizon",
                 )],
                 vec![FaultReport {
                     class: FaultClass::PolicyConflict,
-                    node: u32::MAX,
+                    node: FaultReport::SYSTEM_WIDE,
                     detail: "system did not converge within exploration horizon".into(),
                     at_nanos: cx.sim.now().as_nanos(),
                 }],
@@ -310,21 +314,23 @@ pub fn run_checkers(checkers: &[Box<dyn Checker>], cx: &CheckContext<'_>) -> Che
 
 /// Capture per-(node, prefix) best-route flip counts from a snapshot —
 /// the baseline the oscillation checker subtracts.
-pub fn flips_baseline(shadow: &ShadowSnapshot) -> BTreeMap<(u32, Ipv4Net), u64> {
+pub fn flips_baseline(
+    catalog: &SutCatalog,
+    shadow: &ShadowSnapshot,
+) -> BTreeMap<(NodeId, Ipv4Net), u64> {
     let mut out = BTreeMap::new();
-    for (id, node) in shadow.nodes() {
-        if let Some(router) = node.as_any().downcast_ref::<BgpRouter>() {
-            for (prefix, flips) in &router.loc_rib().flips {
-                out.insert((id.0, *prefix), *flips);
-            }
-        }
+    for (id, sut) in catalog.shadow_explorables(shadow) {
+        sut.check_view().for_each_route_flip(&mut |prefix, flips| {
+            out.insert((id, prefix), flips);
+        });
     }
     out
 }
 
 /// Build the attestation registry from router configs: every node attests
 /// the prefixes it legitimately owns. (In deployment this is an IRR/RPKI-
-/// like out-of-band step; only digests are shared.)
+/// like out-of-band step; only digests are shared.) Prefer
+/// [`SutCatalog::build_registry`] when a live simulator is at hand.
 pub fn build_registry(
     configs: impl IntoIterator<Item = (NodeId, dice_bgp::RouterConfig)>,
     seed: u64,
@@ -341,7 +347,8 @@ pub fn build_registry(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dice_bgp::{net, Asn, RouterConfig, RouterId};
+    use crate::bgp_sut;
+    use dice_bgp::{net, Asn, BgpRouter, RouterConfig, RouterId};
     use dice_netsim::{LinkParams, SimDuration, SimTime, Topology};
 
     fn mini_sim(cfgs: Vec<RouterConfig>) -> Simulator {
@@ -376,10 +383,12 @@ mod tests {
         let mut sim = mini_sim(vec![cfg(0, &[1]), cfg(1, &[0])]);
         sim.run_until(SimTime::from_nanos(3_000_000_000));
         sim.inject_node_crash(NodeId(1));
+        let catalog = SutCatalog::default();
         let reg = AttestationRegistry::with_seed(1);
         let baseline = BTreeMap::new();
         let cx = CheckContext {
             sim: &sim,
+            catalog: &catalog,
             registry: &reg,
             baseline_flips: &baseline,
             quiet: QuietOutcome::Quiescent,
@@ -388,7 +397,7 @@ mod tests {
         let (verdicts, faults) = CrashChecker.check(&cx);
         assert_eq!(faults.len(), 1);
         assert_eq!(faults[0].class, FaultClass::ProgrammingError);
-        assert_eq!(faults[0].node, 1);
+        assert_eq!(faults[0].node, NodeId(1));
         assert!(verdicts.iter().any(|v| !v.ok));
     }
 
@@ -401,10 +410,12 @@ mod tests {
         let mut sim = mini_sim(vec![c0.clone(), c1.clone()]);
         sim.run_until(SimTime::from_nanos(10_000_000_000));
 
+        let catalog = SutCatalog::default();
         let reg = build_registry([(NodeId(0), c0), (NodeId(1), c1)], 7);
         let baseline = BTreeMap::new();
         let cx = CheckContext {
             sim: &sim,
+            catalog: &catalog,
             registry: &reg,
             baseline_flips: &baseline,
             quiet: QuietOutcome::Quiescent,
@@ -427,19 +438,21 @@ mod tests {
         let c1 = cfg(1, &[0]);
         let mut sim = mini_sim(vec![c0, c1]);
         sim.run_until(SimTime::from_nanos(10_000_000_000));
+        let catalog = SutCatalog::default();
         let reg = AttestationRegistry::with_seed(1);
 
         // Baseline equal to current flips: no oscillation reported.
         let mut baseline = BTreeMap::new();
         for id in sim.topology().node_ids() {
-            if let Some(r) = sim.node(id).as_any().downcast_ref::<BgpRouter>() {
+            if let Some(r) = bgp_sut::as_bgp(sim.node(id)) {
                 for (p, f) in &r.loc_rib().flips {
-                    baseline.insert((id.0, *p), *f);
+                    baseline.insert((id, *p), *f);
                 }
             }
         }
         let cx = CheckContext {
             sim: &sim,
+            catalog: &catalog,
             registry: &reg,
             baseline_flips: &baseline,
             quiet: QuietOutcome::Quiescent,
@@ -456,6 +469,7 @@ mod tests {
         let zero = BTreeMap::new();
         let cx2 = CheckContext {
             sim: &sim,
+            catalog: &catalog,
             registry: &reg,
             baseline_flips: &zero,
             quiet: QuietOutcome::Quiescent,
@@ -468,6 +482,7 @@ mod tests {
     #[test]
     fn convergence_checker_maps_quiet_outcome() {
         let sim = mini_sim(vec![cfg(0, &[1]), cfg(1, &[0])]);
+        let catalog = SutCatalog::default();
         let reg = AttestationRegistry::with_seed(1);
         let baseline = BTreeMap::new();
         for (quiet, expect_fault) in [
@@ -476,6 +491,7 @@ mod tests {
         ] {
             let cx = CheckContext {
                 sim: &sim,
+                catalog: &catalog,
                 registry: &reg,
                 baseline_flips: &baseline,
                 quiet,
@@ -499,10 +515,12 @@ mod tests {
     fn check_report_aggregates() {
         let mut sim = mini_sim(vec![cfg(0, &[1]), cfg(1, &[0])]);
         sim.inject_node_crash(NodeId(0));
+        let catalog = SutCatalog::default();
         let reg = AttestationRegistry::with_seed(1);
         let baseline = BTreeMap::new();
         let cx = CheckContext {
             sim: &sim,
+            catalog: &catalog,
             registry: &reg,
             baseline_flips: &baseline,
             quiet: QuietOutcome::TimedOut,

@@ -2,8 +2,10 @@
 //!
 //! 1. Choose an explorer node and establish a consistent shadow snapshot of
 //!    local node checkpoints (in-band Chandy–Lamport).
-//! 2. Exercise the explorer node's UPDATE handler with concolic execution
-//!    over the instrumented twin, seeded by grammar-generated messages
+//! 2. Exercise the explorer node's input handler with concolic execution
+//!    over the instrumented twin delivered by its
+//!    [`ExplorationPlan`](crate::sut::ExplorationPlan) — for BGP routers,
+//!    the UPDATE-handler twin seeded by grammar-generated messages
 //!    ("test suite" seeds, Oasis-style).
 //! 3. Validate each interesting input system-wide: clone the snapshot into
 //!    an isolated simulator, inject the input as if received from a peer,
@@ -11,29 +13,33 @@
 //! 4. Aggregate local verdicts through the information-sharing interface
 //!    into fault reports.
 //!
-//! Clone validation parallelizes across workers (each clone is
-//! independent); a crossbeam channel distributes work, a parking_lot mutex
-//! collects results.
+//! The runtime never names a concrete protocol: nodes are resolved through
+//! the [`SutCatalog`] probe chain, so federations mixing BGP routers with
+//! other [`ExplorableNode`](crate::sut::ExplorableNode) implementors
+//! explore uniformly. Clone validation parallelizes across workers (each
+//! clone is independent) over a std scoped-thread pool.
+//!
+//! [`DiceRunner`] drives one fixed `(explorer, inject_peer)` pair per
+//! round; [`crate::campaign::Campaign`] sweeps every eligible pair.
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use dice_bgp::BgpRouter;
 use dice_concolic::{explore, ExplorationReport, ExploreConfig, RunStatus, SolverBudget, Strategy};
 use dice_netsim::{NodeId, ShadowSnapshot, SimDuration, Simulator, Topology};
 use serde::{Deserialize, Serialize};
 
 use crate::check::{
-    build_registry, default_checkers, flips_baseline, run_checkers, CheckContext, Checker,
-    FaultClass, FaultReport,
+    default_checkers, flips_baseline, run_checkers, CheckContext, Checker, FaultClass, FaultReport,
 };
-use crate::grammar::{GrammarConfig, UpdateGrammar};
-use crate::handler::SymbolicUpdateHandler;
 use crate::interface::AttestationRegistry;
 use crate::snapshot::{take_consistent_snapshot, SnapshotMetrics};
-use crate::symmark::mark_update;
+use crate::sut::SutCatalog;
 
 /// Configuration of the DiCE runtime.
-#[derive(Debug, Clone)]
+///
+/// Serializes (and, with a full serde backend, deserializes) so experiment
+/// binaries and CI perf jobs can persist and load configurations as JSON.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DiceConfig {
     /// The node whose actions are explored this round.
     pub explorer: NodeId,
@@ -51,7 +57,8 @@ pub struct DiceConfig {
     pub snapshot_deadline: SimDuration,
     /// Concolic search strategy.
     pub strategy: Strategy,
-    /// Grammar-generated seed count (0 disables the grammar layer).
+    /// Grammar-generated seed count. `0` disables the grammar layer
+    /// entirely: exploration starts from one fixed minimal seed.
     pub grammar_seeds: usize,
     /// Per-query solver budget.
     pub solver_budget: SolverBudget,
@@ -89,6 +96,15 @@ impl DiceConfig {
 pub struct RoundReport {
     /// Round number.
     pub round: u64,
+    /// The node explored this round.
+    pub explorer: NodeId,
+    /// The peer whose inputs were impersonated.
+    pub inject_peer: NodeId,
+    /// Protocol tag of the explorer node ("bgp", ...).
+    pub explorer_kind: String,
+    /// Explorer session health at snapshot time (configured vs
+    /// established sessions).
+    pub explorer_sessions: crate::sut::SessionHealth,
     /// Snapshot cost accounting.
     pub snapshot: SnapshotMetrics,
     /// Concolic executions performed.
@@ -125,8 +141,11 @@ impl RoundReport {
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
-            "round {}: {} execs, {} paths, {} validated, {} faults ({} classes), {}ms",
+            "round {} ({}@{} via {}): {} execs, {} paths, {} validated, {} faults ({} classes), {}ms",
             self.round,
+            self.explorer_kind,
+            self.explorer,
+            self.inject_peer,
             self.executions,
             self.distinct_paths,
             self.validated,
@@ -137,27 +156,152 @@ impl RoundReport {
     }
 }
 
-/// The DiCE runtime bound to one deployed system.
+/// One explored `(explorer, peer)` pair: the public report plus the full
+/// exploration record the campaign layer aggregates coverage from.
+pub(crate) struct PairOutcome {
+    pub(crate) report: RoundReport,
+    pub(crate) exploration: ExplorationReport,
+}
+
+/// Phases 2–4 over an established snapshot: explore the configured pair,
+/// validate candidates system-wide, check, aggregate. Shared between
+/// [`DiceRunner::run_round`] and [`crate::campaign::Campaign::run`];
+/// `baseline` and `checkers` are computed by the caller so campaigns can
+/// amortize them over all peers sharing one snapshot.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_pair(
+    shadow: &ShadowSnapshot,
+    topo: &Topology,
+    cfg: &DiceConfig,
+    catalog: &SutCatalog,
+    registry: &AttestationRegistry,
+    baseline: &BTreeMap<(NodeId, dice_bgp::Ipv4Net), u64>,
+    checkers: &[Box<dyn Checker>],
+    round: u64,
+    snap_metrics: SnapshotMetrics,
+    wall_start: std::time::Instant,
+) -> Result<PairOutcome, String> {
+    // Phase 2: concolic exploration of the explorer node's handler twin.
+    let explorer_node = shadow
+        .nodes()
+        .get(&cfg.explorer)
+        .ok_or("explorer node missing from snapshot")?;
+    let sut = catalog
+        .resolve(explorer_node.as_ref())
+        .ok_or("explorer node is not explorable (no SUT probe matched)")?;
+    let kind = sut.kind();
+    let explorer_sessions = sut.check_view().session_health();
+    let plan = sut.exploration_plan(cfg.inject_peer, cfg.grammar_seeds, cfg.seed)?;
+    let mut program = plan.program;
+    let explore_cfg = ExploreConfig {
+        strategy: cfg.strategy,
+        max_executions: cfg.concolic_executions,
+        solver_budget: cfg.solver_budget,
+    };
+    let exploration = explore(&mut *program, &plan.seeds, &plan.marker, &explore_cfg);
+
+    // Phase 3: pick candidates — crashes first, then highest new
+    // coverage; distinct input bytes only.
+    let mut order: Vec<usize> = (0..exploration.executions.len()).collect();
+    order.sort_by_key(|&i| {
+        let e = &exploration.executions[i];
+        let crash = matches!(e.status, RunStatus::Crash(_));
+        (
+            core::cmp::Reverse(crash as u8),
+            core::cmp::Reverse(e.new_coverage),
+            i,
+        )
+    });
+    let mut seen_inputs: BTreeSet<Vec<u8>> = BTreeSet::new();
+    let mut candidates: Vec<Option<Vec<u8>>> = vec![None]; // null input first
+    for i in order {
+        if candidates.len() > cfg.validate_top {
+            break;
+        }
+        let e = &exploration.executions[i];
+        if seen_inputs.insert(e.input.clone()) {
+            candidates.push(Some(e.input.clone()));
+        }
+    }
+
+    // Phase 3b: system-wide validation over isolated clones.
+    let results = validate_candidates(
+        shadow,
+        topo,
+        &candidates,
+        cfg,
+        catalog,
+        registry,
+        baseline,
+        checkers,
+    );
+
+    // Phase 4: aggregate.
+    let mut faults: Vec<FaultReport> = Vec::new();
+    let mut seen_keys = BTreeSet::new();
+    let mut verdicts_total = 0;
+    let mut verdicts_failed = 0;
+    let mut detection: BTreeMap<String, usize> = BTreeMap::new();
+    for (i, report) in results.iter().enumerate() {
+        verdicts_total += report.verdicts.len();
+        verdicts_failed += report.failed();
+        for f in &report.faults {
+            detection.entry(f.class.to_string()).or_insert(i + 1);
+            if seen_keys.insert(f.key()) {
+                faults.push(f.clone());
+            }
+        }
+    }
+
+    let report = RoundReport {
+        round,
+        explorer: cfg.explorer,
+        inject_peer: cfg.inject_peer,
+        explorer_kind: kind.to_string(),
+        explorer_sessions,
+        snapshot: snap_metrics,
+        executions: exploration.executions.len(),
+        distinct_paths: exploration.distinct_paths,
+        branch_coverage: exploration.final_coverage(),
+        validated: candidates.len(),
+        faults,
+        verdicts_total,
+        verdicts_failed,
+        detection_input_ordinal: detection,
+        wall_ms: wall_start.elapsed().as_millis() as u64,
+        solver_queries: exploration.solver.queries,
+        solver_sat: exploration.solver.sat,
+    };
+    Ok(PairOutcome {
+        report,
+        exploration,
+    })
+}
+
+/// The DiCE runtime bound to one deployed system and one fixed
+/// `(explorer, inject_peer)` pair.
 pub struct DiceRunner {
-    config: DiceConfig,
+    pub(crate) config: DiceConfig,
+    catalog: SutCatalog,
     registry: AttestationRegistry,
     exploration_last: Option<ExplorationReport>,
     round: u64,
 }
 
 impl DiceRunner {
-    /// Build a runner, deriving the attestation registry from the routers'
-    /// `owned` prefix lists in the live simulator.
+    /// Build a runner over the default (BGP-only) SUT catalog, deriving
+    /// the attestation registry from the nodes' ownership facts.
     pub fn from_sim(config: DiceConfig, live: &Simulator) -> Self {
-        let configs = live.topology().node_ids().filter_map(|id| {
-            live.node(id)
-                .as_any()
-                .downcast_ref::<BgpRouter>()
-                .map(|r| (id, r.config().clone()))
-        });
-        let registry = build_registry(configs, config.seed);
+        Self::with_catalog(config, live, SutCatalog::default())
+    }
+
+    /// Build a runner over a custom SUT catalog (heterogeneous
+    /// federations register extra probes on the catalog first).
+    pub fn with_catalog(config: DiceConfig, live: &Simulator, catalog: SutCatalog) -> Self {
+        let registry = catalog.build_registry(live, config.seed);
         DiceRunner {
             config,
+            catalog,
             registry,
             exploration_last: None,
             round: 0,
@@ -167,6 +311,11 @@ impl DiceRunner {
     /// The shared attestation registry.
     pub fn registry(&self) -> &AttestationRegistry {
         &self.registry
+    }
+
+    /// The SUT catalog resolving nodes under test.
+    pub fn catalog(&self) -> &SutCatalog {
+        &self.catalog
     }
 
     /// The full exploration report of the last round (inputs included).
@@ -184,120 +333,36 @@ impl DiceRunner {
         let (shadow, snap_metrics) =
             take_consistent_snapshot(live, cfg.explorer, cfg.snapshot_deadline)?;
         let topo = live.topology().clone();
-
-        // Phase 2: concolic exploration of the explorer node's handler.
-        let explorer_router = shadow
-            .nodes()
-            .get(&cfg.explorer)
-            .ok_or("explorer node missing from snapshot")?
-            .as_any()
-            .downcast_ref::<BgpRouter>()
-            .ok_or("explorer node is not a BGP router")?;
-        let router_cfg = explorer_router.config().clone();
-        let peer_asn = router_cfg
-            .neighbor(cfg.inject_peer)
-            .ok_or("inject peer is not a neighbor of the explorer")?
-            .asn;
-
-        let mut grammar = UpdateGrammar::new(GrammarConfig::for_peer(peer_asn), cfg.seed ^ 0x6A33);
-        // The corpus plays the role of Oasis's test-suite seeds: ordinary
-        // announcements plus one message exercising the unknown-attribute
-        // path with a large value region.
-        let mut seeds = vec![grammar.generate(), grammar.generate_large_unknown()];
-        if cfg.grammar_seeds > 1 {
-            seeds.extend(grammar.batch(cfg.grammar_seeds - 1));
-        }
-
-        let mut handler = SymbolicUpdateHandler::new(router_cfg, cfg.inject_peer);
-        let explore_cfg = ExploreConfig {
-            strategy: cfg.strategy,
-            max_executions: cfg.concolic_executions,
-            solver_budget: cfg.solver_budget,
-        };
-        let exploration = explore(&mut handler, &seeds, &mark_update, &explore_cfg);
-
-        // Phase 3: pick candidates — crashes first, then highest new
-        // coverage; distinct input bytes only.
-        let mut order: Vec<usize> = (0..exploration.executions.len()).collect();
-        order.sort_by_key(|&i| {
-            let e = &exploration.executions[i];
-            let crash = matches!(e.status, RunStatus::Crash(_));
-            (
-                core::cmp::Reverse(crash as u8),
-                core::cmp::Reverse(e.new_coverage),
-                i,
-            )
-        });
-        let mut seen_inputs: BTreeSet<Vec<u8>> = BTreeSet::new();
-        let mut candidates: Vec<Option<Vec<u8>>> = vec![None]; // null input first
-        for i in order {
-            if candidates.len() > cfg.validate_top {
-                break;
-            }
-            let e = &exploration.executions[i];
-            if seen_inputs.insert(e.input.clone()) {
-                candidates.push(Some(e.input.clone()));
-            }
-        }
-
-        // Phase 3b: system-wide validation over isolated clones.
-        let baseline = flips_baseline(&shadow);
+        let baseline = flips_baseline(&self.catalog, &shadow);
         let checkers = default_checkers(cfg.oscillation_threshold);
-        let results = validate_candidates(
+
+        let outcome = run_pair(
             &shadow,
             &topo,
-            &candidates,
             cfg,
+            &self.catalog,
             &self.registry,
             &baseline,
             &checkers,
-        );
-
-        // Phase 4: aggregate.
-        let mut faults: Vec<FaultReport> = Vec::new();
-        let mut seen_keys = BTreeSet::new();
-        let mut verdicts_total = 0;
-        let mut verdicts_failed = 0;
-        let mut detection: BTreeMap<String, usize> = BTreeMap::new();
-        for (i, report) in results.iter().enumerate() {
-            verdicts_total += report.verdicts.len();
-            verdicts_failed += report.failed();
-            for f in &report.faults {
-                detection.entry(f.class.to_string()).or_insert(i + 1);
-                if seen_keys.insert(f.key()) {
-                    faults.push(f.clone());
-                }
-            }
-        }
-
-        let report = RoundReport {
-            round: self.round,
-            snapshot: snap_metrics,
-            executions: exploration.executions.len(),
-            distinct_paths: exploration.distinct_paths,
-            branch_coverage: exploration.final_coverage(),
-            validated: candidates.len(),
-            faults,
-            verdicts_total,
-            verdicts_failed,
-            detection_input_ordinal: detection,
-            wall_ms: wall.elapsed().as_millis() as u64,
-            solver_queries: exploration.solver.queries,
-            solver_sat: exploration.solver.sat,
-        };
-        self.exploration_last = Some(exploration);
-        Ok(report)
+            self.round,
+            snap_metrics,
+            wall,
+        )?;
+        self.exploration_last = Some(outcome.exploration);
+        Ok(outcome.report)
     }
 }
 
 /// Validate candidates over clones; parallel when `cfg.workers > 1`.
-fn validate_candidates(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn validate_candidates(
     shadow: &ShadowSnapshot,
     topo: &Topology,
     candidates: &[Option<Vec<u8>>],
     cfg: &DiceConfig,
+    catalog: &SutCatalog,
     registry: &AttestationRegistry,
-    baseline: &BTreeMap<(u32, dice_bgp::Ipv4Net), u64>,
+    baseline: &BTreeMap<(NodeId, dice_bgp::Ipv4Net), u64>,
     checkers: &[Box<dyn Checker>],
 ) -> Vec<crate::check::CheckReport> {
     let run_one = |i: usize, input: Option<&Vec<u8>>| {
@@ -309,6 +374,7 @@ fn validate_candidates(
         let quiet = clone.run_until_quiet(cfg.quiet_window, end);
         let cx = CheckContext {
             sim: &clone,
+            catalog,
             registry,
             baseline_flips: baseline,
             quiet,
@@ -353,6 +419,7 @@ fn validate_candidates(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bgp_sut;
     use crate::scenarios;
     use dice_netsim::SimTime;
 
@@ -370,6 +437,8 @@ mod tests {
             "seeded bug must be found: {report:?}"
         );
         assert!(report.distinct_paths > 10, "exploration should branch out");
+        assert_eq!(report.explorer, NodeId(1));
+        assert_eq!(report.explorer_kind, "bgp");
     }
 
     #[test]
@@ -453,6 +522,29 @@ mod tests {
     }
 
     #[test]
+    fn zero_grammar_seeds_disables_grammar_layer() {
+        // Regression: `grammar_seeds = 0` is documented to disable the
+        // grammar layer but used to seed two generated messages anyway.
+        let mut sim = scenarios::healthy_line(3, 13);
+        sim.run_until(SimTime::from_nanos(10_000_000_000));
+        let mut cfg = DiceConfig::new(NodeId(1), NodeId(0));
+        cfg.concolic_executions = 24;
+        cfg.validate_top = 4;
+        cfg.grammar_seeds = 0;
+        let mut runner = DiceRunner::from_sim(cfg, &sim);
+        let report = runner.run_round(&mut sim).expect("round runs");
+        assert!(report.executions > 0);
+        // The only seed executed is the fixed minimal message.
+        let exploration = runner.last_exploration().unwrap();
+        let peer_asn = scenarios::asn_of(0);
+        assert_eq!(
+            exploration.executions[0].input,
+            bgp_sut::minimal_seed(peer_asn),
+            "grammar layer must be fully disabled at zero seeds"
+        );
+    }
+
+    #[test]
     fn exploration_never_perturbs_live_system() {
         let mut sim = scenarios::healthy_line(3, 13);
         sim.run_until(SimTime::from_nanos(10_000_000_000));
@@ -463,31 +555,20 @@ mod tests {
 
         // Capture live state before/after a round: only snapshot-marker
         // traffic may appear; RIBs and sessions stay untouched.
-        let before: Vec<u64> = sim
-            .topology()
-            .node_ids()
-            .map(|id| {
-                sim.node(id)
-                    .as_any()
-                    .downcast_ref::<BgpRouter>()
-                    .unwrap()
-                    .loc_rib()
-                    .total_flips()
-            })
-            .collect();
+        let flips = |sim: &Simulator| -> Vec<u64> {
+            sim.topology()
+                .node_ids()
+                .map(|id| {
+                    bgp_sut::as_bgp(sim.node(id))
+                        .unwrap()
+                        .loc_rib()
+                        .total_flips()
+                })
+                .collect()
+        };
+        let before = flips(&sim);
         let _ = runner.run_round(&mut sim).unwrap();
-        let after: Vec<u64> = sim
-            .topology()
-            .node_ids()
-            .map(|id| {
-                sim.node(id)
-                    .as_any()
-                    .downcast_ref::<BgpRouter>()
-                    .unwrap()
-                    .loc_rib()
-                    .total_flips()
-            })
-            .collect();
+        let after = flips(&sim);
         assert_eq!(before, after, "live RIBs must be untouched by exploration");
     }
 }

@@ -80,7 +80,7 @@ impl AttestationRegistry {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LocalVerdict {
     /// The node that ran the check.
-    pub node: u32,
+    pub node: NodeId,
     /// Checker identifier.
     pub checker: String,
     /// Whether the property held locally.
@@ -93,7 +93,7 @@ impl LocalVerdict {
     /// A passing verdict.
     pub fn pass(node: NodeId, checker: &str) -> Self {
         LocalVerdict {
-            node: node.0,
+            node,
             checker: checker.to_string(),
             ok: true,
             detail: String::new(),
@@ -103,7 +103,7 @@ impl LocalVerdict {
     /// A failing verdict with a coarse detail string.
     pub fn fail(node: NodeId, checker: &str, detail: impl Into<String>) -> Self {
         LocalVerdict {
-            node: node.0,
+            node,
             checker: checker.to_string(),
             ok: false,
             detail: detail.into(),
@@ -166,7 +166,7 @@ mod tests {
         assert!(p.ok);
         let f = LocalVerdict::fail(NodeId(3), "origin", "hijack 10.0.0.0/24");
         assert!(!f.ok);
-        assert_eq!(f.node, 3);
+        assert_eq!(f.node, NodeId(3));
         assert!(f.detail.contains("10.0.0.0/24"));
     }
 }

@@ -24,9 +24,18 @@
 //!    salted SHA-256 ownership attestations and local verdicts cross domain
 //!    boundaries; RIBs, policies and configuration stay private.
 //!
-//! The [`explorer::DiceRunner`] ties the phases into rounds; [`scenarios`]
-//! provides the paper's demo systems (including the 27-router Figure 1
-//! topology).
+//! The runtime is protocol-agnostic: everything it needs from a node under
+//! test is captured by the [`sut`] seam ([`sut::ExplorableNode`] for
+//! exploration, [`sut::CheckView`] for checking), resolved through a
+//! [`sut::SutCatalog`] of probes. The BGP adapter ([`bgp_sut`]) is the
+//! first implementor; heterogeneous federations register extra probes.
+//!
+//! Two drivers sit on top: [`explorer::DiceRunner`] runs rounds for one
+//! fixed `(explorer, inject peer)` pair, and [`campaign::Campaign`] sweeps
+//! every eligible pair across the federation (one snapshot per explorer,
+//! validation fanned out over a worker pool) into an aggregated
+//! [`campaign::CampaignReport`]. [`scenarios`] provides the paper's demo
+//! systems (including the 27-router Figure 1 topology).
 //!
 //! ## Quickstart
 //!
@@ -48,6 +57,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bgp_sut;
+pub mod campaign;
 pub mod check;
 pub mod explorer;
 pub mod grammar;
@@ -56,8 +67,10 @@ pub mod hash;
 pub mod interface;
 pub mod scenarios;
 pub mod snapshot;
+pub mod sut;
 pub mod symmark;
 
+pub use campaign::{Campaign, CampaignConfig, CampaignReport, ClassDetection, ExplorerSummary};
 pub use check::{
     build_registry, default_checkers, flips_baseline, run_checkers, CheckContext, CheckReport,
     Checker, ConvergenceChecker, CrashChecker, FaultClass, FaultReport, OriginAuthorityChecker,
@@ -69,4 +82,5 @@ pub use handler::SymbolicUpdateHandler;
 pub use hash::{sha256, Sha256};
 pub use interface::{AttestationRegistry, LocalVerdict};
 pub use snapshot::{take_consistent_snapshot, take_instant_snapshot, SnapshotMetrics};
+pub use sut::{CheckView, ExplorableNode, ExplorationPlan, SessionHealth, SutCatalog, SutProbe};
 pub use symmark::{mark_nlri_only, mark_none, mark_update};

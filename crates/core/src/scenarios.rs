@@ -124,10 +124,7 @@ pub fn hijack_prefix() -> Ipv4Net {
 /// without owning it (a more-specific hijack of node 0's block).
 pub fn apply_hijack(sim: &mut Simulator) {
     sim.invoke_node(NodeId(2), |node, api| {
-        let r = node
-            .as_any_mut()
-            .downcast_mut::<BgpRouter>()
-            .expect("node 2 is a router");
+        let r = crate::bgp_sut::as_bgp_mut(node).expect("node 2 is a router");
         r.announce_network(hijack_prefix(), false, api);
     });
 }
@@ -251,11 +248,7 @@ mod tests {
         sim.run_until(SimTime::from_nanos(15_000_000_000));
         // Every node knows every prefix.
         for i in 0..4u32 {
-            let r = sim
-                .node(NodeId(i))
-                .as_any()
-                .downcast_ref::<BgpRouter>()
-                .unwrap();
+            let r = crate::bgp_sut::as_bgp(sim.node(NodeId(i))).unwrap();
             for j in 0..4u32 {
                 assert!(
                     r.loc_rib().best(&prefix_of(j)).is_some(),
@@ -279,11 +272,7 @@ mod tests {
         );
         // Spot-check: every stub reaches a tier-1 prefix.
         for stub in 11..27u32 {
-            let r = sim
-                .node(NodeId(stub))
-                .as_any()
-                .downcast_ref::<BgpRouter>()
-                .unwrap();
+            let r = crate::bgp_sut::as_bgp(sim.node(NodeId(stub))).unwrap();
             assert!(
                 r.loc_rib().best(&prefix_of(0)).is_some(),
                 "stub {stub} cannot reach tier-1 prefix"
@@ -292,11 +281,7 @@ mod tests {
         // Valley-free spot check: a tier-1 node must not route to another
         // tier-1's prefix via a customer path that re-ascends ... minimal
         // check: its path to node 1's prefix is at most 2 AS hops (peering).
-        let r0 = sim
-            .node(NodeId(0))
-            .as_any()
-            .downcast_ref::<BgpRouter>()
-            .unwrap();
+        let r0 = crate::bgp_sut::as_bgp(sim.node(NodeId(0))).unwrap();
         let best = r0.loc_rib().best(&prefix_of(1)).expect("tier-1 reachable");
         assert!(best.route.attrs.as_path.path_len() <= 2);
     }
@@ -316,11 +301,7 @@ mod tests {
         // Ring nodes accumulate best-route flips on the contested prefix.
         let mut total = 0;
         for i in 1..=3u32 {
-            let r = sim
-                .node(NodeId(i))
-                .as_any()
-                .downcast_ref::<BgpRouter>()
-                .unwrap();
+            let r = crate::bgp_sut::as_bgp(sim.node(NodeId(i))).unwrap();
             total += r
                 .loc_rib()
                 .flips
@@ -337,11 +318,7 @@ mod tests {
         sim.run_until(SimTime::from_nanos(10_000_000_000));
         apply_hijack(&mut sim);
         sim.run_until(SimTime::from_nanos(25_000_000_000));
-        let r1 = sim
-            .node(NodeId(1))
-            .as_any()
-            .downcast_ref::<BgpRouter>()
-            .unwrap();
+        let r1 = crate::bgp_sut::as_bgp(sim.node(NodeId(1))).unwrap();
         let best = r1
             .loc_rib()
             .best(&hijack_prefix())
@@ -357,11 +334,7 @@ mod tests {
             assert!(sim.crashed(NodeId(i)).is_none());
         }
         // Regular routing works despite the dormant bug.
-        let r2 = sim
-            .node(NodeId(2))
-            .as_any()
-            .downcast_ref::<BgpRouter>()
-            .unwrap();
+        let r2 = crate::bgp_sut::as_bgp(sim.node(NodeId(2))).unwrap();
         assert!(r2.loc_rib().best(&prefix_of(0)).is_some());
     }
 }

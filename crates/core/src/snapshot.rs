@@ -130,11 +130,7 @@ mod tests {
         );
         // The cloned routers carry the converged RIB.
         let clone = spawn_clone(&shadow, sim.topology(), 1);
-        let r2 = clone
-            .node(NodeId(2))
-            .as_any()
-            .downcast_ref::<BgpRouter>()
-            .unwrap();
+        let r2 = crate::bgp_sut::as_bgp(clone.node(NodeId(2))).unwrap();
         assert!(r2.loc_rib().best(&net("10.0.0.0/8")).is_some());
     }
 

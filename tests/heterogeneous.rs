@@ -1,0 +1,277 @@
+//! Heterogeneity round-trip: the DiCE runtime must explore federations
+//! that mix BGP routers with arbitrary other `ExplorableNode`
+//! implementors, and a campaign must sweep multiple explorers and report
+//! per-explorer coverage.
+
+use dice_system::bgp::{net, Asn, BgpRouter, Ipv4Net, RouterConfig, RouterId};
+use dice_system::concolic::{ConcolicCtx, RunStatus, SiteId};
+use dice_system::dice::sut::{
+    CheckView, ExplorableNode, ExplorationPlan, SessionHealth, SutCatalog,
+};
+use dice_system::dice::{
+    scenarios, AttestationRegistry, Campaign, DiceConfig, DiceRunner, FaultClass,
+};
+use dice_system::netsim::{
+    LinkParams, Node, NodeApi, NodeId, SimDuration, SimTime, Simulator, Topology,
+};
+
+/// A trivial non-BGP protocol node: counts the bytes it receives and
+/// "crashes" on a magic opcode — enough surface for DiCE to snapshot,
+/// explore, validate and check it.
+#[derive(Clone, Default)]
+struct MonitorNode {
+    peers: Vec<NodeId>,
+    bytes_seen: u64,
+}
+
+const MAGIC_CRASH_OPCODE: u8 = 0x99;
+
+impl Node for MonitorNode {
+    fn on_message(&mut self, _from: NodeId, data: &[u8], api: &mut NodeApi<'_>) {
+        self.bytes_seen += data.len() as u64;
+        if data.first() == Some(&MAGIC_CRASH_OPCODE) {
+            api.crash("monitor: magic opcode");
+        }
+    }
+    fn clone_node(&self) -> Box<dyn Node> {
+        Box::new(self.clone())
+    }
+    fn state_size(&self) -> usize {
+        8 + self.peers.len() * 4
+    }
+    fn as_any(&self) -> &dyn core::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+        self
+    }
+}
+
+impl CheckView for MonitorNode {
+    fn for_each_route_flip(&self, _visit: &mut dyn FnMut(Ipv4Net, u64)) {}
+    fn for_each_best_route(&self, _visit: &mut dyn FnMut(Ipv4Net, Asn)) {}
+    fn session_health(&self) -> SessionHealth {
+        SessionHealth {
+            configured: self.peers.len(),
+            established: 0,
+        }
+    }
+}
+
+impl ExplorableNode for MonitorNode {
+    fn kind(&self) -> &'static str {
+        "monitor"
+    }
+    fn injection_peers(&self) -> Vec<NodeId> {
+        self.peers.clone()
+    }
+    fn exploration_plan(
+        &self,
+        peer: NodeId,
+        _grammar_seeds: usize,
+        _seed: u64,
+    ) -> Result<ExplorationPlan, String> {
+        if !self.peers.contains(&peer) {
+            return Err("peer not monitored".into());
+        }
+        // Twin of on_message: branch on the magic opcode.
+        let program = |ctx: &mut ConcolicCtx| -> RunStatus {
+            if !ctx.in_bounds(0) {
+                return RunStatus::Rejected("empty".into());
+            }
+            let op = ctx.read_u8(0);
+            let magic = ctx.eq_const(op, MAGIC_CRASH_OPCODE as u64);
+            if ctx.branch(SiteId(1), magic) {
+                return RunStatus::Crash("monitor: magic opcode".into());
+            }
+            RunStatus::Ok
+        };
+        fn all_symbolic(bytes: &[u8]) -> Vec<bool> {
+            vec![true; bytes.len()]
+        }
+        Ok(ExplorationPlan {
+            program: Box::new(program),
+            marker: all_symbolic,
+            seeds: vec![vec![0u8; 4]],
+        })
+    }
+    fn attest(&self, _registry: &mut AttestationRegistry) {}
+    fn check_view(&self) -> &dyn CheckView {
+        self
+    }
+}
+
+fn monitor_probe(node: &dyn Node) -> Option<&dyn ExplorableNode> {
+    node.as_any()
+        .downcast_ref::<MonitorNode>()
+        .map(|m| m as &dyn ExplorableNode)
+}
+
+/// 0 (BGP) — 1 (BGP) — 2 (monitor): BGP routers peer with each other;
+/// the monitor observes node 1's traffic without speaking BGP.
+fn mixed_system(seed: u64) -> Simulator {
+    let topo = Topology::line(3, LinkParams::fixed(SimDuration::from_millis(5)));
+    let mut sim = Simulator::new(topo, seed);
+    for i in 0..2u32 {
+        let mut cfg = RouterConfig::minimal(Asn(65000 + i as u16), RouterId(i + 1))
+            .with_network(net(&format!("10.{i}.0.0/16")));
+        let peer = if i == 0 { 1 } else { 0 };
+        cfg = cfg.with_neighbor(NodeId(peer), Asn(65000 + peer as u16), "all", "all");
+        sim.set_node(NodeId(i), Box::new(BgpRouter::new(cfg)));
+    }
+    sim.set_node(
+        NodeId(2),
+        Box::new(MonitorNode {
+            peers: vec![NodeId(1)],
+            bytes_seen: 0,
+        }),
+    );
+    sim.start();
+    sim
+}
+
+fn mixed_catalog() -> SutCatalog {
+    SutCatalog::default().with_probe(monitor_probe)
+}
+
+#[test]
+fn mixed_topology_round_trips_through_all_phases() {
+    let mut sim = mixed_system(21);
+    sim.run_until(SimTime::from_nanos(10_000_000_000));
+
+    // A full DiCE round with the *monitor* as explorer: snapshot,
+    // explore, validate, check — no panics, and the twin's crash branch
+    // is reachable.
+    let mut cfg = DiceConfig::new(NodeId(2), NodeId(1));
+    cfg.concolic_executions = 16;
+    cfg.validate_top = 4;
+    cfg.horizon = SimDuration::from_secs(30);
+    let mut runner = DiceRunner::with_catalog(cfg, &sim, mixed_catalog());
+    let report = runner.run_round(&mut sim).expect("monitor round runs");
+    assert_eq!(report.explorer_kind, "monitor");
+    assert_eq!(report.explorer_sessions.configured, 1);
+    assert!(report.executions > 0);
+    assert!(report.validated > 0);
+    assert!(
+        report.verdicts_total > 0,
+        "checkers ran over the mixed clone"
+    );
+    // The concolic layer flips the magic-opcode branch, the validation
+    // layer replays it on a clone, and the crash checker classifies it.
+    assert!(
+        report.classes().contains(&FaultClass::ProgrammingError),
+        "magic-opcode crash must be surfaced: {:?}",
+        report.faults
+    );
+
+    // A BGP round over the same mixed system also passes through cleanly.
+    let mut cfg = DiceConfig::new(NodeId(1), NodeId(0));
+    cfg.concolic_executions = 24;
+    cfg.validate_top = 4;
+    cfg.horizon = SimDuration::from_secs(30);
+    let mut runner = DiceRunner::with_catalog(cfg, &sim, mixed_catalog());
+    let report = runner.run_round(&mut sim).expect("bgp round runs");
+    assert_eq!(report.explorer_kind, "bgp");
+    assert!(report.verdicts_total > 0);
+    assert_eq!(
+        report.explorer_sessions.established, 1,
+        "router 1's session to router 0 is up at snapshot time"
+    );
+}
+
+#[test]
+fn campaign_sweeps_mixed_federation() {
+    let mut sim = mixed_system(22);
+    sim.run_until(SimTime::from_nanos(10_000_000_000));
+    let report = Campaign::with_catalog(&sim, mixed_catalog())
+        .executions(16)
+        .validate_top(3)
+        .horizon(SimDuration::from_secs(30))
+        .run(&mut sim)
+        .expect("mixed campaign runs");
+    // Pairs: (0,1), (1,0), (2,1) — both protocols explored.
+    assert_eq!(report.rounds.len(), 3);
+    let kinds: std::collections::BTreeSet<&str> = report
+        .per_explorer
+        .iter()
+        .map(|e| e.kind.as_str())
+        .collect();
+    assert!(
+        kinds.contains("bgp") && kinds.contains("monitor"),
+        "{kinds:?}"
+    );
+}
+
+#[test]
+fn demo27_campaign_visits_multiple_explorers_with_coverage() {
+    let mut sim = scenarios::demo27_system(4);
+    sim.run_until_quiet(
+        SimDuration::from_secs(5),
+        SimTime::from_nanos(300_000_000_000),
+    );
+    let build = |sim: &Simulator, workers: usize| {
+        Campaign::new(sim)
+            .explorers([NodeId(11), NodeId(12)])
+            .executions(16)
+            .validate_top(3)
+            .horizon(SimDuration::from_secs(30))
+            .workers(workers)
+    };
+    let report = build(&sim, 4).run(&mut sim).expect("campaign runs");
+    assert!(
+        report.per_explorer.len() > 1,
+        "campaign must visit >1 explorer: {:?}",
+        report.per_explorer
+    );
+    for e in &report.per_explorer {
+        assert!(e.coverage > 0, "per-explorer coverage reported: {e:?}");
+        assert!(e.rounds >= 1);
+    }
+    assert!(report.coverage_union > 0);
+
+    // Determinism: parallel validation (workers >= 4) detects exactly the
+    // fault classes that sequential single-round runs detect.
+    let mut sequential_classes = std::collections::BTreeSet::new();
+    for (explorer, peers) in build(&sim, 1).sweep_plan() {
+        for peer in peers {
+            let mut cfg = DiceConfig::new(explorer, peer);
+            cfg.concolic_executions = 16;
+            cfg.validate_top = 3;
+            cfg.horizon = SimDuration::from_secs(30);
+            cfg.workers = 1;
+            let mut runner = DiceRunner::from_sim(cfg, &sim);
+            let r = runner.run_round(&mut sim).expect("single round runs");
+            sequential_classes.extend(r.classes());
+        }
+    }
+    assert_eq!(report.classes(), sequential_classes);
+}
+
+#[test]
+fn buggy_campaign_matches_sequential_detection() {
+    // Same determinism property on a system that actually faults.
+    let mut sim = scenarios::buggy_parser_scenario(7);
+    sim.run_until(SimTime::from_nanos(10_000_000_000));
+    let campaign_classes = Campaign::new(&sim)
+        .explorers([NodeId(1)])
+        .executions(160)
+        .validate_top(16)
+        .workers(4)
+        .run(&mut sim)
+        .expect("campaign runs")
+        .classes();
+
+    let mut cfg = DiceConfig::new(NodeId(1), NodeId(0));
+    cfg.concolic_executions = 160;
+    cfg.validate_top = 16;
+    let mut runner = DiceRunner::from_sim(cfg, &sim);
+    let mut sequential = runner.run_round(&mut sim).expect("round runs").classes();
+    let mut cfg2 = DiceConfig::new(NodeId(1), NodeId(2));
+    cfg2.concolic_executions = 160;
+    cfg2.validate_top = 16;
+    let mut runner2 = DiceRunner::from_sim(cfg2, &sim);
+    sequential.extend(runner2.run_round(&mut sim).expect("round runs").classes());
+
+    assert!(campaign_classes.contains(&FaultClass::ProgrammingError));
+    assert_eq!(campaign_classes, sequential);
+}
