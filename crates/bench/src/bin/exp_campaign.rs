@@ -1,19 +1,97 @@
 //! **C1 — Campaign throughput and detection**: DiCE sweeping a federation
 //! end-to-end, the headline number every scale PR moves.
 //!
-//! Two campaigns:
+//! Campaigns:
 //!
 //! 1. The 27-router Figure 1 demo (healthy): rounds/s, coverage union,
 //!    per-explorer coverage — the cost of *continuously* testing a
-//!    federation.
+//!    federation. Runs at the parallel engine's default (`pair_workers=4`).
 //! 2. The seeded-bug line (faulty): per-class detection latency at
 //!    campaign granularity.
+//! 3. **Workers sweep** (C1d): the same demo27 campaign at `pair_workers`
+//!    ∈ {1, 2, 4}, recording the scaling curve and cross-checking that
+//!    the normalized report is byte-identical at every point.
 //!
-//! Prints Markdown tables; `--json PATH` archives the raw rows.
+//! Flags:
+//!
+//! * `--config <file.json>` — load the demo-campaign [`CampaignConfig`]
+//!   from JSON instead of the built-in default (exercises the vendored
+//!   serde deserialization path).
+//! * `--smoke` — tiny budgets for CI: fewer executions/validations, sweep
+//!   {1, 2} only. Keeps the perf trajectory file cheap to regenerate.
+//! * `--json PATH` — archive the raw rows as JSON.
+//!
+//! Prints Markdown tables; the JSON output is committed as
+//! `BENCH_campaign.json` by CI to start the perf trajectory.
 
 use dice_bench::{fmt_nanos, maybe_write_json, Table};
-use dice_core::{scenarios, Campaign, CampaignReport};
-use dice_netsim::{NodeId, SimDuration, SimTime};
+use dice_core::{scenarios, Campaign, CampaignConfig, CampaignReport};
+use dice_netsim::{NodeId, SimDuration, SimTime, Simulator};
+
+struct Options {
+    config: Option<String>,
+    smoke: bool,
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        config: None,
+        smoke: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--config" => {
+                opts.config = Some(args.next().unwrap_or_else(|| {
+                    panic!("--config requires a path to a CampaignConfig JSON file")
+                }));
+            }
+            "--smoke" => opts.smoke = true,
+            "--json" => {
+                // Handled by maybe_write_json; skip its path argument.
+                args.next();
+            }
+            other => panic!(
+                "unknown flag {other:?}; supported: --config <file.json>, --smoke, --json <path>"
+            ),
+        }
+    }
+    opts
+}
+
+/// The Figure 1 demo federation, quiesced and ready to snapshot.
+fn demo27_live() -> Simulator {
+    let mut live = scenarios::demo27_system(11);
+    live.run_until_quiet(
+        SimDuration::from_secs(5),
+        SimTime::from_nanos(300_000_000_000),
+    );
+    live
+}
+
+/// The built-in demo-campaign configuration (overridable via `--config`).
+/// Pure data — no simulator needed to assemble it.
+fn default_demo_config(smoke: bool) -> CampaignConfig {
+    let mut cfg = CampaignConfig {
+        explorers: vec![NodeId(0), NodeId(3), NodeId(5), NodeId(11), NodeId(12)],
+        max_peers_per_explorer: 2,
+        pair_workers: if smoke { 2 } else { 4 },
+        ..CampaignConfig::default()
+    };
+    cfg.template.concolic_executions = if smoke { 24 } else { 64 };
+    cfg.template.validate_top = if smoke { 4 } else { 8 };
+    cfg.template.horizon = SimDuration::from_secs(30);
+    cfg.template.workers = 4;
+    cfg
+}
+
+fn run_demo(cfg: &CampaignConfig) -> CampaignReport {
+    let mut live = demo27_live();
+    Campaign::new(&live)
+        .config(cfg.clone())
+        .run(&mut live)
+        .expect("demo campaign runs")
+}
 
 fn fault_counts(report: &CampaignReport) -> String {
     let mut by_class: std::collections::BTreeMap<String, usize> = Default::default();
@@ -40,7 +118,7 @@ fn summarize(table: &mut Table, label: &str, report: &CampaignReport) {
     table.row(vec![
         label.into(),
         "wall".into(),
-        format!("{}ms", report.wall_ms),
+        format!("{:.1}ms", report.wall_us as f64 / 1e3),
     ]);
     table.row(vec![
         label.into(),
@@ -75,27 +153,30 @@ fn summarize(table: &mut Table, label: &str, report: &CampaignReport) {
 }
 
 fn main() {
-    // C1a: continuous testing cost on the healthy Figure 1 federation.
-    let mut live = scenarios::demo27_system(11);
-    live.run_until_quiet(
-        SimDuration::from_secs(5),
-        SimTime::from_nanos(300_000_000_000),
-    );
-    let demo = Campaign::new(&live)
-        .explorers([NodeId(0), NodeId(3), NodeId(5), NodeId(11), NodeId(12)])
-        .max_peers_per_explorer(2)
-        .executions(64)
-        .validate_top(8)
-        .horizon(SimDuration::from_secs(30))
-        .workers(4)
-        .run(&mut live)
-        .expect("demo campaign runs");
+    let opts = parse_options();
+    let demo_cfg = match &opts.config {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read --config {path}: {e}"));
+            serde_json::from_str(&text)
+                .unwrap_or_else(|e| panic!("cannot parse --config {path}: {e}"))
+        }
+        None => default_demo_config(opts.smoke),
+    };
+
+    // C1a: continuous testing cost on the healthy Figure 1 federation,
+    // at the configured round-level parallelism.
+    let demo = run_demo(&demo_cfg);
 
     let mut t1 = Table::new(
         "C1a — campaign over the 27-router demo (healthy)",
         &["campaign", "metric", "value"],
     );
-    summarize(&mut t1, "demo27", &demo);
+    summarize(
+        &mut t1,
+        &format!("demo27 (pair_workers={})", demo_cfg.pair_workers.max(1)),
+        &demo,
+    );
     t1.print();
 
     let mut t2 = Table::new(
@@ -113,13 +194,17 @@ fn main() {
     }
     t2.print();
 
-    // C1c: detection latency on a faulty deployment.
+    // C1c: detection latency on a faulty deployment. Budgets stay at the
+    // full size even under --smoke: below ~160 executions the concolic
+    // search does not reach the seeded parser bug and the latency rows
+    // would be empty.
     let mut buggy = scenarios::buggy_parser_scenario(7);
     buggy.run_until(SimTime::from_nanos(10_000_000_000));
     let faulty = Campaign::new(&buggy)
         .executions(160)
         .validate_top(16)
         .workers(4)
+        .pair_workers(2)
         .run(&mut buggy)
         .expect("buggy campaign runs");
 
@@ -133,12 +218,76 @@ fn main() {
             "buggy-line".into(),
             format!("first {} detection", d.class),
             format!(
-                "round {} ({} via {}), input #{}, {}ms cumulative",
-                d.round, d.explorer, d.inject_peer, d.input_ordinal, d.wall_ms_cum
+                "round {} ({} via {}), input #{}, {:.1}ms cumulative",
+                d.round,
+                d.explorer,
+                d.inject_peer,
+                d.input_ordinal,
+                d.wall_us_cum as f64 / 1e3
             ),
         ]);
     }
     t3.print();
 
-    maybe_write_json(&[&t1, &t2, &t3]);
+    // C1d: the scaling curve — same campaign, fresh identical live system
+    // per point, pair_workers swept. The normalized report must be
+    // byte-identical at every point (the determinism contract). Round
+    // work is CPU-bound, so the wall-clock speedup is bounded by the
+    // host's available parallelism — recorded in the first row so the
+    // committed perf trajectory stays interpretable across machines.
+    let sweep: &[usize] = if opts.smoke { &[1, 2] } else { &[1, 2, 4] };
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut t4 = Table::new(
+        "C1d — pair_workers scaling (demo27, identical budgets)",
+        &[
+            "pair_workers",
+            "wall",
+            "rounds/s",
+            "speedup vs 1",
+            "report identical",
+        ],
+    );
+    t4.row(vec![
+        "(host cores)".into(),
+        "-".into(),
+        "-".into(),
+        format!("max {host_cores}x"),
+        "-".into(),
+    ]);
+    let mut base_rps = 0.0;
+    let mut base_normalized = String::new();
+    for &k in sweep {
+        let mut cfg = demo_cfg.clone();
+        cfg.pair_workers = k;
+        // The C1a campaign already ran exactly this configuration when k
+        // matches its pair_workers; reuse its report instead of paying
+        // for a duplicate run.
+        let report = if k == demo_cfg.pair_workers.max(1) {
+            demo.clone()
+        } else {
+            run_demo(&cfg)
+        };
+        let normalized = serde_json::to_string(&report.normalized()).expect("serializable");
+        let rps = report.rounds_per_sec();
+        if k == 1 {
+            base_rps = rps;
+            base_normalized = normalized.clone();
+        }
+        t4.row(vec![
+            k.to_string(),
+            format!("{:.1}ms", report.wall_us as f64 / 1e3),
+            format!("{rps:.2}"),
+            format!("{:.2}x", rps / base_rps.max(f64::MIN_POSITIVE)),
+            if normalized == base_normalized {
+                "yes".into()
+            } else {
+                "NO — DETERMINISM VIOLATION".into()
+            },
+        ]);
+    }
+    t4.print();
+
+    maybe_write_json(&[&t1, &t2, &t3, &t4]);
 }

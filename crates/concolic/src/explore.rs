@@ -77,7 +77,30 @@ impl Coverage {
     pub fn sites(&self) -> impl Iterator<Item = (u32, bool)> + '_ {
         self.seen.iter().copied()
     }
+
+    /// Union another ledger into this one; returns how many previously
+    /// unseen (site, direction) pairs `other` contributed.
+    ///
+    /// This is the thread-safe aggregation path for parallel round
+    /// engines: each exploration session owns a private `Coverage` (no
+    /// locking on the hot `add_path` path), and completed sessions fold
+    /// into a campaign-level union off the critical path. `Coverage` is
+    /// `Send + Sync`, so ledgers can move across or be read from worker
+    /// threads freely.
+    pub fn merge(&mut self, other: &Coverage) -> usize {
+        let before = self.seen.len();
+        self.seen.extend(other.seen.iter().copied());
+        self.seen.len() - before
+    }
 }
+
+// Parallel campaign engines move ledgers between worker threads and share
+// final reports behind `Arc`; keep that guaranteed at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Coverage>();
+    assert_send_sync::<ExplorationReport>();
+};
 
 /// Search order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -493,6 +516,27 @@ mod tests {
         let report = explore(&mut toy_program, &seeds, &all_symbolic, &cfg);
         assert!(report.distinct_paths >= 3);
         assert!(report.distinct_paths <= report.executions.len());
+    }
+
+    #[test]
+    fn coverage_merge_unions_and_counts_new() {
+        let seeds = vec![vec![0u8, 0, 0]];
+        let cfg = ExploreConfig {
+            max_executions: 24,
+            ..Default::default()
+        };
+        let a = explore(&mut toy_program, &seeds, &all_symbolic, &cfg).coverage;
+        let seeds_magic = vec![vec![0x42u8, 3, 0xF5]];
+        let b = explore(&mut toy_program, &seeds_magic, &all_symbolic, &cfg).coverage;
+
+        let mut union = Coverage::default();
+        assert_eq!(union.merge(&a), a.len());
+        let added = union.merge(&b);
+        assert!(added <= b.len());
+        assert_eq!(union.merge(&b), 0, "re-merging adds nothing");
+        let expect: BTreeSet<(u32, bool)> = a.sites().chain(b.sites()).collect();
+        assert_eq!(union.len(), expect.len());
+        assert!(expect.iter().all(|&(s, d)| union.covered(s, d)));
     }
 
     #[test]

@@ -5,11 +5,13 @@
 //! round — fine for a demo, useless for a federation of dozens of domains.
 //! A [`Campaign`] discovers the eligible pairs through the
 //! [`SutCatalog`] probe chain, snapshots **once per explorer** (one
-//! Chandy–Lamport pass amortized over all of that node's peers), fans
-//! validation out over the scoped-thread worker pool, and aggregates the
-//! per-pair [`RoundReport`]s into a serializable [`CampaignReport`]:
-//! per-class detection latency, branch-coverage union (global and
-//! per-explorer), fault union, and wall/sim-time totals.
+//! Chandy–Lamport pass amortized over all of that node's peers), runs up
+//! to [`Campaign::pair_workers`] whole rounds concurrently on one shared
+//! worker pool (round- and validation-level tasks interleave; see the
+//! `executor` module), and aggregates the per-pair [`RoundReport`]s in
+//! deterministic round-ordinal order into a serializable
+//! [`CampaignReport`]: per-class detection latency, branch-coverage union
+//! (global and per-explorer), fault union, and wall/sim-time totals.
 //!
 //! ```
 //! use dice_core::{scenarios, Campaign};
@@ -36,7 +38,8 @@ use dice_netsim::{NodeId, SimDuration, Simulator};
 use serde::{Deserialize, Serialize};
 
 use crate::check::{FaultClass, FaultReport};
-use crate::explorer::{run_pair, DiceConfig, RoundReport};
+use crate::executor::RoundTask;
+use crate::explorer::{DiceConfig, RoundReport};
 use crate::interface::AttestationRegistry;
 use crate::snapshot::take_consistent_snapshot;
 use crate::sut::SutCatalog;
@@ -52,6 +55,10 @@ pub struct CampaignConfig {
     /// Full sweeps over the pair set. A campaign always runs at least one
     /// sweep: `0` is treated as `1`.
     pub rounds: usize,
+    /// Whole `(explorer, peer)` rounds in flight at once (`0`/`1` =
+    /// sequential). The report is identical for any value — only
+    /// wall-clock fields change (see [`CampaignReport::normalized`]).
+    pub pair_workers: usize,
     /// Per-pair round template; `explorer` / `inject_peer` are overridden
     /// for each swept pair.
     pub template: DiceConfig,
@@ -63,6 +70,7 @@ impl Default for CampaignConfig {
             explorers: Vec::new(),
             max_peers_per_explorer: 0,
             rounds: 1,
+            pair_workers: 1,
             template: DiceConfig::new(NodeId(0), NodeId(0)),
         }
     }
@@ -82,9 +90,12 @@ pub struct ClassDetection {
     /// Validated inputs run before detection within that round
     /// (1 = the null input).
     pub input_ordinal: usize,
-    /// Campaign wall-clock milliseconds elapsed up to and including the
-    /// detecting round — the paper's online detection-latency metric at
+    /// Campaign wall-clock microseconds elapsed when the detecting round
+    /// completed — the paper's online detection-latency metric at
     /// campaign granularity.
+    pub wall_us_cum: u64,
+    /// [`ClassDetection::wall_us_cum`] in milliseconds (kept for report
+    /// compatibility).
     pub wall_ms_cum: u64,
 }
 
@@ -118,7 +129,11 @@ pub struct CampaignReport {
     pub per_explorer: Vec<ExplorerSummary>,
     /// First detection per fault class, in class order.
     pub detection: Vec<ClassDetection>,
-    /// Total host wall-clock milliseconds.
+    /// Total host wall-clock microseconds. Tracked at microsecond
+    /// resolution so fast campaigns do not report a floor-bounded rate.
+    pub wall_us: u64,
+    /// [`CampaignReport::wall_us`] in milliseconds (kept for report
+    /// compatibility).
     pub wall_ms: u64,
     /// Simulated time consumed on the live system (snapshot driving).
     pub sim_nanos: u64,
@@ -134,16 +149,38 @@ impl CampaignReport {
         self.faults.iter().map(|f| f.class).collect()
     }
 
-    /// Rounds per wall-clock second (a lower bound when the whole
-    /// campaign finished within the millisecond timer resolution).
+    /// Rounds per wall-clock second, computed from the microsecond
+    /// counter ([`CampaignReport::wall_us`]).
     pub fn rounds_per_sec(&self) -> f64 {
-        self.rounds.len() as f64 * 1000.0 / self.wall_ms.max(1) as f64
+        self.rounds.len() as f64 * 1_000_000.0 / self.wall_us.max(1) as f64
+    }
+
+    /// A copy with every host wall-clock field zeroed — the determinism
+    /// key of a campaign. Two runs over snapshots of the same quiescent
+    /// system with the same [`CampaignConfig`] (any `pair_workers` value)
+    /// serialize to byte-identical JSON after normalization; everything
+    /// else in the report is a pure function of the configuration and the
+    /// snapshots. Locked in by the scheduler-determinism regression test.
+    pub fn normalized(&self) -> CampaignReport {
+        let mut r = self.clone();
+        r.wall_us = 0;
+        r.wall_ms = 0;
+        for round in &mut r.rounds {
+            round.wall_us = 0;
+            round.wall_ms = 0;
+            round.snapshot.wall_micros = 0;
+        }
+        for d in &mut r.detection {
+            d.wall_us_cum = 0;
+            d.wall_ms_cum = 0;
+        }
+        r
     }
 
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
-            "campaign: {} rounds over {} explorers, {} execs, {} validated, coverage {} (union), {} faults ({} classes), {}ms ({:.1} rounds/s)",
+            "campaign: {} rounds over {} explorers, {} execs, {} validated, coverage {} (union), {} faults ({} classes), {:.1}ms ({:.1} rounds/s)",
             self.rounds.len(),
             self.per_explorer.len(),
             self.executions_total,
@@ -151,7 +188,7 @@ impl CampaignReport {
             self.coverage_union,
             self.faults.len(),
             self.classes().len(),
-            self.wall_ms,
+            self.wall_us as f64 / 1_000.0,
             self.rounds_per_sec(),
         )
     }
@@ -205,9 +242,19 @@ impl Campaign {
         self
     }
 
-    /// Validation workers per round (default 1 = sequential).
+    /// Validation workers per round (default 1 = sequential). The
+    /// campaign pool is sized `max(pair_workers, workers)` and shared
+    /// between round- and validation-level tasks.
     pub fn workers(mut self, k: usize) -> Self {
         self.cfg.template.workers = k;
+        self
+    }
+
+    /// Whole `(explorer, peer)` rounds in flight at once (default 1 =
+    /// sequential sweep). Reports are identical for any value modulo
+    /// wall-clock fields — see [`CampaignReport::normalized`].
+    pub fn pair_workers(mut self, k: usize) -> Self {
+        self.cfg.pair_workers = k;
         self
     }
 
@@ -288,13 +335,29 @@ impl Campaign {
         grouped.into_iter().collect()
     }
 
-    /// Execute the campaign: `rounds` sweeps over the plan, one snapshot
-    /// per explorer per sweep, one DiCE round per `(explorer, peer)`
-    /// pair, everything aggregated into a [`CampaignReport`].
+    /// Execute the campaign, three phases per sweep (so at most one
+    /// sweep's snapshots are held in memory at a time):
+    ///
+    /// 1. **Snapshot** (sequential, on the live system): one consistent
+    ///    Chandy–Lamport snapshot per explorer, shared behind `Arc` by
+    ///    all of that explorer's peer rounds. Rounds never touch the
+    ///    live system, so pre-taking a sweep's snapshots is
+    ///    byte-identical to interleaving them with rounds.
+    /// 2. **Rounds** (parallel): up to `pair_workers` whole `(explorer,
+    ///    peer)` rounds in flight on one shared pool of
+    ///    `max(pair_workers, workers)` threads; each round's validation
+    ///    fan-out is stealable by any idle worker (see the `executor`
+    ///    module).
+    /// 3. **Aggregation** (sequential, in round-ordinal order): fold the
+    ///    per-round outcomes into the [`CampaignReport`]. Because every
+    ///    stage is a pure function of `(snapshot, config)` and the fold
+    ///    runs in ordinal order, the report is identical for any
+    ///    `pair_workers` value modulo wall-clock fields
+    ///    ([`CampaignReport::normalized`]).
     ///
     /// Snapshot cost accounting: the Chandy–Lamport pass is shared by all
     /// of an explorer's peer rounds, so its cost (wall and simulated
-    /// time, and `wall_ms` inclusion) is attributed to the *first* round
+    /// time, and round-wall inclusion) is attributed to the *first* round
     /// that used it; subsequent rounds reusing the snapshot report zero
     /// snapshot cost. Summing `rounds[i].snapshot` over a campaign
     /// therefore counts each snapshot exactly once.
@@ -306,6 +369,9 @@ impl Campaign {
         if plan.is_empty() {
             return Err("campaign has no eligible (explorer, peer) pairs".into());
         }
+        let checkers = crate::check::default_checkers(self.cfg.template.oscillation_threshold);
+        let pair_workers = self.cfg.pair_workers.max(1);
+        let pool_workers = pair_workers.max(self.cfg.template.workers.max(1));
 
         #[derive(Default)]
         struct Accum {
@@ -324,27 +390,30 @@ impl Campaign {
         let mut detection: BTreeMap<FaultClass, ClassDetection> = BTreeMap::new();
         let mut round_no = 0u64;
 
+        // One sweep at a time, so only the current sweep's snapshots are
+        // alive: memory stays bounded by the explorer count, not by
+        // `rounds × explorers`. Rounds never touch the live system, so
+        // the snapshot schedule (and every snapshot's content) is the
+        // same as if all sweeps were snapshotted up front.
         for _sweep in 0..self.cfg.rounds.max(1) {
+            // Phase 1: snapshots, sequential against the live system.
+            let mut tasks: Vec<RoundTask> = Vec::new();
             for (explorer, peers) in &plan {
-                // One consistent snapshot per explorer, amortized over all
-                // of its eligible peers.
-                let snap_wall = std::time::Instant::now();
                 let (shadow, snap_metrics) =
                     take_consistent_snapshot(live, *explorer, self.cfg.template.snapshot_deadline)?;
-                // Baseline and checker battery are functions of the shared
-                // snapshot and template; compute them once per explorer.
-                let baseline = crate::check::flips_baseline(&self.catalog, &shadow);
-                let checkers =
-                    crate::check::default_checkers(self.cfg.template.oscillation_threshold);
+                let shadow = shadow.into_shared();
+                // The flip baseline is a function of the shared snapshot;
+                // compute it once per explorer.
+                let baseline =
+                    std::sync::Arc::new(crate::check::flips_baseline(&self.catalog, &shadow));
                 for (k, peer) in peers.iter().enumerate() {
                     round_no += 1;
                     // The first peer round carries the snapshot cost;
                     // reuse rounds report zero (see method docs).
-                    let (round_wall, round_metrics) = if k == 0 {
-                        (snap_wall, snap_metrics)
+                    let (round_metrics, snap_wall_us) = if k == 0 {
+                        (snap_metrics, snap_metrics.wall_micros)
                     } else {
                         (
-                            std::time::Instant::now(),
                             crate::snapshot::SnapshotMetrics {
                                 sim_duration_nanos: 0,
                                 wall_micros: 0,
@@ -352,52 +421,69 @@ impl Campaign {
                                 in_flight: 0,
                                 bytes: 0,
                             },
+                            0,
                         )
                     };
                     let mut cfg = self.cfg.template.clone();
                     cfg.explorer = *explorer;
                     cfg.inject_peer = *peer;
-                    let outcome = run_pair(
-                        &shadow,
-                        &topo,
-                        &cfg,
-                        &self.catalog,
-                        &self.registry,
-                        &baseline,
-                        &checkers,
-                        round_no,
-                        round_metrics,
-                        round_wall,
-                    )?;
-                    let report = outcome.report;
-
-                    coverage_union.extend(outcome.exploration.coverage.sites());
-                    let entry = per_explorer.entry(*explorer).or_default();
-                    entry.kind = report.explorer_kind.clone();
-                    entry.rounds += 1;
-                    entry.coverage.extend(outcome.exploration.coverage.sites());
-                    entry.executions += report.executions;
-
-                    for f in &report.faults {
-                        detection.entry(f.class).or_insert_with(|| ClassDetection {
-                            class: f.class,
-                            round: round_no,
-                            explorer: *explorer,
-                            inject_peer: *peer,
-                            input_ordinal: report
-                                .detection_input_ordinal
-                                .get(&f.class.to_string())
-                                .copied()
-                                .unwrap_or(0),
-                            wall_ms_cum: wall.elapsed().as_millis() as u64,
-                        });
-                        if fault_keys.insert(f.key()) {
-                            fault_union.push(f.clone());
-                            *explorer_fault_counts.entry(*explorer).or_default() += 1;
-                        }
-                    }
-                    rounds.push(report);
+                    tasks.push(RoundTask {
+                        ordinal: round_no,
+                        cfg,
+                        shadow: std::sync::Arc::clone(&shadow),
+                        baseline: std::sync::Arc::clone(&baseline),
+                        snap_metrics: round_metrics,
+                        snap_wall_us,
+                    });
                 }
+            }
+
+            // Phase 2: this sweep's rounds, parallel over the shared pool.
+            let done = crate::executor::run_rounds(
+                &tasks,
+                pair_workers,
+                pool_workers,
+                &topo,
+                &self.catalog,
+                &self.registry,
+                &checkers,
+                wall,
+            );
+
+            // Phase 3: deterministic aggregation in round-ordinal order.
+            for (task, done) in tasks.iter().zip(done) {
+                let done = done?;
+                let outcome = done.outcome;
+                let report = outcome.report;
+                let explorer = task.cfg.explorer;
+
+                coverage_union.extend(outcome.exploration.coverage.sites());
+                let entry = per_explorer.entry(explorer).or_default();
+                entry.kind = report.explorer_kind.clone();
+                entry.rounds += 1;
+                entry.coverage.extend(outcome.exploration.coverage.sites());
+                entry.executions += report.executions;
+
+                for f in &report.faults {
+                    detection.entry(f.class).or_insert_with(|| ClassDetection {
+                        class: f.class,
+                        round: task.ordinal,
+                        explorer,
+                        inject_peer: task.cfg.inject_peer,
+                        input_ordinal: report
+                            .detection_input_ordinal
+                            .get(&f.class.to_string())
+                            .copied()
+                            .unwrap_or(0),
+                        wall_us_cum: done.completed_wall_us,
+                        wall_ms_cum: done.completed_wall_us / 1_000,
+                    });
+                    if fault_keys.insert(f.key()) {
+                        fault_union.push(f.clone());
+                        *explorer_fault_counts.entry(explorer).or_default() += 1;
+                    }
+                }
+                rounds.push(report);
             }
         }
 
@@ -413,6 +499,7 @@ impl Campaign {
             })
             .collect();
 
+        let wall_us = wall.elapsed().as_micros() as u64;
         Ok(CampaignReport {
             executions_total: rounds.iter().map(|r| r.executions).sum(),
             validated_total: rounds.iter().map(|r| r.validated).sum(),
@@ -421,7 +508,8 @@ impl Campaign {
             coverage_union: coverage_union.len(),
             per_explorer,
             detection: detection.into_values().collect(),
-            wall_ms: wall.elapsed().as_millis() as u64,
+            wall_us,
+            wall_ms: wall_us / 1_000,
             sim_nanos: (live.now() - sim_start).as_nanos(),
         })
     }
@@ -509,6 +597,27 @@ mod tests {
     }
 
     #[test]
+    fn pair_workers_do_not_change_the_report() {
+        // Identical fresh systems, different round-level parallelism: the
+        // normalized reports must serialize byte-identically.
+        let run = |pair_workers: usize| {
+            let mut sim = scenarios::buggy_parser_scenario(5);
+            sim.run_until(SimTime::from_nanos(10_000_000_000));
+            let report = quick(Campaign::new(&sim))
+                .executions(48)
+                .validate_top(6)
+                .workers(2)
+                .pair_workers(pair_workers)
+                .run(&mut sim)
+                .expect("campaign runs");
+            serde_json::to_string(&report.normalized()).unwrap()
+        };
+        let sequential = run(1);
+        assert_eq!(run(3), sequential);
+        assert!(sequential.contains("\"wall_us\":0"), "wall fields zeroed");
+    }
+
+    #[test]
     fn empty_plan_is_an_error() {
         let mut sim = scenarios::healthy_line(2, 5);
         sim.run_until(SimTime::from_nanos(5_000_000_000));
@@ -531,9 +640,24 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.contains("coverage_union"));
         assert!(json.contains("per_explorer"));
-        // Config round-trips to JSON too (deserialization activates once
-        // the real serde backend replaces the vendored stand-in).
-        let cfg_json = serde_json::to_string(Campaign::new(&sim).config_ref()).unwrap();
+        // The campaign configuration round-trips through JSON text — the
+        // contract behind `exp_campaign --config <file.json>`.
+        let cfg = Campaign::new(&sim)
+            .explorers([NodeId(1)])
+            .pair_workers(3)
+            .executions(17)
+            .config_ref()
+            .clone();
+        let cfg_json = serde_json::to_string(&cfg).unwrap();
         assert!(cfg_json.contains("max_peers_per_explorer"));
+        let back: CampaignConfig = serde_json::from_str(&cfg_json).unwrap();
+        assert_eq!(back.pair_workers, 3);
+        assert_eq!(back.explorers, vec![NodeId(1)]);
+        assert_eq!(back.template.concolic_executions, 17);
+        assert_eq!(
+            serde_json::to_string(&back).unwrap(),
+            cfg_json,
+            "CampaignConfig -> JSON -> CampaignConfig is the identity"
+        );
     }
 }

@@ -1,0 +1,312 @@
+//! The campaign-level parallel round executor.
+//!
+//! One worker pool, two task granularities. *Round tasks* run the explore
+//! and check stages of a whole `(explorer, peer)` round; *validation
+//! tasks* run one clone-validate-check unit of some round currently in
+//! flight. Workers prefer claiming a fresh round (round-level parallelism
+//! is what moves the campaign's rounds/s); when no unclaimed round remains
+//! — or the worker's index is beyond the `pair_workers` concurrency cap —
+//! they steal validation units from open rounds, so the tail of a round's
+//! validation fan-out never idles the pool while another round explores.
+//!
+//! Determinism: rounds receive their ordinals before execution starts,
+//! every stage is a pure function of `(shadow, cfg)`, and validation
+//! results are collected keyed by candidate index and re-sorted before the
+//! check stage folds them. The schedule (which worker runs what, in what
+//! order) therefore cannot influence any report field except wall-clock
+//! times — [`crate::campaign::CampaignReport::normalized`] is byte-stable
+//! across `pair_workers` values, which `tests/heterogeneous.rs` locks in.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dice_netsim::{NodeId, ShadowSnapshot, Topology};
+
+use crate::check::{CheckReport, Checker};
+use crate::explorer::{check_stage, explore_stage, validate_one, DiceConfig, PairOutcome};
+use crate::interface::AttestationRegistry;
+use crate::snapshot::SnapshotMetrics;
+use crate::sut::SutCatalog;
+
+/// One scheduled `(explorer, peer)` round: its deterministic ordinal, the
+/// per-round configuration, and the shared (Arc'd) snapshot context it
+/// explores over.
+pub(crate) struct RoundTask {
+    /// 1-based round ordinal in sweep order; fixes report ordering, seed
+    /// context, and first-detection attribution independent of schedule.
+    pub(crate) ordinal: u64,
+    /// Round configuration (template with `explorer` / `inject_peer` set).
+    pub(crate) cfg: DiceConfig,
+    /// The consistent snapshot shared by all of this explorer's rounds.
+    pub(crate) shadow: Arc<ShadowSnapshot>,
+    /// Flip baseline computed once per snapshot.
+    pub(crate) baseline: Arc<BTreeMap<(NodeId, dice_bgp::Ipv4Net), u64>>,
+    /// Snapshot cost carried by the first round per snapshot, zeroed for
+    /// the reuse rounds (see `Campaign::run` docs).
+    pub(crate) snap_metrics: SnapshotMetrics,
+    /// Wall micros spent establishing the snapshot (first round only).
+    pub(crate) snap_wall_us: u64,
+}
+
+/// A completed round plus when it finished on the campaign clock (for
+/// online detection-latency accounting).
+pub(crate) struct RoundDone {
+    pub(crate) outcome: PairOutcome,
+    /// Campaign wall-clock micros elapsed when the round completed.
+    pub(crate) completed_wall_us: u64,
+}
+
+/// Validation fan-out state of one in-flight round, stealable by any
+/// pool worker.
+struct ValBatch {
+    /// Index into the task list (identifies shadow/cfg/baseline context).
+    task: usize,
+    /// Validation candidates, null input first.
+    candidates: Vec<Option<Vec<u8>>>,
+    /// Next unclaimed candidate index.
+    next: AtomicUsize,
+    /// Completed candidate count.
+    done: AtomicUsize,
+    /// Collected `(candidate index, report)` pairs, re-sorted by the
+    /// round owner before the check stage.
+    results: Mutex<Vec<(usize, CheckReport)>>,
+}
+
+/// Read-only context shared by every worker.
+struct Shared<'e> {
+    tasks: &'e [RoundTask],
+    topo: &'e Topology,
+    catalog: &'e SutCatalog,
+    registry: &'e AttestationRegistry,
+    checkers: &'e [Box<dyn Checker>],
+    campaign_start: std::time::Instant,
+    /// Next unclaimed round.
+    round_next: AtomicUsize,
+    /// Completed round count (terminates the worker loop).
+    rounds_done: AtomicUsize,
+    /// Rounds currently fanning out validation units.
+    open: Mutex<Vec<Arc<ValBatch>>>,
+    /// Per-round results, indexed like `tasks`.
+    slots: Mutex<Vec<Option<Result<RoundDone, String>>>>,
+    /// Set when any worker unwinds, so the remaining workers stop waiting
+    /// on counters the dead worker can no longer advance and the scope
+    /// can join and re-raise the original panic instead of hanging.
+    panicked: AtomicBool,
+}
+
+/// Raises [`Shared::panicked`] if its worker thread unwinds (armed for
+/// the whole worker body at spawn).
+struct PanicSignal<'a>(&'a AtomicBool);
+
+impl Drop for PanicSignal<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, Ordering::Release);
+        }
+    }
+}
+
+impl Shared<'_> {
+    /// Claim and run one validation unit from `batch`. Returns `false`
+    /// when the batch has no unclaimed candidates left.
+    fn run_val_unit(&self, batch: &ValBatch) -> bool {
+        let i = batch.next.fetch_add(1, Ordering::Relaxed);
+        let Some(candidate) = batch.candidates.get(i) else {
+            return false;
+        };
+        let task = &self.tasks[batch.task];
+        let report = validate_one(
+            i,
+            candidate.as_ref(),
+            &task.shadow,
+            self.topo,
+            &task.cfg,
+            self.catalog,
+            self.registry,
+            &task.baseline,
+            self.checkers,
+        );
+        batch
+            .results
+            .lock()
+            .expect("no poisoned validation workers")
+            .push((i, report));
+        batch.done.fetch_add(1, Ordering::Release);
+        true
+    }
+
+    /// Steal one validation unit from any open round. Returns `false` if
+    /// nothing was stealable.
+    fn steal_val_unit(&self) -> bool {
+        let batch = {
+            let open = self.open.lock().expect("no poisoned executor");
+            open.iter()
+                .find(|b| b.next.load(Ordering::Relaxed) < b.candidates.len())
+                .cloned()
+        };
+        match batch {
+            Some(b) => self.run_val_unit(&b),
+            None => false,
+        }
+    }
+
+    /// Run round `idx` to completion: explore, fan validation out on the
+    /// shared pool (helping other rounds while waiting for stolen units),
+    /// then fold the check stage and store the result.
+    fn run_round(&self, idx: usize) {
+        let task = &self.tasks[idx];
+        let stage_start = std::time::Instant::now();
+        let result = match explore_stage(&task.shadow, &task.cfg, self.catalog) {
+            Err(e) => Err(e),
+            Ok(mut stage) => {
+                let candidates = std::mem::take(&mut stage.candidates);
+                let total = candidates.len();
+                let batch = Arc::new(ValBatch {
+                    task: idx,
+                    candidates,
+                    next: AtomicUsize::new(0),
+                    done: AtomicUsize::new(0),
+                    results: Mutex::new(Vec::with_capacity(total)),
+                });
+                self.open
+                    .lock()
+                    .expect("no poisoned executor")
+                    .push(Arc::clone(&batch));
+                // Drain own candidates; free workers steal concurrently.
+                while self.run_val_unit(&batch) {}
+                // Wait for stolen units, helping other rounds meanwhile.
+                while batch.done.load(Ordering::Acquire) < batch.candidates.len() {
+                    if self.panicked.load(Ordering::Acquire) {
+                        // A stolen unit's worker is unwinding and will
+                        // never advance `done`; abandon the round so the
+                        // scope can join and re-raise its panic.
+                        return;
+                    }
+                    if !self.steal_val_unit() {
+                        idle_wait();
+                    }
+                }
+                self.open
+                    .lock()
+                    .expect("no poisoned executor")
+                    .retain(|b| !Arc::ptr_eq(b, &batch));
+                let mut results = std::mem::take(
+                    &mut *batch
+                        .results
+                        .lock()
+                        .expect("no poisoned validation workers"),
+                );
+                results.sort_by_key(|(i, _)| *i);
+                let results: Vec<CheckReport> = results.into_iter().map(|(_, r)| r).collect();
+                let wall_us = task.snap_wall_us + stage_start.elapsed().as_micros() as u64;
+                Ok(check_stage(
+                    stage,
+                    &results,
+                    &task.cfg,
+                    task.ordinal,
+                    task.snap_metrics,
+                    wall_us,
+                ))
+            }
+        };
+        let result = result.map(|outcome| RoundDone {
+            outcome,
+            completed_wall_us: self.campaign_start.elapsed().as_micros() as u64,
+        });
+        self.slots.lock().expect("no poisoned executor")[idx] = Some(result);
+        self.rounds_done.fetch_add(1, Ordering::Release);
+    }
+
+    /// The worker loop. Workers `< round_workers` claim whole rounds;
+    /// the rest only steal validation units (they exist when the
+    /// validation `workers` knob exceeds `pair_workers`).
+    fn worker(&self, index: usize, round_workers: usize) {
+        let total = self.tasks.len();
+        loop {
+            if self.panicked.load(Ordering::Acquire)
+                || self.rounds_done.load(Ordering::Acquire) >= total
+            {
+                return;
+            }
+            if index < round_workers {
+                let i = self.round_next.fetch_add(1, Ordering::Relaxed);
+                if i < total {
+                    self.run_round(i);
+                    continue;
+                }
+            }
+            if self.steal_val_unit() {
+                continue;
+            }
+            if self.rounds_done.load(Ordering::Acquire) >= total {
+                return;
+            }
+            idle_wait();
+        }
+    }
+}
+
+/// Back off briefly when a worker finds nothing to run. A hot
+/// `yield_now` loop is fine on idle multi-core hosts but on saturated or
+/// single-core ones it steals timeslices from the workers doing real
+/// work; a short sleep keeps the tail overhead bounded (≤ a few hundred
+/// microseconds per wait) without any notification plumbing.
+fn idle_wait() {
+    std::thread::sleep(std::time::Duration::from_micros(100));
+}
+
+/// Execute `tasks` with at most `pair_workers` rounds in flight over a
+/// pool of `pool_workers` threads (`pool_workers >= pair_workers`), and
+/// return per-round results in task order.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_rounds(
+    tasks: &[RoundTask],
+    pair_workers: usize,
+    pool_workers: usize,
+    topo: &Topology,
+    catalog: &SutCatalog,
+    registry: &AttestationRegistry,
+    checkers: &[Box<dyn Checker>],
+    campaign_start: std::time::Instant,
+) -> Vec<Result<RoundDone, String>> {
+    let shared = Shared {
+        tasks,
+        topo,
+        catalog,
+        registry,
+        checkers,
+        campaign_start,
+        round_next: AtomicUsize::new(0),
+        rounds_done: AtomicUsize::new(0),
+        open: Mutex::new(Vec::new()),
+        slots: Mutex::new((0..tasks.len()).map(|_| None).collect()),
+        panicked: AtomicBool::new(false),
+    };
+    let round_workers = pair_workers.max(1);
+    let pool_workers = pool_workers.max(round_workers);
+    if round_workers == 1 && pool_workers == 1 {
+        // Degenerate pool: run inline, no threads to spawn or join.
+        for i in 0..tasks.len() {
+            shared.run_round(i);
+        }
+    } else {
+        // The scope joins every worker and re-raises the first panic; the
+        // PanicSignal guard makes sure the surviving workers stop waiting
+        // on counters a dead worker can no longer advance.
+        std::thread::scope(|s| {
+            for index in 0..pool_workers {
+                let shared = &shared;
+                s.spawn(move || {
+                    let _signal = PanicSignal(&shared.panicked);
+                    shared.worker(index, round_workers);
+                });
+            }
+        });
+    }
+    let slots = shared.slots.into_inner().expect("no poisoned executor");
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every round ran to completion"))
+        .collect()
+}

@@ -124,7 +124,11 @@ pub struct RoundReport {
     /// For each fault class detected: how many validated inputs ran before
     /// detection (1 = the null input / first input).
     pub detection_input_ordinal: BTreeMap<String, usize>,
-    /// Host wall-clock duration of the round, in milliseconds.
+    /// Host wall-clock duration of the round, in microseconds (snapshot
+    /// share included for the round that paid for it).
+    pub wall_us: u64,
+    /// Host wall-clock duration of the round, in milliseconds (derived
+    /// from [`RoundReport::wall_us`]; kept for report compatibility).
     pub wall_ms: u64,
     /// Solver statistics from exploration.
     pub solver_queries: u64,
@@ -163,25 +167,32 @@ pub(crate) struct PairOutcome {
     pub(crate) exploration: ExplorationReport,
 }
 
-/// Phases 2–4 over an established snapshot: explore the configured pair,
-/// validate candidates system-wide, check, aggregate. Shared between
-/// [`DiceRunner::run_round`] and [`crate::campaign::Campaign::run`];
-/// `baseline` and `checkers` are computed by the caller so campaigns can
-/// amortize them over all peers sharing one snapshot.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn run_pair(
+/// Output of the explore stage: everything the later stages need, with
+/// the validation candidates broken out so a campaign executor can fan
+/// them out as independent sub-tasks on a shared worker pool.
+pub(crate) struct ExploreStage {
+    pub(crate) kind: String,
+    pub(crate) explorer_sessions: crate::sut::SessionHealth,
+    pub(crate) exploration: ExplorationReport,
+    /// System-wide validation inputs, null input first.
+    pub(crate) candidates: Vec<Option<Vec<u8>>>,
+    /// `candidates.len()` at construction (stable even after an executor
+    /// takes the candidate vector for fan-out).
+    pub(crate) validated: usize,
+}
+
+/// Stage 2 + candidate selection: run concolic exploration of the
+/// explorer node's handler twin over the (shared) snapshot, then pick the
+/// inputs worth validating system-wide — crashes first, then highest new
+/// coverage, distinct input bytes only.
+///
+/// Pure function of `(shadow, cfg)`: safe to call concurrently for
+/// different rounds over the same `ShadowSnapshot`.
+pub(crate) fn explore_stage(
     shadow: &ShadowSnapshot,
-    topo: &Topology,
     cfg: &DiceConfig,
     catalog: &SutCatalog,
-    registry: &AttestationRegistry,
-    baseline: &BTreeMap<(NodeId, dice_bgp::Ipv4Net), u64>,
-    checkers: &[Box<dyn Checker>],
-    round: u64,
-    snap_metrics: SnapshotMetrics,
-    wall_start: std::time::Instant,
-) -> Result<PairOutcome, String> {
-    // Phase 2: concolic exploration of the explorer node's handler twin.
+) -> Result<ExploreStage, String> {
     let explorer_node = shadow
         .nodes()
         .get(&cfg.explorer)
@@ -200,8 +211,6 @@ pub(crate) fn run_pair(
     };
     let exploration = explore(&mut *program, &plan.seeds, &plan.marker, &explore_cfg);
 
-    // Phase 3: pick candidates — crashes first, then highest new
-    // coverage; distinct input bytes only.
     let mut order: Vec<usize> = (0..exploration.executions.len()).collect();
     order.sort_by_key(|&i| {
         let e = &exploration.executions[i];
@@ -224,19 +233,58 @@ pub(crate) fn run_pair(
         }
     }
 
-    // Phase 3b: system-wide validation over isolated clones.
-    let results = validate_candidates(
-        shadow,
-        topo,
-        &candidates,
-        cfg,
+    Ok(ExploreStage {
+        kind: kind.to_string(),
+        explorer_sessions,
+        exploration,
+        validated: candidates.len(),
+        candidates,
+    })
+}
+
+/// Validate one candidate on an isolated clone of the snapshot and run
+/// the checker battery over the outcome — the unit of validation-level
+/// parallelism. Deterministic in `(shadow, cfg, i, input)`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn validate_one(
+    i: usize,
+    input: Option<&Vec<u8>>,
+    shadow: &ShadowSnapshot,
+    topo: &Topology,
+    cfg: &DiceConfig,
+    catalog: &SutCatalog,
+    registry: &AttestationRegistry,
+    baseline: &BTreeMap<(NodeId, dice_bgp::Ipv4Net), u64>,
+    checkers: &[Box<dyn Checker>],
+) -> crate::check::CheckReport {
+    let mut clone = Simulator::from_shadow(shadow, topo, cfg.seed ^ (i as u64) << 16);
+    if let Some(bytes) = input {
+        clone.deliver_direct(cfg.inject_peer, cfg.explorer, bytes);
+    }
+    let end = shadow.base_time() + cfg.horizon;
+    let quiet = clone.run_until_quiet(cfg.quiet_window, end);
+    let cx = CheckContext {
+        sim: &clone,
         catalog,
         registry,
-        baseline,
-        checkers,
-    );
+        baseline_flips: baseline,
+        quiet,
+        injected: input.is_some(),
+    };
+    run_checkers(checkers, &cx)
+}
 
-    // Phase 4: aggregate.
+/// Stage 4: fold per-clone check reports into the round's [`RoundReport`].
+/// `results` must be in candidate order; the fold is deterministic, so a
+/// parallel executor reproduces the sequential report exactly.
+pub(crate) fn check_stage(
+    stage: ExploreStage,
+    results: &[crate::check::CheckReport],
+    cfg: &DiceConfig,
+    round: u64,
+    snap_metrics: SnapshotMetrics,
+    wall_us: u64,
+) -> PairOutcome {
     let mut faults: Vec<FaultReport> = Vec::new();
     let mut seen_keys = BTreeSet::new();
     let mut verdicts_total = 0;
@@ -253,29 +301,74 @@ pub(crate) fn run_pair(
         }
     }
 
+    let exploration = stage.exploration;
     let report = RoundReport {
         round,
         explorer: cfg.explorer,
         inject_peer: cfg.inject_peer,
-        explorer_kind: kind.to_string(),
-        explorer_sessions,
+        explorer_kind: stage.kind,
+        explorer_sessions: stage.explorer_sessions,
         snapshot: snap_metrics,
         executions: exploration.executions.len(),
         distinct_paths: exploration.distinct_paths,
         branch_coverage: exploration.final_coverage(),
-        validated: candidates.len(),
+        validated: stage.validated,
         faults,
         verdicts_total,
         verdicts_failed,
         detection_input_ordinal: detection,
-        wall_ms: wall_start.elapsed().as_millis() as u64,
+        wall_us,
+        wall_ms: wall_us / 1_000,
         solver_queries: exploration.solver.queries,
         solver_sat: exploration.solver.sat,
     };
-    Ok(PairOutcome {
+    PairOutcome {
         report,
         exploration,
-    })
+    }
+}
+
+/// Stages 2–4 over an established snapshot, composed sequentially:
+/// explore the configured pair, validate candidates system-wide (private
+/// scoped-thread pool sized by `cfg.workers`), check, aggregate. This is
+/// the [`DiceRunner`] path; [`crate::campaign::Campaign`] schedules the
+/// same stages through its shared campaign-level executor instead.
+/// `baseline` and `checkers` are computed by the caller so campaigns can
+/// amortize them over all peers sharing one snapshot.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_pair(
+    shadow: &ShadowSnapshot,
+    topo: &Topology,
+    cfg: &DiceConfig,
+    catalog: &SutCatalog,
+    registry: &AttestationRegistry,
+    baseline: &BTreeMap<(NodeId, dice_bgp::Ipv4Net), u64>,
+    checkers: &[Box<dyn Checker>],
+    round: u64,
+    snap_metrics: SnapshotMetrics,
+    snap_wall_us: u64,
+) -> Result<PairOutcome, String> {
+    let stage_start = std::time::Instant::now();
+    let stage = explore_stage(shadow, cfg, catalog)?;
+    let results = validate_candidates(
+        shadow,
+        topo,
+        &stage.candidates,
+        cfg,
+        catalog,
+        registry,
+        baseline,
+        checkers,
+    );
+    let wall_us = snap_wall_us + stage_start.elapsed().as_micros() as u64;
+    Ok(check_stage(
+        stage,
+        &results,
+        cfg,
+        round,
+        snap_metrics,
+        wall_us,
+    ))
 }
 
 /// The DiCE runtime bound to one deployed system and one fixed
@@ -335,6 +428,7 @@ impl DiceRunner {
         let topo = live.topology().clone();
         let baseline = flips_baseline(&self.catalog, &shadow);
         let checkers = default_checkers(cfg.oscillation_threshold);
+        let snap_wall_us = wall.elapsed().as_micros() as u64;
 
         let outcome = run_pair(
             &shadow,
@@ -346,7 +440,7 @@ impl DiceRunner {
             &checkers,
             self.round,
             snap_metrics,
-            wall,
+            snap_wall_us,
         )?;
         self.exploration_last = Some(outcome.exploration);
         Ok(outcome.report)
@@ -366,21 +460,9 @@ pub(crate) fn validate_candidates(
     checkers: &[Box<dyn Checker>],
 ) -> Vec<crate::check::CheckReport> {
     let run_one = |i: usize, input: Option<&Vec<u8>>| {
-        let mut clone = Simulator::from_shadow(shadow, topo, cfg.seed ^ (i as u64) << 16);
-        if let Some(bytes) = input {
-            clone.deliver_direct(cfg.inject_peer, cfg.explorer, bytes);
-        }
-        let end = shadow.base_time() + cfg.horizon;
-        let quiet = clone.run_until_quiet(cfg.quiet_window, end);
-        let cx = CheckContext {
-            sim: &clone,
-            catalog,
-            registry,
-            baseline_flips: baseline,
-            quiet,
-            injected: input.is_some(),
-        };
-        run_checkers(checkers, &cx)
+        validate_one(
+            i, input, shadow, topo, cfg, catalog, registry, baseline, checkers,
+        )
     };
 
     if cfg.workers <= 1 {

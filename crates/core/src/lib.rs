@@ -32,10 +32,12 @@
 //!
 //! Two drivers sit on top: [`explorer::DiceRunner`] runs rounds for one
 //! fixed `(explorer, inject peer)` pair, and [`campaign::Campaign`] sweeps
-//! every eligible pair across the federation (one snapshot per explorer,
-//! validation fanned out over a worker pool) into an aggregated
-//! [`campaign::CampaignReport`]. [`scenarios`] provides the paper's demo
-//! systems (including the 27-router Figure 1 topology).
+//! every eligible pair across the federation — one `Arc`-shared snapshot
+//! per explorer, whole rounds run concurrently (`pair_workers`) on a
+//! worker pool shared between round- and validation-level tasks, with the
+//! aggregated [`campaign::CampaignReport`] byte-identical for any
+//! parallelism level modulo wall-clock fields. [`scenarios`] provides the
+//! paper's demo systems (including the 27-router Figure 1 topology).
 //!
 //! ## Quickstart
 //!
@@ -60,6 +62,7 @@
 pub mod bgp_sut;
 pub mod campaign;
 pub mod check;
+mod executor;
 pub mod explorer;
 pub mod grammar;
 pub mod handler;

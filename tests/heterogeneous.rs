@@ -248,6 +248,42 @@ fn demo27_campaign_visits_multiple_explorers_with_coverage() {
 }
 
 #[test]
+fn scheduler_is_deterministic_across_pair_workers() {
+    // The parallel round engine must produce the *same report* — faults,
+    // coverage union, detection, per-explorer summaries, round ordering —
+    // for any round-level parallelism, on a federation mixing BGP routers
+    // with a non-BGP monitor node. Only wall-clock fields may differ;
+    // `CampaignReport::normalized` zeroes those, and the serialized JSON
+    // must then be byte-identical.
+    let run = |pair_workers: usize| {
+        let mut sim = mixed_system(33);
+        sim.run_until(SimTime::from_nanos(10_000_000_000));
+        let report = Campaign::with_catalog(&sim, mixed_catalog())
+            .executions(32)
+            .validate_top(5)
+            .horizon(SimDuration::from_secs(30))
+            .workers(2)
+            .pair_workers(pair_workers)
+            .run(&mut sim)
+            .expect("mixed campaign runs");
+        (
+            report.classes(),
+            serde_json::to_string(&report.normalized()).unwrap(),
+        )
+    };
+    let (classes_1, json_1) = run(1);
+    let (classes_2, json_2) = run(2);
+    let (classes_4, json_4) = run(4);
+    // The monitor node's magic-opcode crash is found regardless of
+    // parallelism.
+    assert!(classes_1.contains(&FaultClass::ProgrammingError));
+    assert_eq!(classes_1, classes_2);
+    assert_eq!(classes_1, classes_4);
+    assert_eq!(json_1, json_2, "pair_workers=2 must match sequential");
+    assert_eq!(json_1, json_4, "pair_workers=4 must match sequential");
+}
+
+#[test]
 fn buggy_campaign_matches_sequential_detection() {
     // Same determinism property on a system that actually faults.
     let mut sim = scenarios::buggy_parser_scenario(7);

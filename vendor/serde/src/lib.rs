@@ -1,12 +1,13 @@
 //! Minimal, API-compatible stand-in for the `serde` crate, vendored because
 //! this workspace builds offline (see `vendor/README.md`).
 //!
-//! Instead of serde's visitor-based zero-copy model, serialization funnels
+//! Instead of serde's visitor-based zero-copy model, both directions funnel
 //! through a small owned data model ([`Value`]): `Serialize::to_value`
-//! produces a [`Value`], and backends such as the vendored `serde_json`
-//! render it. `Deserialize` exists so `#[derive(Deserialize)]` and
-//! `T: Deserialize` bounds compile; nothing in this workspace deserializes
-//! through serde yet.
+//! produces a [`Value`] and backends such as the vendored `serde_json`
+//! render it; `Deserialize::from_value` consumes a [`Value`] that a backend
+//! (e.g. `serde_json::from_str`) parsed from text. `#[derive(Serialize)]`
+//! and `#[derive(Deserialize)]` generate both directions so configuration
+//! types round-trip through JSON.
 
 #![forbid(unsafe_code)]
 
@@ -54,6 +55,33 @@ impl Value {
             other => format!("{other:?}"),
         }
     }
+
+    /// Short tag used in deserialization error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// Look up a field of a [`Value::Map`] body; absent fields (and
+    /// non-map values) read as [`Value::Null`] so `Option` fields
+    /// deserialize to `None`.
+    pub fn field(&self, name: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
 }
 
 /// Types that can serialize themselves into the [`Value`] data model.
@@ -62,9 +90,46 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
-/// Marker trait so `#[derive(Deserialize)]` and `T: Deserialize` bounds
-/// compile. The vendored stack does not deserialize through serde.
-pub trait Deserialize: Sized {}
+/// Deserialization error: a human-readable path + reason string.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialize error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// An "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// Prefix the error path with a field / variant context segment.
+    pub fn at(self, segment: &str) -> Self {
+        DeError(format!("{segment}: {}", self.0))
+    }
+}
+
+/// Types that can reconstruct themselves from the [`Value`] data model.
+///
+/// The inverse of [`Serialize`]: backends parse text into a [`Value`] and
+/// hand it here. `from_key` covers map keys, which the data model
+/// stringifies; numeric and string types override it to parse the key text.
+pub trait Deserialize: Sized {
+    /// Reconstruct `Self` from the owned data model.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Reconstruct `Self` from a stringified map key. Default: treat the
+    /// key as a string value, which covers `String`-keyed maps; scalar
+    /// impls override this with text parsing.
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        Self::from_value(&Value::Str(key.to_string()))
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Scalar impls
@@ -75,7 +140,21 @@ macro_rules! ser_uint {
         impl Serialize for $t {
             fn to_value(&self) -> Value { Value::U64(*self as u64) }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match *v {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    _ => return Err(DeError::expected("unsigned integer", v)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t))))
+            }
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                key.parse()
+                    .map_err(|_| DeError(format!("bad {} key {key:?}", stringify!($t))))
+            }
+        }
     )* };
 }
 macro_rules! ser_int {
@@ -83,7 +162,23 @@ macro_rules! ser_int {
         impl Serialize for $t {
             fn to_value(&self) -> Value { Value::I64(*self as i64) }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match *v {
+                    Value::I64(n) => n,
+                    Value::U64(n) => {
+                        i64::try_from(n).map_err(|_| DeError(format!("{n} overflows i64")))?
+                    }
+                    _ => return Err(DeError::expected("integer", v)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t))))
+            }
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                key.parse()
+                    .map_err(|_| DeError(format!("bad {} key {key:?}", stringify!($t))))
+            }
+        }
     )* };
 }
 ser_uint!(u8, u16, u32, u64, usize);
@@ -94,35 +189,77 @@ impl Serialize for bool {
         Value::Bool(*self)
     }
 }
-impl Deserialize for bool {}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        key.parse()
+            .map_err(|_| DeError(format!("bad bool key {key:?}")))
+    }
+}
+
+fn float_from(v: &Value) -> Result<f64, DeError> {
+    match *v {
+        Value::F64(n) => Ok(n),
+        Value::U64(n) => Ok(n as f64),
+        Value::I64(n) => Ok(n as f64),
+        _ => Err(DeError::expected("number", v)),
+    }
+}
 
 impl Serialize for f32 {
     fn to_value(&self) -> Value {
         Value::F64(*self as f64)
     }
 }
-impl Deserialize for f32 {}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        float_from(v).map(|n| n as f32)
+    }
+}
 
 impl Serialize for f64 {
     fn to_value(&self) -> Value {
         Value::F64(*self)
     }
 }
-impl Deserialize for f64 {}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        float_from(v)
+    }
+}
 
 impl Serialize for char {
     fn to_value(&self) -> Value {
         Value::Str(self.to_string())
     }
 }
-impl Deserialize for char {}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::expected("single-character string", v)),
+        }
+    }
+}
 
 impl Serialize for String {
     fn to_value(&self) -> Value {
         Value::Str(self.clone())
     }
 }
-impl Deserialize for String {}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
 
 impl Serialize for str {
     fn to_value(&self) -> Value {
@@ -135,7 +272,14 @@ impl Serialize for () {
         Value::Null
     }
 }
-impl Deserialize for () {}
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(DeError::expected("null", v)),
+        }
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Pointer / wrapper impls
@@ -152,7 +296,11 @@ impl<T: Serialize + ?Sized> Serialize for Box<T> {
         (**self).to_value()
     }
 }
-impl<T: Deserialize> Deserialize for Box<T> {}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
 
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
@@ -162,18 +310,36 @@ impl<T: Serialize> Serialize for Option<T> {
         }
     }
 }
-impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Sequence impls
 // ---------------------------------------------------------------------------
+
+fn seq_from(v: &Value) -> Result<&[Value], DeError> {
+    match v {
+        Value::Seq(xs) => Ok(xs),
+        _ => Err(DeError::expected("sequence", v)),
+    }
+}
 
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Seq(self.iter().map(Serialize::to_value).collect())
     }
 }
-impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        seq_from(v)?.iter().map(T::from_value).collect()
+    }
+}
 
 impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
@@ -186,32 +352,62 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
         Value::Seq(self.iter().map(Serialize::to_value).collect())
     }
 }
-impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = seq_from(v)?
+            .iter()
+            .map(T::from_value)
+            .collect::<Result<_, _>>()?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError(format!("expected {N}-element array, found {got}")))
+    }
+}
 
 impl<T: Serialize> Serialize for VecDeque<T> {
     fn to_value(&self) -> Value {
         Value::Seq(self.iter().map(Serialize::to_value).collect())
     }
 }
-impl<T: Deserialize> Deserialize for VecDeque<T> {}
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        seq_from(v)?.iter().map(T::from_value).collect()
+    }
+}
 
 impl<T: Serialize> Serialize for BTreeSet<T> {
     fn to_value(&self) -> Value {
         Value::Seq(self.iter().map(Serialize::to_value).collect())
     }
 }
-impl<T: Deserialize> Deserialize for BTreeSet<T> {}
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        seq_from(v)?.iter().map(T::from_value).collect()
+    }
+}
 
 impl<T: Serialize> Serialize for HashSet<T> {
     fn to_value(&self) -> Value {
         Value::Seq(self.iter().map(Serialize::to_value).collect())
     }
 }
-impl<T: Deserialize> Deserialize for HashSet<T> {}
+impl<T: Deserialize + std::hash::Hash + Eq> Deserialize for HashSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        seq_from(v)?.iter().map(T::from_value).collect()
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Map impls (keys stringified through their serialized form)
 // ---------------------------------------------------------------------------
+
+fn map_from(v: &Value) -> Result<&[(String, Value)], DeError> {
+    match v {
+        Value::Map(kvs) => Ok(kvs),
+        _ => Err(DeError::expected("map", v)),
+    }
+}
 
 impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
     fn to_value(&self) -> Value {
@@ -222,7 +418,14 @@ impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
         )
     }
 }
-impl<K: Deserialize, V: Deserialize> Deserialize for BTreeMap<K, V> {}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        map_from(v)?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
 
 impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
     fn to_value(&self) -> Value {
@@ -233,29 +436,46 @@ impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
         )
     }
 }
-impl<K: Deserialize, V: Deserialize> Deserialize for HashMap<K, V> {}
+impl<K: Deserialize + std::hash::Hash + Eq, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        map_from(v)?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Tuple impls
 // ---------------------------------------------------------------------------
 
 macro_rules! ser_tuple {
-    ($(($($n:tt $t:ident),+)),+ $(,)?) => { $(
+    ($(($len:expr, $($n:tt $t:ident),+)),+ $(,)?) => { $(
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {
             fn to_value(&self) -> Value {
                 Value::Seq(vec![$(self.$n.to_value()),+])
             }
         }
-        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {}
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let xs = seq_from(v)?;
+                if xs.len() != $len {
+                    return Err(DeError(format!(
+                        "expected {}-tuple, found {} elements", $len, xs.len()
+                    )));
+                }
+                Ok(($($t::from_value(&xs[$n])?,)+))
+            }
+        }
     )+ };
 }
 ser_tuple!(
-    (0 A),
-    (0 A, 1 B),
-    (0 A, 1 B, 2 C),
-    (0 A, 1 B, 2 C, 3 D),
-    (0 A, 1 B, 2 C, 3 D, 4 E),
-    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F),
+    (1, 0 A),
+    (2, 0 A, 1 B),
+    (3, 0 A, 1 B, 2 C),
+    (4, 0 A, 1 B, 2 C, 3 D),
+    (5, 0 A, 1 B, 2 C, 3 D, 4 E),
+    (6, 0 A, 1 B, 2 C, 3 D, 4 E, 5 F),
 );
 
 #[cfg(test)]
@@ -326,5 +546,88 @@ mod tests {
                 Value::Map(vec![("x".into(), Value::Bool(true))])
             )])
         );
+    }
+
+    #[test]
+    fn scalars_round_trip_through_from_value() {
+        assert_eq!(u8::from_value(&Value::U64(7)), Ok(7));
+        assert_eq!(u32::from_value(&Value::I64(7)), Ok(7));
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert_eq!(i16::from_value(&Value::I64(-2)), Ok(-2));
+        assert_eq!(f64::from_value(&Value::U64(3)), Ok(3.0));
+        assert_eq!(bool::from_value(&Value::Bool(true)), Ok(true));
+        assert_eq!(
+            String::from_value(&Value::Str("x".into())),
+            Ok("x".to_string())
+        );
+        assert!(u8::from_value(&Value::Str("7".into())).is_err());
+    }
+
+    #[test]
+    fn containers_round_trip_through_from_value() {
+        let v = vec![1u8, 2, 3];
+        assert_eq!(Vec::<u8>::from_value(&v.to_value()), Ok(v));
+        let arr = [4u16, 5];
+        assert_eq!(<[u16; 2]>::from_value(&arr.to_value()), Ok(arr));
+        assert!(<[u16; 3]>::from_value(&arr.to_value()).is_err());
+        let mut m = BTreeMap::new();
+        m.insert(3u32, "x".to_string());
+        assert_eq!(
+            BTreeMap::<u32, String>::from_value(&m.to_value()),
+            Ok(m),
+            "numeric keys parse back through from_key"
+        );
+        let opt: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(&opt.to_value()), Ok(None));
+        assert_eq!(Option::<u8>::from_value(&Value::U64(3)), Ok(Some(3)));
+        let t = (1u8, "y".to_string());
+        assert_eq!(<(u8, String)>::from_value(&t.to_value()), Ok(t));
+    }
+
+    #[test]
+    fn derive_round_trips_both_directions() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Inner(u32);
+
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        enum Mode {
+            Fast,
+            Slow { retries: u8 },
+            Pair(u8, u8),
+        }
+
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Outer {
+            id: Inner,
+            name: String,
+            mode: Mode,
+            extras: Vec<u16>,
+            note: Option<String>,
+        }
+
+        let o = Outer {
+            id: Inner(7),
+            name: "n".into(),
+            mode: Mode::Slow { retries: 3 },
+            extras: vec![1, 2],
+            note: None,
+        };
+        assert_eq!(Outer::from_value(&o.to_value()), Ok(o));
+        assert_eq!(Mode::from_value(&Mode::Fast.to_value()), Ok(Mode::Fast));
+        assert_eq!(
+            Mode::from_value(&Mode::Pair(1, 2).to_value()),
+            Ok(Mode::Pair(1, 2))
+        );
+        assert!(Mode::from_value(&Value::Str("Nope".into())).is_err());
+    }
+
+    #[test]
+    fn missing_required_field_is_an_error_with_path() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct P {
+            x: u8,
+        }
+        let err = P::from_value(&Value::Map(vec![])).unwrap_err();
+        assert!(err.0.contains("x"), "error names the field: {err}");
     }
 }

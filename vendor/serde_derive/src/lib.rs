@@ -3,7 +3,12 @@
 //! `#[derive(Serialize)]` generates an `impl serde::Serialize` that maps the
 //! item onto the owned `serde::Value` data model (named struct → `Map`,
 //! newtype → inner value, tuple struct/variant → `Seq`, unit variant →
-//! `Str`). `#[derive(Deserialize)]` generates an empty marker impl.
+//! `Str`). `#[derive(Deserialize)]` generates the exact inverse
+//! (`serde::Deserialize::from_value`), so derived types round-trip through
+//! any backend that parses text into the data model (e.g. the vendored
+//! `serde_json::from_str`). Missing map fields read as `Null`, which makes
+//! `Option` fields default to `None` and required fields error with a
+//! `Type.field:`-prefixed path.
 //!
 //! The input is parsed with a hand-rolled scanner over `proc_macro` token
 //! trees — no `syn`/`quote`, because this workspace builds offline with zero
@@ -284,11 +289,100 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     out.parse().expect("serde_derive: generated impl parses")
 }
 
-/// `#[derive(Deserialize)]`: emit the empty marker impl.
+/// Codegen for one named-field body (`struct` or enum variant): a struct
+/// literal whose fields pull out of `{src}` via `Value::field`.
+fn named_fields_literal(path: &str, fields: &[String], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: serde::Deserialize::from_value({src}.field({f:?})).map_err(|e| e.at(\"{path}.{f}\"))?"
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+/// Codegen for one tuple body of `n` fields pulling out of slice `{xs}`.
+fn tuple_fields_literal(path: &str, n: usize, xs: &str) -> String {
+    let inits: Vec<String> = (0..n)
+        .map(|k| {
+            format!("serde::Deserialize::from_value(&{xs}[{k}]).map_err(|e| e.at(\"{path}.{k}\"))?")
+        })
+        .collect();
+    format!("{path}({})", inits.join(", "))
+}
+
+/// `#[derive(Deserialize)]`: emit `impl serde::Deserialize` inverting the
+/// shape `#[derive(Serialize)]` produces.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    let (name, _) = parse_item(input);
-    format!("impl serde::Deserialize for {name} {{}}")
-        .parse()
-        .expect("serde_derive: generated impl parses")
+    let (name, body) = parse_item(input);
+    let from_value = match &body {
+        Body::UnitStruct => format!(
+            "match v {{ serde::Value::Null => Ok({name}), other => Err(serde::DeError::expected(\"null (unit struct {name})\", other)) }}"
+        ),
+        Body::NamedStruct(fields) => format!(
+            "if !matches!(v, serde::Value::Map(_)) {{ return Err(serde::DeError::expected(\"map (struct {name})\", v)); }} Ok({})",
+            named_fields_literal(&name, fields, "v")
+        ),
+        Body::TupleStruct(1) => format!(
+            "Ok({name}(serde::Deserialize::from_value(v).map_err(|e| e.at(\"{name}\"))?))"
+        ),
+        Body::TupleStruct(n) => format!(
+            "if let serde::Value::Seq(xs) = v {{ if xs.len() == {n} {{ return Ok({}); }} }} Err(serde::DeError::expected(\"{n}-element sequence (struct {name})\", v))",
+            tuple_fields_literal(&name, *n, "xs")
+        ),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let path = format!("{name}::{vname}");
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "if tag == {vname:?} {{ return Ok({path}); }} "
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "if tag == {vname:?} {{ return Ok({path}(serde::Deserialize::from_value(inner).map_err(|e| e.at(\"{path}\"))?)); }} "
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        data_arms.push_str(&format!(
+                            "if tag == {vname:?} {{ if let serde::Value::Seq(xs) = inner {{ if xs.len() == {n} {{ return Ok({}); }} }} return Err(serde::DeError::expected(\"{n}-element sequence ({path})\", inner)); }} ",
+                            tuple_fields_literal(&path, *n, "xs")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        data_arms.push_str(&format!(
+                            "if tag == {vname:?} {{ if !matches!(inner, serde::Value::Map(_)) {{ return Err(serde::DeError::expected(\"map ({path})\", inner)); }} return Ok({}); }} ",
+                            named_fields_literal(&path, fields, "inner")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let serde::Value::Str(tag) = v {{ \
+                     {unit_arms}\
+                     return Err(serde::DeError(format!(\"unknown variant {{tag:?}} for {name}\"))); \
+                 }} \
+                 if let serde::Value::Map(entries) = v {{ \
+                     if entries.len() == 1 {{ \
+                         let (tag, inner) = &entries[0]; \
+                         let _ = inner; \
+                         {data_arms}\
+                         return Err(serde::DeError(format!(\"unknown variant {{tag:?}} for {name}\"))); \
+                     }} \
+                 }} \
+                 Err(serde::DeError::expected(\"variant of enum {name}\", v))"
+            )
+        }
+    };
+    let out = format!(
+        "impl serde::Deserialize for {name} {{\n    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{ {from_value} }}\n}}"
+    );
+    out.parse().expect("serde_derive: generated impl parses")
 }

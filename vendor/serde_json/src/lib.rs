@@ -3,8 +3,9 @@
 //!
 //! Covers the surface this workspace uses: [`Value`], [`Map`], the [`json!`]
 //! macro, [`to_string`] / [`to_string_pretty`] over anything implementing the
-//! vendored `serde::Serialize`, and `Index`/`PartialEq` conveniences for
-//! assertions.
+//! vendored `serde::Serialize`, [`from_str`] into anything implementing the
+//! vendored `serde::Deserialize` (a full JSON text parser feeding the owned
+//! data model), and `Index`/`PartialEq` conveniences for assertions.
 
 #![forbid(unsafe_code)]
 
@@ -373,6 +374,245 @@ pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<Strin
     Ok(out)
 }
 
+// ---------------------------------------------------------------------------
+// Deserialization from text
+// ---------------------------------------------------------------------------
+
+impl serde::Deserialize for Value {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(from_ser(v))
+    }
+}
+
+/// Recursive-descent JSON parser over the input bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, lit: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat("null").map(|_| Value::Null),
+            Some(b't') => self.eat("true").map(|_| Value::Bool(true)),
+            Some(b'f') => self.eat("false").map(|_| Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected byte {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat("\"")?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect a low surrogate.
+                                self.eat("\\u")?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid \\u escape")),
+                            }
+                        }
+                        other => {
+                            return Err(self.err(&format!("invalid escape {:?}", other as char)))
+                        }
+                    }
+                }
+                // Multi-byte UTF-8: copy the full sequence verbatim.
+                _ if b < 0x80 => out.push(b as char),
+                _ => {
+                    let start = self.pos - 1;
+                    while self.peek().is_some_and(|c| c & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Some(digits) = text.strip_prefix('-') {
+                if let Ok(n) = digits.parse::<i64>() {
+                    return Ok(Value::I64(-n));
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| self.err(&format!("invalid number `{text}`")))
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat("[")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat("{")?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(":")?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+/// Parse JSON text into a [`Value`].
+pub fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser::new(s);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+/// Deserialize any `serde::Deserialize` type from JSON text.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse_value(s)?;
+    T::from_value(&serde::Serialize::to_value(&v)).map_err(|e| Error(e.0))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,6 +639,81 @@ mod tests {
         let v = json!({ "a": 1u8 });
         let s = to_string_pretty(&v).unwrap();
         assert!(s.contains("\n  \"a\": 1"));
+    }
+
+    #[test]
+    fn from_str_parses_scalars_and_nesting() {
+        assert_eq!(parse_value("null").unwrap(), Value::Null);
+        assert_eq!(parse_value(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse_value("42").unwrap(), Value::U64(42));
+        assert_eq!(parse_value("-7").unwrap(), Value::I64(-7));
+        assert_eq!(parse_value("2.5").unwrap(), Value::F64(2.5));
+        assert_eq!(parse_value("1e3").unwrap(), Value::F64(1000.0));
+        assert_eq!(
+            parse_value(r#""a\nbAé""#).unwrap(),
+            Value::String("a\nbA\u{e9}".into())
+        );
+        let v = parse_value(r#"{ "xs": [1, -2, {"k": "v"}], "b": false }"#).unwrap();
+        assert_eq!(v["xs"][0], Value::U64(1));
+        assert_eq!(v["xs"][1], Value::I64(-2));
+        assert_eq!(v["xs"][2]["k"], "v");
+        assert_eq!(v["b"], Value::Bool(false));
+    }
+
+    #[test]
+    fn from_str_rejects_malformed_input() {
+        assert!(parse_value("").is_err());
+        assert!(parse_value("{").is_err());
+        assert!(parse_value("[1,]").is_err());
+        assert!(parse_value("\"unterminated").is_err());
+        assert!(parse_value("1 2").is_err(), "trailing content rejected");
+        assert!(parse_value("nul").is_err());
+    }
+
+    #[test]
+    fn from_str_round_trips_derived_types() {
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        struct Nested {
+            id: u32,
+            label: String,
+        }
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        struct Config {
+            name: String,
+            limit: usize,
+            ratio: f64,
+            inner: Nested,
+            tags: Vec<String>,
+            opt: Option<u8>,
+        }
+        let cfg = Config {
+            name: "c".into(),
+            limit: 10,
+            ratio: 0.5,
+            inner: Nested {
+                id: 3,
+                label: "x\"y".into(),
+            },
+            tags: vec!["a".into(), "b".into()],
+            opt: None,
+        };
+        let text = to_string(&cfg).unwrap();
+        let back: Config = from_str(&text).unwrap();
+        assert_eq!(back, cfg);
+        // Missing optional fields deserialize to None; missing required
+        // fields error with a field path.
+        let partial: Config =
+            from_str(r#"{"name":"n","limit":1,"ratio":2,"inner":{"id":1,"label":"l"},"tags":[]}"#)
+                .unwrap();
+        assert_eq!(partial.opt, None);
+        let err = from_str::<Config>(r#"{"name":"n"}"#).unwrap_err();
+        assert!(err.to_string().contains("limit"), "{err}");
+    }
+
+    #[test]
+    fn from_str_into_json_value() {
+        let v: Value = from_str(r#"{"a": [1, 2]}"#).unwrap();
+        assert_eq!(v["a"][1], Value::U64(2));
     }
 
     #[test]
