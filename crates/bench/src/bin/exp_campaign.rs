@@ -24,7 +24,7 @@
 //! Prints Markdown tables; the JSON output is committed as
 //! `BENCH_campaign.json` by CI to start the perf trajectory.
 
-use dice_bench::{fmt_nanos, maybe_write_json, Table};
+use dice_bench::{detection_rows, maybe_write_json, summarize_campaign, Table};
 use dice_core::{scenarios, Campaign, CampaignConfig, CampaignReport};
 use dice_netsim::{NodeId, SimDuration, SimTime, Simulator};
 
@@ -93,65 +93,6 @@ fn run_demo(cfg: &CampaignConfig) -> CampaignReport {
         .expect("demo campaign runs")
 }
 
-fn fault_counts(report: &CampaignReport) -> String {
-    let mut by_class: std::collections::BTreeMap<String, usize> = Default::default();
-    for f in &report.faults {
-        *by_class.entry(f.class.to_string()).or_default() += 1;
-    }
-    if by_class.is_empty() {
-        "none".into()
-    } else {
-        by_class
-            .iter()
-            .map(|(c, n)| format!("{c}:{n}"))
-            .collect::<Vec<_>>()
-            .join(" ")
-    }
-}
-
-fn summarize(table: &mut Table, label: &str, report: &CampaignReport) {
-    table.row(vec![
-        label.into(),
-        "rounds".into(),
-        report.rounds.len().to_string(),
-    ]);
-    table.row(vec![
-        label.into(),
-        "wall".into(),
-        format!("{:.1}ms", report.wall_us as f64 / 1e3),
-    ]);
-    table.row(vec![
-        label.into(),
-        "rounds/s".into(),
-        format!("{:.2}", report.rounds_per_sec()),
-    ]);
-    table.row(vec![
-        label.into(),
-        "sim time consumed".into(),
-        fmt_nanos(report.sim_nanos),
-    ]);
-    table.row(vec![
-        label.into(),
-        "concolic executions".into(),
-        report.executions_total.to_string(),
-    ]);
-    table.row(vec![
-        label.into(),
-        "inputs validated".into(),
-        report.validated_total.to_string(),
-    ]);
-    table.row(vec![
-        label.into(),
-        "coverage union".into(),
-        report.coverage_union.to_string(),
-    ]);
-    table.row(vec![
-        label.into(),
-        "faults by class".into(),
-        fault_counts(report),
-    ]);
-}
-
 fn main() {
     let opts = parse_options();
     let demo_cfg = match &opts.config {
@@ -172,7 +113,7 @@ fn main() {
         "C1a — campaign over the 27-router demo (healthy)",
         &["campaign", "metric", "value"],
     );
-    summarize(
+    summarize_campaign(
         &mut t1,
         &format!("demo27 (pair_workers={})", demo_cfg.pair_workers.max(1)),
         &demo,
@@ -212,21 +153,8 @@ fn main() {
         "C1c — campaign detection latency (seeded parser bug)",
         &["campaign", "metric", "value"],
     );
-    summarize(&mut t3, "buggy-line", &faulty);
-    for d in &faulty.detection {
-        t3.row(vec![
-            "buggy-line".into(),
-            format!("first {} detection", d.class),
-            format!(
-                "round {} ({} via {}), input #{}, {:.1}ms cumulative",
-                d.round,
-                d.explorer,
-                d.inject_peer,
-                d.input_ordinal,
-                d.wall_us_cum as f64 / 1e3
-            ),
-        ]);
-    }
+    summarize_campaign(&mut t3, "buggy-line", &faulty);
+    detection_rows(&mut t3, "buggy-line", &faulty);
     t3.print();
 
     // C1d: the scaling curve — same campaign, fresh identical live system

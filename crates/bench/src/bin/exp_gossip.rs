@@ -1,0 +1,158 @@
+//! **G1 — gossip and mixed-protocol campaigns**: the second real workload
+//! behind the SUT seam, proving the runtime tests *heterogeneous*
+//! federations end to end.
+//!
+//! Campaigns:
+//!
+//! 1. **G1a** — a healthy gossip mesh: rounds/s, coverage union and
+//!    per-explorer coverage for a federation that shares no code with BGP.
+//! 2. **G1b** — detection latency for the seeded digest-count defect on a
+//!    buggy gossip mesh (the gossip analogue of C1c's parser bug).
+//! 3. **G1c** — the mixed BGP+gossip federation: one campaign, one
+//!    snapshot protocol, two wire formats — the per-kind table shows both
+//!    workloads swept in a single run.
+//!
+//! Flags:
+//!
+//! * `--smoke` — tiny budgets for CI (smaller mesh, fewer executions;
+//!   G1b's exploration budget stays at full size — below ~64 executions
+//!   the concolic search does not reach the seeded digest bug).
+//! * `--json PATH` — archive the raw rows as JSON (CI uploads this as the
+//!   `BENCH_gossip` artifact; `BENCH_gossip.json` is the committed
+//!   trajectory file).
+
+use dice_bench::{detection_rows, maybe_write_json, summarize_campaign, Table};
+use dice_core::{scenarios, Campaign, CampaignReport, FaultClass};
+use dice_netsim::{SimDuration, SimTime, Simulator};
+
+fn parse_smoke() -> bool {
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--json" => {
+                // Handled by maybe_write_json; skip its path argument.
+                args.next();
+            }
+            other => panic!("unknown flag {other:?}; supported: --smoke, --json <path>"),
+        }
+    }
+    smoke
+}
+
+fn quiesce(sim: &mut Simulator) {
+    sim.run_until_quiet(
+        SimDuration::from_secs(5),
+        SimTime::from_nanos(120_000_000_000),
+    );
+}
+
+fn kind_rows(table: &mut Table, label: &str, report: &CampaignReport) {
+    for k in &report.per_kind {
+        table.row(vec![
+            label.into(),
+            k.kind.clone(),
+            k.rounds.to_string(),
+            k.coverage.to_string(),
+            k.executions.to_string(),
+            k.faults.to_string(),
+            format!("{:.1}ms", k.wall_us as f64 / 1e3),
+        ]);
+    }
+}
+
+fn main() {
+    let smoke = parse_smoke();
+    let mesh_size = if smoke { 4 } else { 6 };
+    let executions = if smoke { 24 } else { 64 };
+    let validate_top = if smoke { 4 } else { 8 };
+
+    // G1a: continuous-testing cost on a healthy gossip mesh.
+    let mut mesh = scenarios::gossip_mesh(mesh_size, 19);
+    quiesce(&mut mesh);
+    let healthy = Campaign::new(&mesh)
+        .executions(executions)
+        .validate_top(validate_top)
+        .horizon(SimDuration::from_secs(30))
+        .workers(2)
+        .pair_workers(2)
+        .run(&mut mesh)
+        .expect("gossip mesh campaign runs");
+
+    let mut t1 = Table::new(
+        &format!("G1a — campaign over a healthy {mesh_size}-node gossip mesh"),
+        &["campaign", "metric", "value"],
+    );
+    summarize_campaign(&mut t1, "gossip-mesh", &healthy);
+    t1.print();
+    assert!(
+        healthy.faults.is_empty(),
+        "healthy mesh must stay clean: {:?}",
+        healthy.faults
+    );
+
+    // G1b: detection latency for the seeded digest-count defect. The
+    // exploration budget stays at full size even under --smoke: the
+    // 10-seed corpus needs ~64 executions before generational search
+    // crosses from the rumor arm into the buggy digest arm.
+    let mut buggy = scenarios::buggy_gossip_scenario(if smoke { 3 } else { 4 }, 23);
+    quiesce(&mut buggy);
+    let faulty = Campaign::new(&buggy)
+        .executions(128)
+        .validate_top(8)
+        .horizon(SimDuration::from_secs(30))
+        .workers(2)
+        .pair_workers(2)
+        .run(&mut buggy)
+        .expect("buggy gossip campaign runs");
+
+    let mut t2 = Table::new(
+        "G1b — gossip detection latency (seeded digest-count defect)",
+        &["campaign", "metric", "value"],
+    );
+    summarize_campaign(&mut t2, "buggy-gossip", &faulty);
+    detection_rows(&mut t2, "buggy-gossip", &faulty);
+    t2.print();
+    assert!(
+        faulty.classes().contains(&FaultClass::ProgrammingError),
+        "seeded gossip bug must be detected: {:?}",
+        faulty.faults
+    );
+
+    // G1c: one campaign over the mixed BGP+gossip federation — both wire
+    // formats explored for real in a single sweep.
+    let mut mixed = scenarios::mixed_bgp_gossip(29, false);
+    quiesce(&mut mixed);
+    let mixed_report = Campaign::new(&mixed)
+        .executions(executions)
+        .validate_top(validate_top)
+        .horizon(SimDuration::from_secs(30))
+        .workers(2)
+        .pair_workers(2)
+        .run(&mut mixed)
+        .expect("mixed campaign runs");
+
+    let mut t3 = Table::new(
+        "G1c — mixed BGP+gossip federation, per-protocol workload",
+        &[
+            "campaign",
+            "kind",
+            "rounds",
+            "coverage",
+            "executions",
+            "faults",
+            "wall",
+        ],
+    );
+    kind_rows(&mut t3, "mixed", &mixed_report);
+    t3.print();
+    assert_eq!(
+        mixed_report.per_kind.len(),
+        2,
+        "both protocol kinds must be swept: {:?}",
+        mixed_report.per_kind
+    );
+
+    maybe_write_json(&[&t1, &t2, &t3]);
+}

@@ -13,6 +13,7 @@
 //! | `exp_workflow` | F3 — one round's phase timeline |
 //! | `exp_snapshot_consistency` | A1 — consistent vs uncoordinated snapshots |
 //! | `exp_campaign` | C1 — federation-scale campaign throughput and detection latency |
+//! | `exp_gossip` | G1 — gossip pub/sub and mixed-protocol campaigns |
 //!
 //! Criterion micro-benches (`snapshot_bench`, `handler_bench`,
 //! `solver_bench`) cover T4 (instrumentation and snapshot tax).
@@ -117,6 +118,58 @@ pub fn maybe_write_json(tables: &[&Table]) {
                 eprintln!("wrote {path}");
             }
         }
+    }
+}
+
+/// Append the standard campaign summary rows (rounds, wall, rounds/s,
+/// sim time, executions, validations, coverage union, faults by class) to
+/// a `[campaign, metric, value]`-shaped table. Shared by every campaign
+/// experiment binary so the committed trajectory files keep one format.
+pub fn summarize_campaign(table: &mut Table, label: &str, report: &dice_core::CampaignReport) {
+    let mut by_class: std::collections::BTreeMap<String, usize> = Default::default();
+    for f in &report.faults {
+        *by_class.entry(f.class.to_string()).or_default() += 1;
+    }
+    let faults = if by_class.is_empty() {
+        "none".into()
+    } else {
+        by_class
+            .iter()
+            .map(|(c, n)| format!("{c}:{n}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    let rows: [(&str, String); 8] = [
+        ("rounds", report.rounds.len().to_string()),
+        ("wall", format!("{:.1}ms", report.wall_us as f64 / 1e3)),
+        ("rounds/s", format!("{:.2}", report.rounds_per_sec())),
+        ("sim time consumed", fmt_nanos(report.sim_nanos)),
+        ("concolic executions", report.executions_total.to_string()),
+        ("inputs validated", report.validated_total.to_string()),
+        ("coverage union", report.coverage_union.to_string()),
+        ("faults by class", faults),
+    ];
+    for (metric, value) in rows {
+        table.row(vec![label.into(), metric.into(), value]);
+    }
+}
+
+/// Append one `first <class> detection` row per detected fault class to a
+/// `[campaign, metric, value]`-shaped table.
+pub fn detection_rows(table: &mut Table, label: &str, report: &dice_core::CampaignReport) {
+    for d in &report.detection {
+        table.row(vec![
+            label.into(),
+            format!("first {} detection", d.class),
+            format!(
+                "round {} ({} via {}), input #{}, {:.1}ms cumulative",
+                d.round,
+                d.explorer,
+                d.inject_peer,
+                d.input_ordinal,
+                d.wall_us_cum as f64 / 1e3
+            ),
+        ]);
     }
 }
 

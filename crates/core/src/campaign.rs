@@ -39,7 +39,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::check::{FaultClass, FaultReport};
 use crate::executor::RoundTask;
-use crate::explorer::{DiceConfig, RoundReport};
+use crate::explorer::{us_to_ms, DiceConfig, RoundReport};
 use crate::interface::AttestationRegistry;
 use crate::snapshot::take_consistent_snapshot;
 use crate::sut::SutCatalog;
@@ -99,6 +99,28 @@ pub struct ClassDetection {
     pub wall_ms_cum: u64,
 }
 
+/// Per-protocol aggregation across a campaign — the heterogeneity
+/// breakdown: how much of the sweep each workload (BGP, gossip, ...)
+/// consumed and what it found.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KindSummary {
+    /// Protocol tag ("bgp", "gossip", ...).
+    pub kind: String,
+    /// Rounds whose explorer spoke this protocol.
+    pub rounds: usize,
+    /// Branch-coverage union (site, direction) count across those rounds.
+    pub coverage: usize,
+    /// Distinct deduplicated faults attributed to those rounds.
+    pub faults: usize,
+    /// Concolic executions spent.
+    pub executions: usize,
+    /// Host wall-clock microseconds summed over those rounds (snapshot
+    /// share included where the round paid for it).
+    pub wall_us: u64,
+    /// [`KindSummary::wall_us`] in milliseconds.
+    pub wall_ms: u64,
+}
+
 /// Per-explorer aggregation across a campaign.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExplorerSummary {
@@ -127,6 +149,9 @@ pub struct CampaignReport {
     pub coverage_union: usize,
     /// Per-explorer summaries, in node order.
     pub per_explorer: Vec<ExplorerSummary>,
+    /// Per-protocol summaries, in kind order — one row per workload of a
+    /// heterogeneous federation.
+    pub per_kind: Vec<KindSummary>,
     /// First detection per fault class, in class order.
     pub detection: Vec<ClassDetection>,
     /// Total host wall-clock microseconds. Tracked at microsecond
@@ -173,6 +198,10 @@ impl CampaignReport {
         for d in &mut r.detection {
             d.wall_us_cum = 0;
             d.wall_ms_cum = 0;
+        }
+        for k in &mut r.per_kind {
+            k.wall_us = 0;
+            k.wall_ms = 0;
         }
         r
     }
@@ -380,10 +409,19 @@ impl Campaign {
             coverage: BTreeSet<(u32, bool)>,
             executions: usize,
         }
+        #[derive(Default)]
+        struct KindAccum {
+            rounds: usize,
+            coverage: BTreeSet<(u32, bool)>,
+            faults: usize,
+            executions: usize,
+            wall_us: u64,
+        }
 
         let mut rounds: Vec<RoundReport> = Vec::new();
         let mut coverage_union: BTreeSet<(u32, bool)> = BTreeSet::new();
         let mut per_explorer: BTreeMap<NodeId, Accum> = BTreeMap::new();
+        let mut per_kind: BTreeMap<String, KindAccum> = BTreeMap::new();
         let mut fault_union: Vec<FaultReport> = Vec::new();
         let mut fault_keys = BTreeSet::new();
         let mut explorer_fault_counts: BTreeMap<NodeId, usize> = BTreeMap::new();
@@ -464,6 +502,14 @@ impl Campaign {
                 entry.coverage.extend(outcome.exploration.coverage.sites());
                 entry.executions += report.executions;
 
+                let kind_entry = per_kind.entry(report.explorer_kind.clone()).or_default();
+                kind_entry.rounds += 1;
+                kind_entry
+                    .coverage
+                    .extend(outcome.exploration.coverage.sites());
+                kind_entry.executions += report.executions;
+                kind_entry.wall_us += report.wall_us;
+
                 for f in &report.faults {
                     detection.entry(f.class).or_insert_with(|| ClassDetection {
                         class: f.class,
@@ -476,11 +522,15 @@ impl Campaign {
                             .copied()
                             .unwrap_or(0),
                         wall_us_cum: done.completed_wall_us,
-                        wall_ms_cum: done.completed_wall_us / 1_000,
+                        wall_ms_cum: us_to_ms(done.completed_wall_us),
                     });
                     if fault_keys.insert(f.key()) {
                         fault_union.push(f.clone());
                         *explorer_fault_counts.entry(explorer).or_default() += 1;
+                        per_kind
+                            .get_mut(&report.explorer_kind)
+                            .expect("kind entry created above")
+                            .faults += 1;
                     }
                 }
                 rounds.push(report);
@@ -498,6 +548,18 @@ impl Campaign {
                 executions: acc.executions,
             })
             .collect();
+        let per_kind = per_kind
+            .into_iter()
+            .map(|(kind, acc)| KindSummary {
+                kind,
+                rounds: acc.rounds,
+                coverage: acc.coverage.len(),
+                faults: acc.faults,
+                executions: acc.executions,
+                wall_us: acc.wall_us,
+                wall_ms: us_to_ms(acc.wall_us),
+            })
+            .collect();
 
         let wall_us = wall.elapsed().as_micros() as u64;
         Ok(CampaignReport {
@@ -507,9 +569,10 @@ impl Campaign {
             faults: fault_union,
             coverage_union: coverage_union.len(),
             per_explorer,
+            per_kind,
             detection: detection.into_values().collect(),
             wall_us,
-            wall_ms: wall_us / 1_000,
+            wall_ms: us_to_ms(wall_us),
             sim_nanos: (live.now() - sim_start).as_nanos(),
         })
     }
@@ -615,6 +678,75 @@ mod tests {
         let sequential = run(1);
         assert_eq!(run(3), sequential);
         assert!(sequential.contains("\"wall_us\":0"), "wall fields zeroed");
+    }
+
+    #[test]
+    fn wall_fields_derive_consistently_and_normalize_to_zero() {
+        // Every ms field is `us_to_ms` of its us counter — one shared
+        // truncating derivation across rounds, detection, per-kind and the
+        // campaign total — and `normalized()` zeroes all of them,
+        // including the per-kind workload rows added for gossip.
+        let mut sim = scenarios::mixed_bgp_gossip(13, true);
+        sim.run_until(SimTime::from_nanos(12_000_000_000));
+        let report = quick(Campaign::new(&sim))
+            .executions(48)
+            .validate_top(6)
+            .run(&mut sim)
+            .expect("mixed campaign runs");
+
+        assert_eq!(report.wall_ms, crate::explorer::us_to_ms(report.wall_us));
+        for r in &report.rounds {
+            assert_eq!(r.wall_ms, crate::explorer::us_to_ms(r.wall_us));
+        }
+        for d in &report.detection {
+            assert_eq!(d.wall_ms_cum, crate::explorer::us_to_ms(d.wall_us_cum));
+        }
+        assert!(!report.per_kind.is_empty());
+        for k in &report.per_kind {
+            assert_eq!(k.wall_ms, crate::explorer::us_to_ms(k.wall_us));
+        }
+        // Kind rows partition the rounds and their wall time.
+        assert_eq!(
+            report.per_kind.iter().map(|k| k.rounds).sum::<usize>(),
+            report.rounds.len()
+        );
+        assert_eq!(
+            report.per_kind.iter().map(|k| k.wall_us).sum::<u64>(),
+            report.rounds.iter().map(|r| r.wall_us).sum::<u64>()
+        );
+
+        let n = report.normalized();
+        assert_eq!(n.wall_us, 0);
+        assert_eq!(n.wall_ms, 0);
+        assert!(n
+            .rounds
+            .iter()
+            .all(|r| r.wall_us == 0 && r.wall_ms == 0 && r.snapshot.wall_micros == 0));
+        assert!(n
+            .detection
+            .iter()
+            .all(|d| d.wall_us_cum == 0 && d.wall_ms_cum == 0));
+        assert!(n.per_kind.iter().all(|k| k.wall_us == 0 && k.wall_ms == 0));
+    }
+
+    #[test]
+    fn per_kind_summarizes_heterogeneous_workloads() {
+        let mut sim = scenarios::mixed_bgp_gossip(17, false);
+        sim.run_until(SimTime::from_nanos(12_000_000_000));
+        let report = quick(Campaign::new(&sim))
+            .executions(16)
+            .validate_top(3)
+            .run(&mut sim)
+            .expect("mixed campaign runs");
+        let kinds: Vec<&str> = report.per_kind.iter().map(|k| k.kind.as_str()).collect();
+        assert_eq!(kinds, vec!["bgp", "gossip"], "kind rows in kind order");
+        let bgp = &report.per_kind[0];
+        let gossip = &report.per_kind[1];
+        // BGP line 0-1 has 2 directed pairs; gossip triangle has 6.
+        assert_eq!(bgp.rounds, 2);
+        assert_eq!(gossip.rounds, 6);
+        assert!(bgp.coverage > 0 && gossip.coverage > 0);
+        assert!(bgp.executions > 0 && gossip.executions > 0);
     }
 
     #[test]

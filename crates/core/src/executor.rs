@@ -19,7 +19,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use dice_netsim::{NodeId, ShadowSnapshot, Topology};
 
@@ -90,21 +90,30 @@ struct Shared<'e> {
     /// Per-round results, indexed like `tasks`.
     slots: Mutex<Vec<Option<Result<RoundDone, String>>>>,
     /// Set when any worker unwinds, so the remaining workers stop waiting
-    /// on counters the dead worker can no longer advance and the scope
-    /// can join and re-raise the original panic instead of hanging.
+    /// on counters the dead worker can no longer advance and
+    /// [`run_rounds`] can re-raise the original panic instead of hanging.
     panicked: AtomicBool,
+    /// The payload of the first worker panic, re-raised by [`run_rounds`]
+    /// after the pool drains. Without this, the scope's automatic join
+    /// replaces the worker's message with a generic "a scoped thread
+    /// panicked".
+    first_panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
 }
 
-/// Raises [`Shared::panicked`] if its worker thread unwinds (armed for
-/// the whole worker body at spawn).
-struct PanicSignal<'a>(&'a AtomicBool);
-
-impl Drop for PanicSignal<'_> {
-    fn drop(&mut self) {
-        if std::thread::panicking() {
-            self.0.store(true, Ordering::Release);
-        }
-    }
+/// Acquire `m`, recovering the guarded data if another worker panicked
+/// while holding the lock.
+///
+/// Executor mutexes only guard plain collections (result vectors, the
+/// open-batch list, the slot table), so the data is never left in a
+/// broken intermediate state by an unwinding worker. Treating poison as
+/// fatal here used to *mask* the original failure: every surviving worker
+/// would raise a secondary "poisoned" panic, aborting the process via
+/// double panic or replacing the first worker's own message. Poison-
+/// tolerant acquisition lets the survivors drain normally (the
+/// [`Shared::panicked`] flag tells them to stop waiting), so the panic
+/// [`run_rounds`] re-raises is the original one.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl Shared<'_> {
@@ -127,11 +136,7 @@ impl Shared<'_> {
             &task.baseline,
             self.checkers,
         );
-        batch
-            .results
-            .lock()
-            .expect("no poisoned validation workers")
-            .push((i, report));
+        lock_unpoisoned(&batch.results).push((i, report));
         batch.done.fetch_add(1, Ordering::Release);
         true
     }
@@ -140,7 +145,7 @@ impl Shared<'_> {
     /// nothing was stealable.
     fn steal_val_unit(&self) -> bool {
         let batch = {
-            let open = self.open.lock().expect("no poisoned executor");
+            let open = lock_unpoisoned(&self.open);
             open.iter()
                 .find(|b| b.next.load(Ordering::Relaxed) < b.candidates.len())
                 .cloned()
@@ -169,13 +174,16 @@ impl Shared<'_> {
                     done: AtomicUsize::new(0),
                     results: Mutex::new(Vec::with_capacity(total)),
                 });
-                self.open
-                    .lock()
-                    .expect("no poisoned executor")
-                    .push(Arc::clone(&batch));
+                lock_unpoisoned(&self.open).push(Arc::clone(&batch));
                 // Drain own candidates; free workers steal concurrently.
                 while self.run_val_unit(&batch) {}
                 // Wait for stolen units, helping other rounds meanwhile.
+                // Time spent executing *foreign* validation units must not
+                // be billed to this round: per-round wall_us feeds the
+                // per-kind workload breakdown, and charging a BGP round
+                // for a stolen gossip unit (or vice versa) would
+                // misattribute cost across protocols.
+                let mut foreign_us = 0u64;
                 while batch.done.load(Ordering::Acquire) < batch.candidates.len() {
                     if self.panicked.load(Ordering::Acquire) {
                         // A stolen unit's worker is unwinding and will
@@ -183,23 +191,19 @@ impl Shared<'_> {
                         // scope can join and re-raise its panic.
                         return;
                     }
-                    if !self.steal_val_unit() {
+                    let steal_start = std::time::Instant::now();
+                    if self.steal_val_unit() {
+                        foreign_us += steal_start.elapsed().as_micros() as u64;
+                    } else {
                         idle_wait();
                     }
                 }
-                self.open
-                    .lock()
-                    .expect("no poisoned executor")
-                    .retain(|b| !Arc::ptr_eq(b, &batch));
-                let mut results = std::mem::take(
-                    &mut *batch
-                        .results
-                        .lock()
-                        .expect("no poisoned validation workers"),
-                );
+                lock_unpoisoned(&self.open).retain(|b| !Arc::ptr_eq(b, &batch));
+                let mut results = std::mem::take(&mut *lock_unpoisoned(&batch.results));
                 results.sort_by_key(|(i, _)| *i);
                 let results: Vec<CheckReport> = results.into_iter().map(|(_, r)| r).collect();
-                let wall_us = task.snap_wall_us + stage_start.elapsed().as_micros() as u64;
+                let wall_us = task.snap_wall_us
+                    + (stage_start.elapsed().as_micros() as u64).saturating_sub(foreign_us);
                 Ok(check_stage(
                     stage,
                     &results,
@@ -214,7 +218,7 @@ impl Shared<'_> {
             outcome,
             completed_wall_us: self.campaign_start.elapsed().as_micros() as u64,
         });
-        self.slots.lock().expect("no poisoned executor")[idx] = Some(result);
+        lock_unpoisoned(&self.slots)[idx] = Some(result);
         self.rounds_done.fetch_add(1, Ordering::Release);
     }
 
@@ -282,31 +286,143 @@ pub(crate) fn run_rounds(
         open: Mutex::new(Vec::new()),
         slots: Mutex::new((0..tasks.len()).map(|_| None).collect()),
         panicked: AtomicBool::new(false),
+        first_panic: Mutex::new(None),
     };
     let round_workers = pair_workers.max(1);
     let pool_workers = pool_workers.max(round_workers);
     if round_workers == 1 && pool_workers == 1 {
-        // Degenerate pool: run inline, no threads to spawn or join.
+        // Degenerate pool: run inline, no threads to spawn or join;
+        // panics propagate directly.
         for i in 0..tasks.len() {
             shared.run_round(i);
         }
     } else {
-        // The scope joins every worker and re-raises the first panic; the
-        // PanicSignal guard makes sure the surviving workers stop waiting
-        // on counters a dead worker can no longer advance.
+        // Each worker catches its own unwind, records the payload of the
+        // *first* panic, and raises the `panicked` flag so the surviving
+        // workers stop waiting on counters the dead worker can no longer
+        // advance. The scope then joins cleanly and the original panic is
+        // re-raised below with its message intact.
         std::thread::scope(|s| {
             for index in 0..pool_workers {
                 let shared = &shared;
                 s.spawn(move || {
-                    let _signal = PanicSignal(&shared.panicked);
-                    shared.worker(index, round_workers);
+                    let body = std::panic::AssertUnwindSafe(|| {
+                        shared.worker(index, round_workers);
+                    });
+                    if let Err(payload) = std::panic::catch_unwind(body) {
+                        shared.panicked.store(true, Ordering::Release);
+                        let mut slot = lock_unpoisoned(&shared.first_panic);
+                        slot.get_or_insert(payload);
+                    }
                 });
             }
         });
     }
-    let slots = shared.slots.into_inner().expect("no poisoned executor");
+    if let Some(payload) = lock_unpoisoned(&shared.first_panic).take() {
+        std::panic::resume_unwind(payload);
+    }
+    let slots = shared
+        .slots
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
     slots
         .into_iter()
         .map(|slot| slot.expect("every round ran to completion"))
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{CheckContext, FaultReport};
+    use crate::interface::LocalVerdict;
+    use crate::scenarios;
+    use crate::snapshot::take_consistent_snapshot;
+    use dice_netsim::{SimDuration, SimTime};
+    use std::panic::AssertUnwindSafe;
+
+    #[test]
+    fn lock_unpoisoned_recovers_guarded_data() {
+        let m = Mutex::new(vec![1]);
+        let poison = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison the mutex");
+        }));
+        assert!(poison.is_err());
+        assert!(m.is_poisoned());
+        lock_unpoisoned(&m).push(2);
+        assert_eq!(*lock_unpoisoned(&m), vec![1, 2]);
+    }
+
+    /// A checker that panics while validating — stands in for any defect
+    /// in round code running on a pool worker.
+    struct ExplodingChecker;
+
+    impl Checker for ExplodingChecker {
+        fn name(&self) -> &'static str {
+            "exploding"
+        }
+        fn check(&self, _cx: &CheckContext<'_>) -> (Vec<LocalVerdict>, Vec<FaultReport>) {
+            panic!("checker boom: the original failure");
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_its_own_message() {
+        // Regression: a panicking validation unit must surface *its* panic
+        // through the scope join — not a secondary "poisoned mutex" panic
+        // from one of the surviving workers.
+        let mut sim = scenarios::healthy_line(3, 5);
+        sim.run_until(SimTime::from_nanos(10_000_000_000));
+        let catalog = SutCatalog::default();
+        let registry = catalog.build_registry(&sim, 1);
+        let topo = sim.topology().clone();
+        let (shadow, snap_metrics) =
+            take_consistent_snapshot(&mut sim, NodeId(1), SimDuration::from_secs(10))
+                .expect("snapshot completes");
+        let shadow = shadow.into_shared();
+        let baseline = Arc::new(crate::check::flips_baseline(&catalog, &shadow));
+        let mk_task = |ordinal: u64, peer: u32| {
+            let mut cfg = DiceConfig::new(NodeId(1), NodeId(peer));
+            cfg.concolic_executions = 8;
+            cfg.validate_top = 4;
+            cfg.horizon = SimDuration::from_secs(20);
+            RoundTask {
+                ordinal,
+                cfg,
+                shadow: Arc::clone(&shadow),
+                baseline: Arc::clone(&baseline),
+                snap_metrics,
+                snap_wall_us: 0,
+            }
+        };
+        let tasks = vec![mk_task(1, 0), mk_task(2, 2)];
+        let checkers: Vec<Box<dyn Checker>> = vec![Box::new(ExplodingChecker)];
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_rounds(
+                &tasks,
+                2,
+                3,
+                &topo,
+                &catalog,
+                &registry,
+                &checkers,
+                std::time::Instant::now(),
+            )
+        }));
+        let payload = match outcome {
+            Ok(_) => panic!("panicking checker must propagate"),
+            Err(payload) => payload,
+        };
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "<non-string payload>".into());
+        assert!(
+            msg.contains("checker boom: the original failure"),
+            "the worker's own panic must surface, got: {msg}"
+        );
+    }
 }

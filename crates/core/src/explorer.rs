@@ -70,6 +70,17 @@ pub struct DiceConfig {
     pub seed: u64,
 }
 
+/// The single derivation of every millisecond wall-clock report field
+/// (`wall_ms`, `wall_ms_cum`, ...) from its microsecond counter:
+/// truncating division, so a derived field is never larger than its
+/// source implies. All report builders must go through this helper —
+/// mixing rounding modes across fields would break the byte-identity
+/// contract of [`crate::campaign::CampaignReport::normalized`] checks
+/// that compare reports across code paths.
+pub(crate) fn us_to_ms(us: u64) -> u64 {
+    us / 1_000
+}
+
 impl DiceConfig {
     /// Sensible defaults for exploring `explorer` via `inject_peer`.
     pub fn new(explorer: NodeId, inject_peer: NodeId) -> Self {
@@ -318,7 +329,7 @@ pub(crate) fn check_stage(
         verdicts_failed,
         detection_input_ordinal: detection,
         wall_us,
-        wall_ms: wall_us / 1_000,
+        wall_ms: us_to_ms(wall_us),
         solver_queries: exploration.solver.queries,
         solver_sat: exploration.solver.sat,
     };
@@ -486,14 +497,19 @@ pub(crate) fn validate_candidates(
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(cand) = candidates.get(i) else { break };
                 let report = run_one(i, cand.as_ref());
+                // Poison-tolerant like the campaign executor: a panicking
+                // sibling must not trigger secondary "poisoned" panics
+                // that mask its message at the scope join.
                 results
                     .lock()
-                    .expect("no poisoned workers")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .push((i, report));
             });
         }
     });
-    let mut collected = results.into_inner().expect("no poisoned workers");
+    let mut collected = results
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     collected.sort_by_key(|(i, _)| *i);
     collected.into_iter().map(|(_, r)| r).collect()
 }

@@ -27,8 +27,9 @@
 //! The runtime is protocol-agnostic: everything it needs from a node under
 //! test is captured by the [`sut`] seam ([`sut::ExplorableNode`] for
 //! exploration, [`sut::CheckView`] for checking), resolved through a
-//! [`sut::SutCatalog`] of probes. The BGP adapter ([`bgp_sut`]) is the
-//! first implementor; heterogeneous federations register extra probes.
+//! [`sut::SutCatalog`] of probes. Two real protocols implement it: the BGP
+//! adapter ([`bgp_sut`]) and the epidemic pub/sub adapter ([`gossip_sut`]
+//! over `dice-gossip`); heterogeneous federations register extra probes.
 //!
 //! Two drivers sit on top: [`explorer::DiceRunner`] runs rounds for one
 //! fixed `(explorer, inject peer)` pair, and [`campaign::Campaign`] sweeps
@@ -64,6 +65,7 @@ pub mod campaign;
 pub mod check;
 mod executor;
 pub mod explorer;
+pub mod gossip_sut;
 pub mod grammar;
 pub mod handler;
 pub mod hash;
@@ -80,6 +82,7 @@ pub use check::{
     OscillationChecker,
 };
 pub use explorer::{DiceConfig, DiceRunner, RoundReport};
+pub use gossip_sut::SymbolicGossipHandler;
 pub use grammar::{GrammarConfig, UpdateGrammar};
 pub use handler::SymbolicUpdateHandler;
 pub use hash::{sha256, Sha256};

@@ -1,11 +1,13 @@
 //! Ready-made systems for the paper's experiments: the three fault
-//! scenarios, a healthy baseline, and the 27-router Internet-like demo of
-//! Figure 1 with Gao–Rexford policies.
+//! scenarios, a healthy baseline, the 27-router Internet-like demo of
+//! Figure 1 with Gao–Rexford policies, and the gossip/mixed federations
+//! that exercise the heterogeneity claim with two real protocols.
 
 use dice_bgp::policy::gao_rexford;
 use dice_bgp::{
     net, Asn, BgpRouter, Ipv4Net, Match, Policy, RouterConfig, RouterId, Rule, Verdict,
 };
+use dice_gossip::{GossipConfig, GossipNode, TopicId};
 use dice_netsim::{LinkParams, NodeId, SimDuration, Simulator, Topology};
 
 /// The ASN hosted on simulator node `i` (`AS65000 + i`).
@@ -237,6 +239,137 @@ pub fn gadget_prefix() -> Ipv4Net {
     prefix_of(0)
 }
 
+// ---------------------------------------------------------------------------
+// Gossip and mixed-protocol federations
+// ---------------------------------------------------------------------------
+
+/// The topic owned by gossip node `i` in generated systems.
+pub fn topic_of(i: u32) -> TopicId {
+    i as TopicId
+}
+
+/// The gossip identity ("origin") hosted on simulator node `i`.
+pub fn gossip_origin_of(i: u32) -> u16 {
+    61000 + i as u16
+}
+
+fn gossip_config(
+    i: u32,
+    peers: &[NodeId],
+    topics: impl IntoIterator<Item = TopicId>,
+) -> GossipConfig {
+    let mut cfg = GossipConfig::new(gossip_origin_of(i)).publish(topic_of(i));
+    for &p in peers {
+        cfg = cfg.with_peer(p);
+    }
+    for t in topics {
+        cfg = cfg.subscribe(t);
+    }
+    cfg
+}
+
+/// A full mesh of `n` gossip nodes: node `i` publishes [`topic_of`]`(i)`
+/// and subscribes to every topic — the gossip analogue of
+/// [`healthy_line`].
+pub fn gossip_mesh(n: usize, seed: u64) -> Simulator {
+    let topo = Topology::full_mesh(n, LinkParams::fixed(SimDuration::from_millis(5)));
+    let mut sim = Simulator::new(topo.clone(), seed);
+    for i in topo.node_ids() {
+        let peers: Vec<NodeId> = topo.neighbors(i);
+        let cfg = gossip_config(i.0, &peers, (0..n as u32).map(topic_of));
+        sim.set_node(i, Box::new(GossipNode::new(cfg)));
+    }
+    sim.start();
+    sim
+}
+
+/// **Gossip programming-error scenario**: a gossip mesh whose node 1 runs
+/// the build with the seeded digest-count defect. DiCE's concolic layer
+/// must flip a rumor seed into the digest arm and push the count byte over
+/// the bug threshold — the gossip analogue of [`buggy_parser_scenario`].
+pub fn buggy_gossip_scenario(n: usize, seed: u64) -> Simulator {
+    let topo = Topology::full_mesh(n, LinkParams::fixed(SimDuration::from_millis(5)));
+    let mut sim = Simulator::new(topo.clone(), seed);
+    for i in topo.node_ids() {
+        let peers: Vec<NodeId> = topo.neighbors(i);
+        let mut cfg = gossip_config(i.0, &peers, (0..n as u32).map(topic_of));
+        if i.0 == 1 {
+            cfg.bugs.digest_count_overflow = true;
+        }
+        sim.set_node(i, Box::new(GossipNode::new(cfg)));
+    }
+    sim.start();
+    sim
+}
+
+/// **Mixed federation**: BGP routers 0 – 1 peer over a line; gossip nodes
+/// 2, 3, 4 form a triangle; an administrative link 1 – 2 bridges the two
+/// domains so one Chandy–Lamport snapshot spans both protocols. Both
+/// sides speak their own wire format for real — the first end-to-end
+/// instantiation of the paper's *heterogeneous federation* claim.
+///
+/// Set `buggy_gossip` to seed the digest-count defect on gossip node 2
+/// (the bridge node).
+pub fn mixed_bgp_gossip(seed: u64, buggy_gossip: bool) -> Simulator {
+    let mut topo = Topology::with_nodes(5);
+    let lp = || LinkParams::fixed(SimDuration::from_millis(5));
+    topo.add_edge(
+        NodeId(0),
+        NodeId(1),
+        lp(),
+        dice_netsim::Relationship::Unlabeled,
+    );
+    topo.add_edge(
+        NodeId(1),
+        NodeId(2),
+        lp(),
+        dice_netsim::Relationship::Unlabeled,
+    );
+    topo.add_edge(
+        NodeId(2),
+        NodeId(3),
+        lp(),
+        dice_netsim::Relationship::Unlabeled,
+    );
+    topo.add_edge(
+        NodeId(3),
+        NodeId(4),
+        lp(),
+        dice_netsim::Relationship::Unlabeled,
+    );
+    topo.add_edge(
+        NodeId(4),
+        NodeId(2),
+        lp(),
+        dice_netsim::Relationship::Unlabeled,
+    );
+    let mut sim = Simulator::new(topo, seed);
+
+    // BGP side: 0 and 1 peer with each other only.
+    for i in 0..2u32 {
+        let peer = 1 - i;
+        let cfg = base_config(i).with_network(prefix_of(i)).with_neighbor(
+            NodeId(peer),
+            asn_of(peer),
+            "all",
+            "all",
+        );
+        sim.set_node(NodeId(i), Box::new(BgpRouter::new(cfg)));
+    }
+
+    // Gossip side: triangle 2-3-4, all subscribed to all gossip topics.
+    for i in 2..5u32 {
+        let peers: Vec<NodeId> = (2..5u32).filter(|&j| j != i).map(NodeId).collect();
+        let mut cfg = gossip_config(i, &peers, (2..5u32).map(topic_of));
+        if buggy_gossip && i == 2 {
+            cfg.bugs.digest_count_overflow = true;
+        }
+        sim.set_node(NodeId(i), Box::new(GossipNode::new(cfg)));
+    }
+    sim.start();
+    sim
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,6 +457,52 @@ mod tests {
             .best(&hijack_prefix())
             .expect("hijack visible at node 1");
         assert_eq!(best.route.attrs.as_path.origin_asn(), Some(asn_of(2)));
+    }
+
+    #[test]
+    fn gossip_mesh_converges_and_delivers() {
+        let mut sim = gossip_mesh(4, 8);
+        let out = sim.run_until_quiet(
+            SimDuration::from_secs(5),
+            SimTime::from_nanos(60_000_000_000),
+        );
+        assert_eq!(out, dice_netsim::QuietOutcome::Quiescent);
+        for i in 0..4u32 {
+            let g = crate::gossip_sut::as_gossip(sim.node(NodeId(i))).unwrap();
+            assert_eq!(g.seen_count(), 8, "node {i}: 4 topics x 2 rumors");
+        }
+    }
+
+    #[test]
+    fn mixed_federation_runs_both_protocols_for_real() {
+        let mut sim = mixed_bgp_gossip(6, false);
+        sim.run_until(SimTime::from_nanos(15_000_000_000));
+        // BGP side converged routes.
+        let r0 = crate::bgp_sut::as_bgp(sim.node(NodeId(0))).unwrap();
+        assert!(r0.loc_rib().best(&prefix_of(1)).is_some());
+        // Gossip side disseminated rumors.
+        let g4 = crate::gossip_sut::as_gossip(sim.node(NodeId(4))).unwrap();
+        assert_eq!(g4.seen_count(), 6, "3 topics x 2 rumors");
+        // Nobody crashed across the bridge.
+        for i in 0..5u32 {
+            assert!(sim.crashed(NodeId(i)).is_none());
+        }
+    }
+
+    #[test]
+    fn buggy_gossip_scenario_is_healthy_until_triggered() {
+        let mut sim = buggy_gossip_scenario(3, 4);
+        sim.run_until(SimTime::from_nanos(15_000_000_000));
+        for i in 0..3u32 {
+            assert!(sim.crashed(NodeId(i)).is_none());
+        }
+        let g1 = crate::gossip_sut::as_gossip(sim.node(NodeId(1))).unwrap();
+        assert!(g1.config().bugs.digest_count_overflow);
+        assert_eq!(
+            g1.seen_count(),
+            6,
+            "dissemination works despite dormant bug"
+        );
     }
 
     #[test]

@@ -129,7 +129,8 @@ pub trait ExplorableNode: Send + Sync {
 pub type SutProbe = fn(&dyn Node) -> Option<&dyn ExplorableNode>;
 
 /// The ordered set of [`SutProbe`]s the runtime uses to recognize nodes.
-/// Earlier probes win. The default catalog recognizes BGP routers only.
+/// Earlier probes win. The default catalog recognizes every protocol with
+/// an in-tree adapter (BGP routers and gossip nodes).
 #[derive(Clone)]
 pub struct SutCatalog {
     probes: Vec<SutProbe>,
@@ -137,7 +138,7 @@ pub struct SutCatalog {
 
 impl Default for SutCatalog {
     fn default() -> Self {
-        SutCatalog::bgp_only()
+        SutCatalog::standard()
     }
 }
 
@@ -156,10 +157,20 @@ impl SutCatalog {
         SutCatalog { probes: Vec::new() }
     }
 
-    /// The default catalog: recognizes [`dice_bgp::BgpRouter`] nodes.
+    /// A catalog recognizing [`dice_bgp::BgpRouter`] nodes only.
     pub fn bgp_only() -> Self {
         SutCatalog {
             probes: vec![crate::bgp_sut::probe],
+        }
+    }
+
+    /// The default catalog: every protocol with an in-tree adapter —
+    /// BGP routers ([`crate::bgp_sut`]) and gossip nodes
+    /// ([`crate::gossip_sut`]). External protocols chain their probes on
+    /// with [`SutCatalog::with_probe`].
+    pub fn standard() -> Self {
+        SutCatalog {
+            probes: vec![crate::bgp_sut::probe, crate::gossip_sut::probe],
         }
     }
 

@@ -11,6 +11,7 @@ use dice_system::dice::sut::{
 use dice_system::dice::{
     scenarios, AttestationRegistry, Campaign, DiceConfig, DiceRunner, FaultClass,
 };
+use dice_system::gossip::{GossipConfig, GossipNode};
 use dice_system::netsim::{
     LinkParams, Node, NodeApi, NodeId, SimDuration, SimTime, Simulator, Topology,
 };
@@ -281,6 +282,156 @@ fn scheduler_is_deterministic_across_pair_workers() {
     assert_eq!(classes_1, classes_4);
     assert_eq!(json_1, json_2, "pair_workers=2 must match sequential");
     assert_eq!(json_1, json_4, "pair_workers=4 must match sequential");
+}
+
+/// Three *kinds* of node under one campaign:
+///
+/// ```text
+/// 0 (bgp) — 1 (bgp) — 2 (gossip, seeded bug) — 3 (gossip) — 5 (monitor)
+///                          \________ 4 (gossip) ________/
+/// ```
+///
+/// BGP routers 0-1 peer over a line; gossip nodes 2-3-4 form a triangle
+/// (node 2 carries the seeded digest-count defect); the monitor stub
+/// watches gossip node 3. One link 1-2 bridges the domains so a single
+/// Chandy–Lamport snapshot spans all three protocols.
+fn three_kind_system(seed: u64) -> Simulator {
+    let mut topo = Topology::with_nodes(6);
+    let lp = || LinkParams::fixed(SimDuration::from_millis(5));
+    let rel = dice_system::netsim::Relationship::Unlabeled;
+    topo.add_edge(NodeId(0), NodeId(1), lp(), rel);
+    topo.add_edge(NodeId(1), NodeId(2), lp(), rel);
+    topo.add_edge(NodeId(2), NodeId(3), lp(), rel);
+    topo.add_edge(NodeId(3), NodeId(4), lp(), rel);
+    topo.add_edge(NodeId(4), NodeId(2), lp(), rel);
+    topo.add_edge(NodeId(3), NodeId(5), lp(), rel);
+    let mut sim = Simulator::new(topo, seed);
+    for i in 0..2u32 {
+        let peer = 1 - i;
+        let cfg = RouterConfig::minimal(Asn(65000 + i as u16), RouterId(i + 1))
+            .with_network(net(&format!("10.{i}.0.0/16")))
+            .with_neighbor(NodeId(peer), Asn(65000 + peer as u16), "all", "all");
+        sim.set_node(NodeId(i), Box::new(BgpRouter::new(cfg)));
+    }
+    for i in 2..5u32 {
+        let mut cfg = GossipConfig::new(61000 + i as u16).publish(i as u16);
+        for j in 2..5u32 {
+            if j != i {
+                cfg = cfg.with_peer(NodeId(j));
+            }
+        }
+        for t in 2..5u16 {
+            cfg = cfg.subscribe(t);
+        }
+        if i == 2 {
+            cfg.bugs.digest_count_overflow = true;
+        }
+        sim.set_node(NodeId(i), Box::new(GossipNode::new(cfg)));
+    }
+    sim.set_node(
+        NodeId(5),
+        Box::new(MonitorNode {
+            peers: vec![NodeId(3)],
+            bytes_seen: 0,
+        }),
+    );
+    sim.start();
+    sim
+}
+
+fn three_kind_campaign(seed: u64, pair_workers: usize) -> dice_system::dice::CampaignReport {
+    let mut sim = three_kind_system(seed);
+    sim.run_until(SimTime::from_nanos(12_000_000_000));
+    Campaign::with_catalog(&sim, mixed_catalog())
+        // The default 10-seed gossip corpus needs ~64 executions before
+        // generational search flips a rumor seed into the buggy digest
+        // arm; 96 leaves headroom across seeds.
+        .executions(96)
+        .validate_top(5)
+        .horizon(SimDuration::from_secs(30))
+        .workers(2)
+        .pair_workers(pair_workers)
+        .run(&mut sim)
+        .expect("three-kind campaign runs")
+}
+
+#[test]
+fn three_kind_campaign_visits_every_explorer_kind() {
+    let report = three_kind_campaign(41, 2);
+    // 2 BGP pairs + 6 gossip pairs + 1 monitor pair.
+    assert_eq!(report.rounds.len(), 9);
+    let kinds: std::collections::BTreeSet<&str> = report
+        .per_explorer
+        .iter()
+        .map(|e| e.kind.as_str())
+        .collect();
+    assert_eq!(
+        kinds,
+        ["bgp", "gossip", "monitor"].into_iter().collect(),
+        "campaign must explore all three protocol kinds"
+    );
+    // The per-kind workload rows partition the sweep.
+    let by_kind: std::collections::BTreeMap<&str, usize> = report
+        .per_kind
+        .iter()
+        .map(|k| (k.kind.as_str(), k.rounds))
+        .collect();
+    assert_eq!(by_kind["bgp"], 2);
+    assert_eq!(by_kind["gossip"], 6);
+    assert_eq!(by_kind["monitor"], 1);
+    for k in &report.per_kind {
+        assert!(k.coverage > 0, "per-kind coverage reported: {k:?}");
+    }
+}
+
+#[test]
+fn three_kind_campaign_detects_seeded_gossip_bug_via_gossip_explorer() {
+    let report = three_kind_campaign(42, 2);
+    // The seeded gossip defect is found, attributed to the buggy node.
+    let gossip_fault = report
+        .faults
+        .iter()
+        .find(|f| f.detail.contains("digest count overflow"))
+        .expect("seeded gossip bug must be detected");
+    assert_eq!(gossip_fault.class, FaultClass::ProgrammingError);
+    assert_eq!(gossip_fault.node, NodeId(2));
+    // ... by a round whose explorer speaks gossip, not BGP.
+    let detecting_round = report
+        .rounds
+        .iter()
+        .find(|r| {
+            r.faults
+                .iter()
+                .any(|f| f.detail.contains("digest count overflow"))
+        })
+        .expect("a round carries the gossip fault");
+    assert_eq!(detecting_round.explorer_kind, "gossip");
+    assert_eq!(detecting_round.explorer, NodeId(2));
+    // The per-kind row credits the gossip workload with the find.
+    let gossip_kind = report.per_kind.iter().find(|k| k.kind == "gossip").unwrap();
+    assert!(gossip_kind.faults > 0);
+}
+
+#[test]
+fn three_kind_reports_are_byte_identical_across_pair_workers() {
+    let runs: Vec<String> = [1usize, 4]
+        .iter()
+        .map(|&k| {
+            let report = three_kind_campaign(43, k);
+            assert!(
+                report
+                    .faults
+                    .iter()
+                    .any(|f| f.detail.contains("digest count overflow")),
+                "gossip bug found at pair_workers={k}"
+            );
+            serde_json::to_string(&report.normalized()).unwrap()
+        })
+        .collect();
+    assert_eq!(
+        runs[0], runs[1],
+        "normalized three-kind reports must match at pair_workers 1 and 4"
+    );
 }
 
 #[test]

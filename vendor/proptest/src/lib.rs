@@ -10,11 +10,15 @@
 //! * [`collection::vec`], [`collection::btree_set`], [`option::of`],
 //!   [`Just`], [`prop_oneof!`];
 //! * the [`proptest!`] runner macro with `#![proptest_config(..)]`,
-//!   [`prop_assert!`] and [`prop_assert_eq!`].
+//!   [`prop_assert!`] and [`prop_assert_eq!`];
+//! * greedy linear shrinking of failing cases for integer, `Vec` and
+//!   `Option` strategies (composite strategies such as `prop_map` /
+//!   `prop_oneof!` pass through unshrunk).
 //!
-//! Differences from real proptest: no shrinking (a failing case reports its
-//! inputs but is not minimized), and generation is deterministic per test
-//! name (override the case count with `PROPTEST_CASES`).
+//! Differences from real proptest: shrinking is greedy-linear over
+//! [`Strategy::shrink`] candidates rather than value-tree based, and
+//! generation is deterministic per test name (override the case count with
+//! `PROPTEST_CASES`).
 
 #![forbid(unsafe_code)]
 
@@ -86,6 +90,16 @@ pub trait Strategy {
     /// Produce one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Propose strictly "smaller" candidates derived from `value`, best
+    /// (smallest) first. The [`proptest!`] runner greedily adopts any
+    /// candidate for which the property still fails and repeats until no
+    /// candidate improves — greedy linear shrinking. Strategies without a
+    /// meaningful order (mapped, unioned, recursive) return nothing.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
     /// Transform generated values.
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
     where
@@ -130,11 +144,15 @@ pub trait Strategy {
 
 trait DynStrategy<T> {
     fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    fn shrink_dyn(&self, value: &T) -> Vec<T>;
 }
 
 impl<S: Strategy> DynStrategy<S::Value> for S {
     fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
         self.generate(rng)
+    }
+    fn shrink_dyn(&self, value: &S::Value) -> Vec<S::Value> {
+        self.shrink(value)
     }
 }
 
@@ -151,6 +169,9 @@ impl<T> Strategy for BoxedStrategy<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
         self.0.generate_dyn(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.0.shrink_dyn(value)
     }
 }
 
@@ -220,6 +241,12 @@ impl<T> Strategy for Union<T> {
 pub trait Arbitrary: Sized {
     /// Produce an arbitrary value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Shrink candidates for a value of this type (see
+    /// [`Strategy::shrink`]). Default: none.
+    fn arbitrary_shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
 macro_rules! arb_int {
@@ -227,6 +254,25 @@ macro_rules! arb_int {
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> Self {
                 rng.next_u64() as $t
+            }
+            /// Greedy linear candidates toward zero: zero itself, the
+            /// halfway point, and one step closer.
+            fn arbitrary_shrink(&self) -> Vec<Self> {
+                let zero: $t = 0;
+                let v = *self;
+                if v == zero {
+                    return Vec::new();
+                }
+                let mut out = vec![zero];
+                let half = v / 2;
+                if half != zero && half != v {
+                    out.push(half);
+                }
+                let step = if v > zero { v - 1 } else { v + 1 };
+                if step != zero && step != half && step != v {
+                    out.push(step);
+                }
+                out
             }
         }
     )* };
@@ -236,6 +282,13 @@ arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.next_u64() & 1 == 1
+    }
+    fn arbitrary_shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -252,6 +305,9 @@ impl<T: Arbitrary> Strategy for Any<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        value.arbitrary_shrink()
     }
 }
 
@@ -273,6 +329,9 @@ macro_rules! range_strategies {
                 let span = (self.end as u64) - (self.start as u64);
                 self.start + (rng.below(span) as $t)
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start, *value)
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
@@ -285,16 +344,49 @@ macro_rules! range_strategies {
                 }
                 lo + (rng.below(span + 1) as $t)
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*self.start(), *value)
+            }
         }
         impl Strategy for RangeFrom<$t> {
             type Value = $t;
             fn generate(&self, rng: &mut TestRng) -> $t {
                 (self.start..=<$t>::MAX).generate(rng)
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start, *value)
+            }
         }
     )* };
 }
 range_strategies!(u8, u16, u32, u64, usize);
+
+/// Greedy linear candidates toward a range's lower bound: the bound
+/// itself, the halfway point, and one step closer.
+fn shrink_toward<T>(lo: T, v: T) -> Vec<T>
+where
+    T: Copy + PartialOrd + PartialEq + core::ops::Add<Output = T> + core::ops::Sub<Output = T>,
+    u64: TryFrom<T>,
+    T: TryFrom<u64>,
+{
+    if v <= lo {
+        return Vec::new();
+    }
+    let lo64 = u64::try_from(lo).unwrap_or(0);
+    let v64 = u64::try_from(v).unwrap_or(0);
+    let mut out64 = vec![lo64];
+    let mid = lo64 + (v64 - lo64) / 2;
+    if mid != lo64 && mid != v64 {
+        out64.push(mid);
+    }
+    if v64 - 1 != lo64 && v64 - 1 != mid {
+        out64.push(v64 - 1);
+    }
+    out64
+        .into_iter()
+        .filter_map(|x| T::try_from(x).ok())
+        .collect()
+}
 
 // ---------------------------------------------------------------------------
 // Tuple strategies
@@ -376,12 +468,41 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.hi - self.size.lo) as u64;
             let len = self.size.lo + rng.below(span.max(1)) as usize;
             (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+        /// Greedy linear candidates: shorter prefixes first (respecting
+        /// the strategy's minimum length), then element-wise shrinks of
+        /// each position via the element strategy.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let lo = self.size.lo;
+            let n = value.len();
+            if n > lo {
+                out.push(value[..lo].to_vec());
+                let half = lo + (n - lo) / 2;
+                if half != lo && half != n {
+                    out.push(value[..half].to_vec());
+                }
+                if n - 1 != lo && n - 1 != half {
+                    out.push(value[..n - 1].to_vec());
+                }
+            }
+            for i in 0..n {
+                for cand in self.elem.shrink(&value[i]).into_iter().take(2) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 
@@ -450,6 +571,16 @@ pub mod option {
                 Some(self.inner.generate(rng))
             }
         }
+        fn shrink(&self, value: &Option<S::Value>) -> Vec<Option<S::Value>> {
+            match value {
+                Some(inner) => {
+                    let mut out = vec![None];
+                    out.extend(self.inner.shrink(inner).into_iter().take(2).map(Some));
+                    out
+                }
+                None => Vec::new(),
+            }
+        }
     }
 
     /// `prop::option::of`.
@@ -484,6 +615,18 @@ impl Default for ProptestConfig {
             .unwrap_or(64);
         ProptestConfig { cases }
     }
+}
+
+/// Implementation detail of [`proptest!`]: pins the parameter type of the
+/// case-body closure to the type of `_witness`, so the closure's body can
+/// be type-checked without explicit annotations (which the macro cannot
+/// name) and then re-invoked against shrink candidates.
+#[doc(hidden)]
+pub fn __bind_case<T, F>(_witness: &T, f: F) -> F
+where
+    F: Fn(T) -> Result<(), TestCaseError>,
+{
+    f
 }
 
 /// A failed property within a test case.
@@ -577,29 +720,94 @@ macro_rules! __proptest_impl {
             let mut rng = $crate::TestRng::for_test(stringify!($name));
             for case in 0..config.cases {
                 $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
-                let describe = || {
-                    let mut s = ::std::string::String::new();
-                    $(
-                        s.push_str(stringify!($arg));
-                        s.push_str(" = ");
-                        s.push_str(&format!("{:?}; ", &$arg));
-                    )+
-                    s
-                };
-                let described = describe();
-                let result: ::std::result::Result<(), $crate::TestCaseError> = (move || {
-                    $body
-                    ::std::result::Result::Ok(())
-                })();
-                if let ::std::result::Result::Err(e) = result {
+                // Re-runnable body over cloned inputs, so failing cases
+                // can be replayed against shrink candidates.
+                let run_case = $crate::__bind_case(
+                    &($(::std::clone::Clone::clone(&$arg),)+),
+                    |($($arg,)+)| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $(let _ = &$arg;)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+                let first = run_case(($(::std::clone::Clone::clone(&$arg),)+));
+                if let ::std::result::Result::Err(e) = first {
+                    // Greedy linear shrinking: one argument at a time,
+                    // adopt any candidate that still fails, repeat until
+                    // no argument improves (or the effort cap is hit).
+                    $(let mut $arg = $arg;)+
+                    let mut last_err = e;
+                    let mut shrinks = 0usize;
+                    loop {
+                        let mut improved = false;
+                        $crate::__proptest_shrink_args!(
+                            run_case, shrinks, last_err, improved,
+                            ($($arg),+);
+                            $(($arg, $strat))+
+                        );
+                        if !improved || shrinks >= 512 {
+                            break;
+                        }
+                    }
+                    let described = {
+                        let mut s = ::std::string::String::new();
+                        $(
+                            s.push_str(stringify!($arg));
+                            s.push_str(" = ");
+                            s.push_str(&format!("{:?}; ", &$arg));
+                        )+
+                        s
+                    };
                     panic!(
-                        "proptest case {}/{} failed: {}\n  inputs: {}",
-                        case + 1, config.cases, e, described
+                        "proptest case {}/{} failed (after {} shrinks): {}\n  minimized inputs: {}",
+                        case + 1, config.cases, shrinks, last_err, described
                     );
                 }
             }
         }
     )* };
+}
+
+/// Implementation detail of [`proptest!`]: one greedy shrink pass over
+/// each `(argument, strategy)` pair in turn, replaying the property with
+/// the other arguments held at their current values.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_shrink_args {
+    ($runner:ident, $shrinks:ident, $last_err:ident, $improved:ident,
+     ($($all:ident),+);) => {};
+    ($runner:ident, $shrinks:ident, $last_err:ident, $improved:ident,
+     ($($all:ident),+);
+     ($arg:ident, $strat:expr) $($rest:tt)*) => {
+        loop {
+            let mut advanced = false;
+            let candidates = $crate::Strategy::shrink(&($strat), &$arg);
+            for cand in candidates {
+                let prev = ::std::mem::replace(&mut $arg, cand);
+                match $runner(($(::std::clone::Clone::clone(&$all),)+)) {
+                    ::std::result::Result::Err(e) => {
+                        // Still failing on the smaller input: adopt it.
+                        $last_err = e;
+                        $shrinks += 1;
+                        $improved = true;
+                        advanced = true;
+                        break;
+                    }
+                    ::std::result::Result::Ok(()) => {
+                        $arg = prev;
+                    }
+                }
+            }
+            if !advanced || $shrinks >= 512 {
+                break;
+            }
+        }
+        $crate::__proptest_shrink_args!(
+            $runner, $shrinks, $last_err, $improved,
+            ($($all),+);
+            $($rest)*
+        );
+    };
 }
 
 #[cfg(test)]
@@ -677,6 +885,68 @@ mod tests {
                 return Ok(());
             }
         }
+    }
+
+    #[test]
+    fn integer_shrink_proposes_smaller_candidates() {
+        let s = 3u32..1000;
+        let cands = s.shrink(&637);
+        assert!(cands.contains(&3), "range start proposed: {cands:?}");
+        assert!(cands.iter().all(|&c| (3..637).contains(&c)), "{cands:?}");
+        assert!(s.shrink(&3).is_empty(), "minimum does not shrink");
+        assert!((0u8..=9).shrink(&0).is_empty());
+        assert_eq!(any::<u64>().shrink(&1), vec![0]);
+    }
+
+    #[test]
+    fn vec_shrink_drops_elements_and_shrinks_them() {
+        let s = prop::collection::vec(any::<u8>(), 2..10);
+        let v = vec![9u8, 8, 7, 6];
+        let cands = s.shrink(&v);
+        assert!(cands.contains(&vec![9, 8]), "min-length prefix: {cands:?}");
+        assert!(cands.contains(&vec![9, 8, 7]), "one shorter: {cands:?}");
+        assert!(
+            cands.contains(&vec![0, 8, 7, 6]),
+            "element shrink: {cands:?}"
+        );
+        assert!(s.shrink(&vec![0u8, 0]).is_empty(), "fully minimal");
+    }
+
+    // Regression: a seeded failure minimizes. The property fails whenever
+    // `v >= 10` or `bytes.len() >= 3`; greedy linear shrinking must walk
+    // the failing case down to the boundary (`v == 10` with minimal bytes,
+    // or `len == 3` of zeros with minimal v).
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        fn seeded_failure_minimizes(v in 0u32..1000, bytes in prop::collection::vec(any::<u8>(), 0..20)) {
+            prop_assert!(v < 10 && bytes.len() < 3, "boundary crossed");
+        }
+    }
+
+    #[test]
+    fn shrinking_minimizes_seeded_failure() {
+        let outcome = std::panic::catch_unwind(seeded_failure_minimizes);
+        let payload = outcome.expect_err("property must fail on seeded inputs");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("string panic payload");
+        assert!(msg.contains("minimized inputs:"), "{msg}");
+        // Greedy shrinking drives each argument to its smallest failing
+        // value given the other: either v hit the boundary 10 with bytes
+        // fully minimized, or bytes hit length 3 (of zeros) with v at 0.
+        let minimized_v = msg.contains("v = 10;") && msg.contains("bytes = [];");
+        let minimized_bytes = msg.contains("v = 0;") && msg.contains("bytes = [0, 0, 0];");
+        assert!(
+            minimized_v || minimized_bytes,
+            "failure must be minimized to a boundary: {msg}"
+        );
+        assert!(
+            !msg.contains("after 0 shrinks"),
+            "shrinking happened: {msg}"
+        );
     }
 }
 

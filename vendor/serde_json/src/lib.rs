@@ -533,9 +533,11 @@ impl<'a> Parser<'a> {
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("invalid number"))?;
         if !is_float {
-            if let Some(digits) = text.strip_prefix('-') {
-                if let Ok(n) = digits.parse::<i64>() {
-                    return Ok(Value::I64(-n));
+            if text.starts_with('-') {
+                // Parse the signed text directly: parsing the digits as a
+                // positive i64 and negating would overflow on i64::MIN.
+                if let Ok(n) = text.parse::<i64>() {
+                    return Ok(Value::I64(n));
                 }
             } else if let Ok(n) = text.parse::<u64>() {
                 return Ok(Value::U64(n));
@@ -647,6 +649,16 @@ mod tests {
         assert_eq!(parse_value(" true ").unwrap(), Value::Bool(true));
         assert_eq!(parse_value("42").unwrap(), Value::U64(42));
         assert_eq!(parse_value("-7").unwrap(), Value::I64(-7));
+        // Regression: i64::MIN has no positive i64 counterpart, so the
+        // parser must not negate the digit text after parsing it.
+        assert_eq!(
+            parse_value("-9223372036854775808").unwrap(),
+            Value::I64(i64::MIN)
+        );
+        assert_eq!(
+            parse_value(&i64::MAX.to_string()).unwrap(),
+            Value::U64(i64::MAX as u64)
+        );
         assert_eq!(parse_value("2.5").unwrap(), Value::F64(2.5));
         assert_eq!(parse_value("1e3").unwrap(), Value::F64(1000.0));
         assert_eq!(
