@@ -1,0 +1,96 @@
+//! C2 micro-bench: the per-input clone cost validation actually pays —
+//! building a simulator from a shadow snapshot (`Simulator::from_shadow`)
+//! versus rebinding a pooled one in place (`Simulator::reset_from_shadow`).
+//!
+//! Two views:
+//!
+//! * `clone_construct` — pure construction/rebind cost, the overhead the
+//!   pool exists to remove. Copy-on-write snapshots already make both
+//!   paths node-copy-free; the fresh path still pays the topology clone
+//!   and every channel/heap/trace allocation, the reset path reuses them.
+//! * `clone_validate` — construction plus a validation-shaped drive
+//!   (deliver one input, run 50 simulated ms), showing the same delta in
+//!   proportion to the work one validated input performs end-to-end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dice_core::scenarios;
+use dice_core::snapshot::take_instant_snapshot;
+use dice_netsim::{NodeId, SimDuration, SimTime, Simulator};
+use std::hint::black_box;
+
+fn snapshot_of(n: usize) -> (dice_netsim::ShadowSnapshot, dice_netsim::Topology) {
+    let mut sim = if n == 27 {
+        scenarios::demo27_system(2)
+    } else {
+        scenarios::healthy_line(n, 2)
+    };
+    sim.run_until_quiet(
+        SimDuration::from_secs(5),
+        SimTime::from_nanos(300_000_000_000),
+    );
+    let (shadow, _) = take_instant_snapshot(&sim);
+    let topo = sim.topology().clone();
+    (shadow, topo)
+}
+
+/// The validation-shaped workload: deliver one input, run briefly.
+fn drive(clone: &mut Simulator) {
+    clone.deliver_direct(NodeId(1), NodeId(0), &[0u8; 19]);
+    let end = clone.now() + SimDuration::from_millis(50);
+    clone.run_until(end);
+}
+
+fn bench_construct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clone_construct");
+    for n in [5usize, 27] {
+        let (shadow, topo) = snapshot_of(n);
+        group.bench_with_input(BenchmarkId::new("fresh", n), &n, |b, _| {
+            b.iter(|| black_box(Simulator::from_shadow(&shadow, &topo, 3)));
+        });
+        let mut pooled = Simulator::from_shadow(&shadow, &topo, 3);
+        group.bench_with_input(BenchmarkId::new("pooled_reset", n), &n, |b, _| {
+            b.iter(|| {
+                pooled.reset_from_shadow(&shadow, 3);
+                black_box(pooled.now())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_validate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clone_validate");
+    for n in [5usize, 27] {
+        let (shadow, topo) = snapshot_of(n);
+        group.bench_with_input(BenchmarkId::new("fresh", n), &n, |b, _| {
+            b.iter(|| {
+                let mut clone = Simulator::from_shadow(&shadow, &topo, 3);
+                drive(&mut clone);
+                black_box(clone.trace().stats())
+            });
+        });
+        let mut pooled = Simulator::from_shadow(&shadow, &topo, 3);
+        group.bench_with_input(BenchmarkId::new("pooled_reset", n), &n, |b, _| {
+            b.iter(|| {
+                pooled.reset_from_shadow(&shadow, 3);
+                drive(&mut pooled);
+                black_box(pooled.trace().stats())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_construct, bench_validate
+}
+criterion_main!(benches);

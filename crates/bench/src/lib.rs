@@ -139,7 +139,8 @@ pub fn summarize_campaign(table: &mut Table, label: &str, report: &dice_core::Ca
             .collect::<Vec<_>>()
             .join(" ")
     };
-    let rows: [(&str, String); 8] = [
+    let perf = &report.perf;
+    let rows: [(&str, String); 11] = [
         ("rounds", report.rounds.len().to_string()),
         ("wall", format!("{:.1}ms", report.wall_us as f64 / 1e3)),
         ("rounds/s", format!("{:.2}", report.rounds_per_sec())),
@@ -148,6 +149,27 @@ pub fn summarize_campaign(table: &mut Table, label: &str, report: &dice_core::Ca
         ("inputs validated", report.validated_total.to_string()),
         ("coverage union", report.coverage_union.to_string()),
         ("faults by class", faults),
+        ("snapshot bytes", perf.snapshot_bytes.to_string()),
+        (
+            "clone pool",
+            format!(
+                "{} hits / {} misses ({:.0}% reuse)",
+                perf.pool_hits,
+                perf.pool_misses,
+                perf.pool_hit_rate() * 100.0
+            ),
+        ),
+        (
+            "solver cache",
+            format!(
+                "{} refuted / {} solves ({:.0}% hit rate), {} memo hits, {} covered flips skipped",
+                perf.solver_cache_hits,
+                perf.solver_queries,
+                perf.solver_cache_hit_rate() * 100.0,
+                perf.unary_memo_hits,
+                perf.covered_flips_skipped
+            ),
+        ),
     ];
     for (metric, value) in rows {
         table.row(vec![label.into(), metric.into(), value]);

@@ -120,6 +120,13 @@ pub struct ExploreConfig {
     pub max_executions: usize,
     /// Per-query solver budget.
     pub solver_budget: SolverBudget,
+    /// Share a refutation cache across seeds: negation queries whose
+    /// hash-consed constraint set was already proven UNSAT never reach
+    /// the solver again. Caching refutations (not models) keeps the
+    /// exploration outcome bit-identical to the uncached run — a refuted
+    /// system spawns no child either way. Disable for ablations (the S2
+    /// sweep in `exp_campaign`).
+    pub solver_cache: bool,
 }
 
 impl Default for ExploreConfig {
@@ -128,6 +135,7 @@ impl Default for ExploreConfig {
             strategy: Strategy::Generational,
             max_executions: 256,
             solver_budget: SolverBudget::default(),
+            solver_cache: true,
         }
     }
 }
@@ -208,6 +216,27 @@ pub fn explore(
     // their negated children differ (e.g. same parse shape, different
     // attribute payloads) — skeleton-keyed dedup silently drops one of them.
     let mut attempted: HashSet<u64> = HashSet::new();
+    // Refutation cache shared across every seed of the session, keyed by
+    // the canonical structural hash of the negation query's constraint
+    // set. UNSAT is a property of the constraints alone (independent of
+    // the seed the model would have been biased toward), so a hit is
+    // exactly equivalent to re-solving.
+    let mut refuted: HashSet<u64> = HashSet::new();
+    // Every negation query dispatched to the solver this session (same
+    // structural keying, any outcome). The covered-flip guard consults
+    // this in addition to the coverage ledger: a flip may only be skipped
+    // when its *exact* query — prefix and all — was already tried, so a
+    // covered (site, direction) reached under an incompatible prefix can
+    // never shadow the one path that actually leads somewhere new.
+    // Maintained whether or not the solver cache is enabled, so the guard
+    // behaves identically in both modes (the S2 ablation's byte-identity
+    // contract).
+    let mut dispatched: HashSet<u64> = HashSet::new();
+    // Per-constraint memo (variable lists + unary-filter byte sets) with
+    // the same cross-seed structural keying; one path's negation queries
+    // share their prefix constraints, so this is where the quadratic
+    // solver work goes away.
+    let mut memo = crate::solve::UnaryMemo::default();
     let mut queue: Vec<WorkItem> = Vec::new();
     let mut seq = 0u64;
 
@@ -287,49 +316,124 @@ pub fn explore(
         // the input-key dedup above suppresses true duplicates.
         let path: Vec<BranchRec> = ctx.path().to_vec();
         let input_len = item.bytes.len();
-        for i in item.bound..path.len() {
-            let q = negation_query(&path, i);
-            let seed_bytes = item.bytes.clone();
-            let seed_oracles = item.oracles.clone();
-            let seed_fn = move |idx: u32| -> u8 {
-                if (idx as usize) < seed_bytes.len() {
-                    seed_bytes[idx as usize]
+        // Canonical structural hashes of the run's hash-consed arena: one
+        // O(arena) pass, then each negation query hashes in O(1) as a fold
+        // over the path prefix. The same branch structure recorded by a
+        // different seed (different bytes, separate arena) yields the same
+        // hashes. Computed unconditionally: the covered-flip guard keys
+        // off them and runs in both cache modes.
+        let key_of = |h: u64, want: bool| crate::expr::mix3(0x0051_AB1E, h, want as u64);
+        let node_hash = ctx.arena().node_hashes();
+        // Per-constraint memo keys for the as-taken prefix (the negated
+        // constraint's key is derived per flip below). Only the memo
+        // consumes these, so the cache-off ablation skips them.
+        let taken_keys: Vec<u64> = if config.solver_cache {
+            path.iter()
+                .map(|rec| key_of(node_hash[rec.constraint.0 as usize], rec.taken))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut prefix_hash: u64 = 0xD1CE_0000_5EED_0001;
+        let mut sites_seen: HashSet<u32> = HashSet::new();
+        for (i, rec) in path.iter().enumerate() {
+            let rec_hash = node_hash[rec.constraint.0 as usize];
+            let query_hash = crate::expr::mix3(prefix_hash, rec_hash, !rec.taken as u64);
+            // A site's *first* occurrence in this path carries no loop
+            // context; later occurrences of the same SiteId (instrumented
+            // loops reuse one id per attribute / digest entry) target a
+            // different dynamic position, so the coverage ledger — keyed
+            // by (site, direction) only — cannot prove their flip
+            // redundant.
+            let first_occurrence = sites_seen.insert(rec.site.0);
+            if i >= item.bound {
+                if first_occurrence
+                    && coverage.covered(rec.site.0, !rec.taken)
+                    && dispatched.contains(&query_hash)
+                {
+                    // Both polarities of this site are covered AND this
+                    // exact negation query (prefix included) was already
+                    // dispatched once: re-solving can only reproduce a
+                    // known child modulo unconstrained bytes. Skip before
+                    // even building the query vector. The dispatch check
+                    // is what keeps the guard sound — a covered target
+                    // reached under an *incompatible* prefix never
+                    // suppresses the one query that could reach it from
+                    // here (regression-tested).
+                    solver.stats.covered_skips += 1;
+                } else if config.solver_cache && refuted.contains(&query_hash) {
+                    // Structurally identical constraint system already
+                    // proven UNSAT (possibly for another seed): no child
+                    // either way, skip the solver.
+                    solver.stats.cache_hits += 1;
                 } else {
-                    seed_oracles.get(&idx).copied().unwrap_or(0)
-                }
-            };
-            match solver.solve(ctx.arena(), &q, &seed_fn) {
-                SolveResult::Sat(model) => {
-                    let mut bytes = item.bytes.clone();
-                    let mut oracles = item.oracles.clone();
-                    for (&idx, &val) in &model {
-                        if (idx as usize) < input_len {
-                            bytes[idx as usize] = val;
+                    let q = negation_query(&path, i);
+                    let seed_bytes = item.bytes.clone();
+                    let seed_oracles = item.oracles.clone();
+                    let seed_fn = move |idx: u32| -> u8 {
+                        if (idx as usize) < seed_bytes.len() {
+                            seed_bytes[idx as usize]
                         } else {
-                            oracles.insert(idx, val);
+                            seed_oracles.get(&idx).copied().unwrap_or(0)
                         }
+                    };
+                    let outcome = if config.solver_cache {
+                        let mut chashes = taken_keys[..i].to_vec();
+                        chashes.push(key_of(rec_hash, !rec.taken));
+                        solver.solve_memo(ctx.arena(), &q, &seed_fn, &chashes, &mut memo)
+                    } else {
+                        solver.solve(ctx.arena(), &q, &seed_fn)
+                    };
+                    // Only *answered* queries count as dispatched: an
+                    // Unknown (budget-exhausted) query produced no child,
+                    // and a later seed-biased retry of the same structure
+                    // might — the guard must not fossilize it.
+                    if !matches!(outcome, SolveResult::Unknown) {
+                        dispatched.insert(query_hash);
                     }
-                    if !attempted.insert(input_key(&bytes, &oracles)) {
-                        continue; // this exact input is already queued or ran
+                    match outcome {
+                        SolveResult::Sat(model) => {
+                            let mut bytes = item.bytes.clone();
+                            let mut oracles = item.oracles.clone();
+                            for (&idx, &val) in &model {
+                                if (idx as usize) < input_len {
+                                    bytes[idx as usize] = val;
+                                } else {
+                                    oracles.insert(idx, val);
+                                }
+                            }
+                            if attempted.insert(input_key(&bytes, &oracles)) {
+                                // Covered targets (only reachable here via a
+                                // repeated site occurrence) keep the lower
+                                // priority band.
+                                let target_uncovered = !coverage.covered(rec.site.0, !rec.taken);
+                                let score = if target_uncovered { 1_000 } else { 500 } - i as i64;
+                                queue.push(WorkItem {
+                                    bytes,
+                                    oracles,
+                                    bound: i + 1,
+                                    score,
+                                    seq,
+                                });
+                                seq += 1;
+                            }
+                        }
+                        SolveResult::Unsat => {
+                            if config.solver_cache {
+                                refuted.insert(query_hash);
+                            }
+                        }
+                        SolveResult::Unknown => {}
                     }
-                    let target_uncovered = !coverage.covered(path[i].site.0, !path[i].taken);
-                    let score = if target_uncovered { 1_000 } else { 500 } - i as i64;
-                    queue.push(WorkItem {
-                        bytes,
-                        oracles,
-                        bound: i + 1,
-                        score,
-                        seq,
-                    });
-                    seq += 1;
                 }
-                SolveResult::Unsat | SolveResult::Unknown => {}
             }
+            prefix_hash = crate::expr::mix3(prefix_hash, rec_hash, rec.taken as u64);
         }
     }
 
     report.distinct_paths = seen_paths.len();
     report.solver = solver.stats;
+    report.solver.unary_memo_hits = memo.hits;
     report.coverage = coverage;
     report
 }
@@ -581,6 +685,194 @@ mod tests {
             assert_eq!(x.input, y.input);
             assert_eq!(x.path_sig, y.path_sig);
         }
+    }
+
+    /// A parser that re-checks the same byte condition at two sites — the
+    /// shape that makes negation queries UNSAT (flipping the second check
+    /// contradicts the first's prefix) and makes flips redundant once both
+    /// polarities are covered.
+    fn rechecking_program(ctx: &mut ConcolicCtx) -> RunStatus {
+        if !ctx.in_bounds(0) {
+            return RunStatus::Rejected("short".into());
+        }
+        let a = ctx.read_u8(0);
+        let first = ctx.eq_const(a, 5);
+        let hit1 = ctx.branch(SiteId(1), first);
+        let again = ctx.eq_const(a, 5);
+        let hit2 = ctx.branch(SiteId(2), again);
+        let _ = (hit1, hit2);
+        RunStatus::Ok
+    }
+
+    #[test]
+    fn refutation_cache_preserves_outcomes_and_saves_queries() {
+        // The cache may only skip queries whose answer is already known
+        // to be UNSAT, so the executed inputs, coverage and crash set must
+        // be bit-identical with the cache on and off; only the solver
+        // query count may shrink. Two same-shape seeds make the second
+        // seed's contradictory flip a cross-seed cache hit.
+        let seeds = vec![vec![0u8], vec![1u8]];
+        let run = |solver_cache: bool| {
+            let cfg = ExploreConfig {
+                max_executions: 16,
+                solver_cache,
+                ..Default::default()
+            };
+            explore(&mut rechecking_program, &seeds, &all_symbolic, &cfg)
+        };
+        let cached = run(true);
+        let fresh = run(false);
+        assert_eq!(cached.executions.len(), fresh.executions.len());
+        for (a, b) in cached.executions.iter().zip(&fresh.executions) {
+            assert_eq!(a.input, b.input, "cache must not alter exploration");
+            assert_eq!(a.path_sig, b.path_sig);
+        }
+        assert_eq!(cached.final_coverage(), fresh.final_coverage());
+        assert_eq!(cached.crashes, fresh.crashes);
+        assert_eq!(fresh.solver.cache_hits, 0);
+        assert_eq!(fresh.solver.unary_memo_hits, 0);
+        assert!(
+            cached.solver.unary_memo_hits > 0,
+            "shared prefix constraints must hit the unary memo: {:?}",
+            cached.solver
+        );
+        assert!(
+            cached.solver.cache_hits > 0,
+            "the second seed's contradictory flip must hit the cache: {:?}",
+            cached.solver
+        );
+        assert_eq!(
+            cached.solver.queries + cached.solver.cache_hits,
+            fresh.solver.queries,
+            "every cache hit replaces exactly one solve — the invariant \
+             RoundReport.solver_queries (answered queries) relies on"
+        );
+        assert!(cached.solver.queries < fresh.solver.queries);
+        assert!(cached.solver.cache_hit_rate() > 0.0);
+        assert!(cached.solver.unsat < fresh.solver.unsat);
+    }
+
+    #[test]
+    fn covered_flips_are_skipped_before_query_construction() {
+        // Two independent byte checks and two same-shape seeds: the
+        // second-generation children re-encounter negation queries that
+        // were already dispatched (identical structural prefix) once every
+        // polarity is covered — exactly the redundancy the guard prunes.
+        fn two_sites(ctx: &mut ConcolicCtx) -> RunStatus {
+            if !ctx.in_bounds(1) {
+                return RunStatus::Rejected("short".into());
+            }
+            let a = ctx.read_u8(0);
+            let c1 = ctx.eq_const(a, 5);
+            ctx.branch(SiteId(1), c1);
+            let b = ctx.read_u8(1);
+            let c2 = ctx.eq_const(b, 7);
+            ctx.branch(SiteId(2), c2);
+            RunStatus::Ok
+        }
+        let seeds = vec![vec![0u8, 0], vec![1u8, 1]];
+        let cfg = ExploreConfig {
+            max_executions: 24,
+            ..Default::default()
+        };
+        let report = explore(&mut two_sites, &seeds, &all_symbolic, &cfg);
+        assert!(
+            report.solver.covered_skips > 0,
+            "redundant re-dispatched flips must be guarded: {:?}",
+            report.solver
+        );
+        // The guard must not cost coverage: all four polarities reached.
+        assert_eq!(report.final_coverage(), 4);
+    }
+
+    #[test]
+    fn guard_preserves_context_dependent_flips() {
+        // Review-driven regression ("diamond" shape): site2's taken
+        // polarity is first covered under a prefix (b0 < 128) that is
+        // incompatible with the crash (needs b0 >= 128 AND b1 == b0). A
+        // coverage-only guard would prune the one flip that reaches the
+        // crash; the dispatch-identity check must keep it solvable.
+        fn diamond(ctx: &mut ConcolicCtx) -> RunStatus {
+            if !ctx.in_bounds(1) {
+                return RunStatus::Rejected("short".into());
+            }
+            let b0 = ctx.read_u8(0);
+            let small = ctx.ult_const(b0, 128);
+            let is_small = ctx.branch(SiteId(1), small);
+            let b1 = ctx.read_u8(1);
+            let eq = ctx.cmp(crate::expr::CmpOp::Eq, b1, b0);
+            let matches = ctx.branch(SiteId(2), eq);
+            if !is_small && matches {
+                return RunStatus::Crash("large mirrored byte".into());
+            }
+            RunStatus::Ok
+        }
+        // Seed [0,0] covers (site2, true) under the small-b0 prefix.
+        let seeds = vec![vec![0u8, 0]];
+        let cfg = ExploreConfig {
+            max_executions: 32,
+            ..Default::default()
+        };
+        let report = explore(&mut diamond, &seeds, &all_symbolic, &cfg);
+        let crash = report
+            .first_crash()
+            .expect("crash behind a context-dependent flip must stay reachable");
+        let input = &report.executions[crash].input;
+        assert!(input[0] >= 128 && input[1] == input[0], "input {input:?}");
+    }
+
+    #[test]
+    fn guard_spares_repeated_site_occurrences() {
+        // Instrumented loops reuse one SiteId per iteration (BGP attribute
+        // loop, gossip digest entries). Once one run covers both
+        // polarities of such a site, the coverage ledger can no longer
+        // distinguish iterations — the guard must only prune the site's
+        // first occurrence per path, or crashes reachable via later
+        // iterations become unreachable.
+        fn loopy(ctx: &mut ConcolicCtx) -> RunStatus {
+            if !ctx.in_bounds(2) {
+                return RunStatus::Rejected("short".into());
+            }
+            let mut magics = 0u32;
+            for k in 0..3 {
+                let b = ctx.read_u8(k);
+                let is_magic = ctx.eq_const(b, 7);
+                if ctx.branch(SiteId(40), is_magic) {
+                    magics += 1;
+                }
+            }
+            if magics == 3 {
+                return RunStatus::Crash("all-magic".into());
+            }
+            RunStatus::Ok
+        }
+        // The seed alone covers BOTH polarities of site 40 (one magic
+        // byte, two non-magic), so a first-occurrence-only guard is the
+        // difference between reaching the crash and never solving again.
+        let seeds = vec![vec![7u8, 0, 0]];
+        let cfg = ExploreConfig {
+            max_executions: 32,
+            ..Default::default()
+        };
+        let report = explore(&mut loopy, &seeds, &all_symbolic, &cfg);
+        let crash = report
+            .first_crash()
+            .expect("later-iteration flips must stay solvable");
+        assert_eq!(report.executions[crash].input, vec![7, 7, 7]);
+    }
+
+    #[test]
+    fn guard_keeps_deep_crash_reachable() {
+        // The covered-flip guard prunes redundant work but must not stop
+        // generational search from chaining uncovered flips to the deep
+        // guarded crash.
+        let seeds = vec![vec![0u8, 0, 0]];
+        let cfg = ExploreConfig {
+            max_executions: 64,
+            ..Default::default()
+        };
+        let report = explore(&mut toy_program, &seeds, &all_symbolic, &cfg);
+        assert!(report.first_crash().is_some());
     }
 
     #[test]

@@ -414,6 +414,46 @@ impl ExprArena {
         }
     }
 
+    /// Structural hashes for every node, computed in one O(n) pass.
+    ///
+    /// `out[i]` identifies the *shape and content* of node `i` — operator,
+    /// width, constants, input indices, and (recursively) its operands —
+    /// independent of the arena it was interned in. Two runs that record
+    /// the same branch structure produce identical hashes even though
+    /// their arenas were built separately, which is what lets the
+    /// negation-query cache in `dice-concolic::explore` recognize a
+    /// constraint system it has already refuted for an earlier seed.
+    /// Hash-consing makes this cheap: nodes only reference earlier ids,
+    /// so one forward pass suffices and each node costs O(1).
+    pub fn node_hashes(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = Vec::with_capacity(self.nodes.len());
+        for e in &self.nodes {
+            let h = match *e {
+                Expr::Const { bits, val } => mix3(0x01, bits as u64, val),
+                Expr::Input { idx } => mix3(0x02, idx as u64, 0),
+                Expr::Bin { op, bits, a, b } => {
+                    let lhs = out[a.0 as usize];
+                    let rhs = out[b.0 as usize];
+                    mix3(0x03 | (op as u64) << 8 | (bits as u64) << 16, lhs, rhs)
+                }
+                Expr::ZExt { bits, a } => mix3(0x04 | (bits as u64) << 16, out[a.0 as usize], 0),
+                Expr::Cmp { op, a, b } => {
+                    let lhs = out[a.0 as usize];
+                    let rhs = out[b.0 as usize];
+                    mix3(0x05 | (op as u64) << 8, lhs, rhs)
+                }
+                Expr::Not(a) => mix3(0x06, out[a.0 as usize], 0),
+                Expr::Bool { op, a, b } => {
+                    let lhs = out[a.0 as usize];
+                    let rhs = out[b.0 as usize];
+                    mix3(0x07 | (op as u64) << 8, lhs, rhs)
+                }
+            };
+            out.push(h);
+        }
+        out
+    }
+
     /// Collect the distinct input-byte indices referenced by `id`.
     pub fn vars(&self, id: ExprId) -> Vec<u32> {
         let mut out = Vec::new();
@@ -557,6 +597,17 @@ fn ternary_cmp_lt(a: &Ternary, b: &Ternary, or_eq: bool) -> Option<bool> {
         }
     }
     None
+}
+
+/// SplitMix64-style mixer combining three words into one structural hash.
+pub(crate) fn mix3(tag: u64, a: u64, b: u64) -> u64 {
+    let mut z = tag
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(a.rotate_left(17))
+        .wrapping_add(b.rotate_left(41));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 fn eval_bin(op: BinOp, bits: u8, a: u64, b: u64) -> u64 {
@@ -829,6 +880,35 @@ mod tests {
             let full = |i: u32| Some(if i == 0 { 0x0F } else { y_val });
             assert_eq!(a.eval(c, &full), Some(0));
         }
+    }
+
+    #[test]
+    fn node_hashes_are_structural_across_arenas() {
+        // The same expression built in two independently grown arenas (so
+        // the ExprIds differ) must hash identically, and a structurally
+        // different expression must not.
+        let build = |arena: &mut ExprArena, k: u64| -> ExprId {
+            let x = arena.input(0);
+            let c = arena.constant(8, k);
+            arena.cmp(CmpOp::Eq, x, c)
+        };
+        let mut a = ExprArena::new();
+        let e_a = build(&mut a, 0x42);
+        let mut b = ExprArena::new();
+        // Grow arena b first so interning order (and ids) differ.
+        let _pad = b.input(7);
+        let e_b = build(&mut b, 0x42);
+        assert_ne!(e_a, e_b, "ids differ across arenas");
+        let ha = a.node_hashes();
+        let hb = b.node_hashes();
+        assert_eq!(ha[e_a.0 as usize], hb[e_b.0 as usize]);
+
+        let e_other = build(&mut b, 0x43);
+        assert_ne!(
+            hb[e_b.0 as usize],
+            b.node_hashes()[e_other.0 as usize],
+            "different constants must hash differently"
+        );
     }
 
     #[test]

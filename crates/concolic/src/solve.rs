@@ -115,6 +115,31 @@ pub struct SolverStats {
     pub unknown: u64,
     /// Total backtracking steps.
     pub steps: u64,
+    /// Negation queries answered from the refutation cache *without*
+    /// reaching [`Solver::solve`] (maintained by the exploration loop,
+    /// which keys the cache on the canonical structural hash of the
+    /// hash-consed constraint set).
+    pub cache_hits: u64,
+    /// Branch flips skipped before query construction because the target
+    /// (site, direction) was already covered.
+    pub covered_skips: u64,
+    /// Per-constraint [`UnaryMemo`] hits inside [`Solver::solve_memo`]:
+    /// variable lists and unary-filter byte sets reused instead of
+    /// recomputed. Negation queries of one path share their prefix, so
+    /// this grows quadratically faster than `queries`.
+    pub unary_memo_hits: u64,
+}
+
+impl SolverStats {
+    /// Fraction of negation queries served by the refutation cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.queries;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// The solver. Holds no state besides statistics; borrow an arena per call.
@@ -124,6 +149,29 @@ pub struct Solver {
     pub stats: SolverStats,
     /// Budget applied to each query.
     pub budget: SolverBudget,
+}
+
+/// Cross-query memo of the per-constraint work [`Solver::solve`] redoes
+/// for every negation query of a path: the referenced variable list and —
+/// for single-variable constraints — the exact unary-filter [`ByteSet`]
+/// (256 evaluations each). Keyed by the *canonical structural hash* of
+/// `(constraint, polarity)` supplied by the caller (see
+/// `ExprArena::node_hashes`), so entries are valid across arenas — the
+/// negation queries of one path share their prefix constraints, and
+/// different seeds with the same parse shape share whole queries. Both
+/// memoized facts are pure functions of the constraint's structure, so
+/// reuse cannot change any solve outcome.
+#[derive(Debug, Default)]
+pub struct UnaryMemo {
+    map: std::collections::HashMap<u64, MemoEntry>,
+    /// Entries served from the memo (vars + unary set count as one hit).
+    pub hits: u64,
+}
+
+#[derive(Debug)]
+struct MemoEntry {
+    vars: Vec<u32>,
+    unary: Option<ByteSet>,
 }
 
 /// A constraint: an expression that must evaluate truthy (`true`) or falsy
@@ -184,13 +232,61 @@ impl Solver {
         constraints: &[Constraint],
         seed: &dyn Fn(u32) -> u8,
     ) -> SolveResult {
+        self.solve_impl(arena, constraints, seed, None)
+    }
+
+    /// Like [`Solver::solve`], reusing per-constraint work through `memo`.
+    /// `chashes[i]` must be the canonical structural hash of
+    /// `constraints[i]` *including its polarity*; the exploration loop
+    /// derives it from `ExprArena::node_hashes`, which makes entries
+    /// shareable across the separately grown arenas of different
+    /// executions and seeds.
+    pub fn solve_memo(
+        &mut self,
+        arena: &ExprArena,
+        constraints: &[Constraint],
+        seed: &dyn Fn(u32) -> u8,
+        chashes: &[u64],
+        memo: &mut UnaryMemo,
+    ) -> SolveResult {
+        debug_assert_eq!(constraints.len(), chashes.len());
+        self.solve_impl(arena, constraints, seed, Some((chashes, memo)))
+    }
+
+    fn solve_impl(
+        &mut self,
+        arena: &ExprArena,
+        constraints: &[Constraint],
+        seed: &dyn Fn(u32) -> u8,
+        mut memo: Option<(&[u64], &mut UnaryMemo)>,
+    ) -> SolveResult {
         self.stats.queries += 1;
 
-        // Gather variables and classify constraints.
+        // Gather variables and classify constraints (memoized by
+        // structural hash when available).
         let mut var_list: Vec<u32> = Vec::new();
         let mut con_vars: Vec<Vec<u32>> = Vec::with_capacity(constraints.len());
-        for &(e, _) in constraints {
-            let vars = arena.vars(e);
+        for (ci, &(e, _)) in constraints.iter().enumerate() {
+            let vars = match &mut memo {
+                Some((chashes, m)) => match m.map.get(&chashes[ci]) {
+                    Some(entry) => {
+                        m.hits += 1;
+                        entry.vars.clone()
+                    }
+                    None => {
+                        let vars = arena.vars(e);
+                        m.map.insert(
+                            chashes[ci],
+                            MemoEntry {
+                                vars: vars.clone(),
+                                unary: None,
+                            },
+                        );
+                        vars
+                    }
+                },
+                None => arena.vars(e),
+            };
             for &v in &vars {
                 if !var_list.contains(&v) {
                     var_list.push(v);
@@ -220,28 +316,46 @@ impl Solver {
             return SolveResult::Sat(BTreeMap::new());
         }
 
-        // Unary filtering.
+        // Unary filtering. A single-variable constraint's admissible set
+        // is an exact pure function of its structure, so the 256-value
+        // sweep is memoized across queries (and seeds) when a memo is
+        // supplied.
         let mut candidates: BTreeMap<u32, ByteSet> =
             var_list.iter().map(|&v| (v, ByteSet::full())).collect();
         for (ci, &(e, want)) in constraints.iter().enumerate() {
             if con_vars[ci].len() == 1 {
                 let v = con_vars[ci][0];
-                let mut ok = ByteSet::empty();
-                for byte in 0u16..256 {
-                    let val = byte as u8;
-                    let lookup = |idx: u32| -> Option<u64> {
-                        if idx == v {
-                            Some(val as u64)
-                        } else {
-                            None
+                let cached = memo
+                    .as_ref()
+                    .and_then(|(chashes, m)| m.map.get(&chashes[ci]))
+                    .and_then(|entry| entry.unary);
+                let ok = match cached {
+                    Some(set) => set,
+                    None => {
+                        let mut ok = ByteSet::empty();
+                        for byte in 0u16..256 {
+                            let val = byte as u8;
+                            let lookup = |idx: u32| -> Option<u64> {
+                                if idx == v {
+                                    Some(val as u64)
+                                } else {
+                                    None
+                                }
+                            };
+                            if let Some(r) = arena.eval(e, &lookup) {
+                                if (r != 0) == want {
+                                    ok.insert(val);
+                                }
+                            }
                         }
-                    };
-                    if let Some(r) = arena.eval(e, &lookup) {
-                        if (r != 0) == want {
-                            ok.insert(val);
+                        if let Some((chashes, m)) = &mut memo {
+                            if let Some(entry) = m.map.get_mut(&chashes[ci]) {
+                                entry.unary = Some(ok);
+                            }
                         }
+                        ok
                     }
-                }
+                };
                 let set = candidates.get_mut(&v).expect("var registered");
                 set.intersect(&ok);
                 if set.is_empty() {

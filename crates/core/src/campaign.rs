@@ -138,6 +138,61 @@ pub struct ExplorerSummary {
     pub executions: usize,
 }
 
+/// Hot-path performance counters for one campaign run: how much work the
+/// clone pool, the copy-on-write snapshots and the solver cache avoided.
+/// All of it is either wall-clock- or schedule-dependent bookkeeping
+/// (which worker's pool serves an input depends on thread timing), so
+/// [`CampaignReport::normalized`] zeroes the whole struct — the
+/// determinism contract covers *results*, not cache luck.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PerfCounters {
+    /// Approximate bytes checkpointed across the campaign's consistent
+    /// snapshots ([`ShadowSnapshot::approx_bytes`] summed over the one
+    /// snapshot taken per explorer per sweep).
+    ///
+    /// [`ShadowSnapshot::approx_bytes`]: dice_netsim::ShadowSnapshot::approx_bytes
+    pub snapshot_bytes: u64,
+    /// Validation clones served by resetting a pooled simulator
+    /// (`Simulator::reset_from_shadow`) instead of building one.
+    pub pool_hits: u64,
+    /// Validation clones that had to be built fresh (`from_shadow`).
+    pub pool_misses: u64,
+    /// Negation queries answered by the concolic refutation cache
+    /// without reaching the solver.
+    pub solver_cache_hits: u64,
+    /// Negation queries that did reach the solver.
+    pub solver_queries: u64,
+    /// Branch flips skipped before query construction because the target
+    /// (site, direction) was already covered.
+    pub covered_flips_skipped: u64,
+    /// Per-constraint solver-memo hits (variable lists and unary-filter
+    /// byte sets reused instead of recomputed — the queries of one path
+    /// share their prefix constraints, so this dwarfs `solver_queries`).
+    pub unary_memo_hits: u64,
+}
+
+impl PerfCounters {
+    /// Fraction of validation clones served from the pool.
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of negation queries served by the refutation cache.
+    pub fn solver_cache_hit_rate(&self) -> f64 {
+        let total = self.solver_cache_hits + self.solver_queries;
+        if total == 0 {
+            0.0
+        } else {
+            self.solver_cache_hits as f64 / total as f64
+        }
+    }
+}
+
 /// Aggregated outcome of a campaign.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignReport {
@@ -166,6 +221,9 @@ pub struct CampaignReport {
     pub executions_total: usize,
     /// Total inputs validated system-wide across all rounds.
     pub validated_total: usize,
+    /// Hot-path counters (clone pool, snapshot footprint, solver cache);
+    /// zeroed by [`CampaignReport::normalized`].
+    pub perf: PerfCounters,
 }
 
 impl CampaignReport {
@@ -203,6 +261,7 @@ impl CampaignReport {
             k.wall_us = 0;
             k.wall_ms = 0;
         }
+        r.perf = PerfCounters::default();
         r
     }
 
@@ -317,6 +376,23 @@ impl Campaign {
         self
     }
 
+    /// Per-worker clone-pool capacity for validation (default 1; `0`
+    /// forces a fresh `from_shadow` clone per validated input). Reports
+    /// are byte-identical for any value — pooling only recycles
+    /// allocations.
+    pub fn pool_size(mut self, n: usize) -> Self {
+        self.cfg.template.pool_size = n;
+        self
+    }
+
+    /// Enable/disable the concolic refutation cache (default on).
+    /// Exploration outcomes are identical either way; only solver time
+    /// differs.
+    pub fn solver_cache(mut self, on: bool) -> Self {
+        self.cfg.template.solver_cache = on;
+        self
+    }
+
     /// Master seed for grammar and clone simulators.
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.template.seed = seed;
@@ -426,6 +502,7 @@ impl Campaign {
         let mut fault_keys = BTreeSet::new();
         let mut explorer_fault_counts: BTreeMap<NodeId, usize> = BTreeMap::new();
         let mut detection: BTreeMap<FaultClass, ClassDetection> = BTreeMap::new();
+        let mut perf = PerfCounters::default();
         let mut round_no = 0u64;
 
         // One sweep at a time, so only the current sweep's snapshots are
@@ -439,6 +516,7 @@ impl Campaign {
             for (explorer, peers) in &plan {
                 let (shadow, snap_metrics) =
                     take_consistent_snapshot(live, *explorer, self.cfg.template.snapshot_deadline)?;
+                perf.snapshot_bytes += snap_metrics.bytes as u64;
                 let shadow = shadow.into_shared();
                 // The flip baseline is a function of the shared snapshot;
                 // compute it once per explorer.
@@ -477,7 +555,7 @@ impl Campaign {
             }
 
             // Phase 2: this sweep's rounds, parallel over the shared pool.
-            let done = crate::executor::run_rounds(
+            let (done, pool_stats) = crate::executor::run_rounds(
                 &tasks,
                 pair_workers,
                 pool_workers,
@@ -487,6 +565,8 @@ impl Campaign {
                 &checkers,
                 wall,
             );
+            perf.pool_hits += pool_stats.hits;
+            perf.pool_misses += pool_stats.misses;
 
             // Phase 3: deterministic aggregation in round-ordinal order.
             for (task, done) in tasks.iter().zip(done) {
@@ -495,6 +575,10 @@ impl Campaign {
                 let report = outcome.report;
                 let explorer = task.cfg.explorer;
 
+                perf.solver_cache_hits += outcome.exploration.solver.cache_hits;
+                perf.solver_queries += outcome.exploration.solver.queries;
+                perf.covered_flips_skipped += outcome.exploration.solver.covered_skips;
+                perf.unary_memo_hits += outcome.exploration.solver.unary_memo_hits;
                 coverage_union.extend(outcome.exploration.coverage.sites());
                 let entry = per_explorer.entry(explorer).or_default();
                 entry.kind = report.explorer_kind.clone();
@@ -574,6 +658,7 @@ impl Campaign {
             wall_us,
             wall_ms: us_to_ms(wall_us),
             sim_nanos: (live.now() - sim_start).as_nanos(),
+            perf,
         })
     }
 }
@@ -747,6 +832,62 @@ mod tests {
         assert_eq!(gossip.rounds, 6);
         assert!(bgp.coverage > 0 && gossip.coverage > 0);
         assert!(bgp.executions > 0 && gossip.executions > 0);
+    }
+
+    #[test]
+    fn perf_counters_populate_and_normalize_to_zero() {
+        let mut sim = scenarios::healthy_line(3, 5);
+        sim.run_until(SimTime::from_nanos(12_000_000_000));
+        let report = quick(Campaign::new(&sim))
+            .executions(48)
+            .validate_top(6)
+            .run(&mut sim)
+            .expect("runs");
+        let perf = &report.perf;
+        assert!(perf.snapshot_bytes > 0, "snapshot footprint recorded");
+        assert!(
+            perf.pool_hits > 0,
+            "default pool_size=1 must reuse clones: {perf:?}"
+        );
+        assert!(perf.pool_misses > 0, "first acquisition per worker misses");
+        assert_eq!(
+            (perf.pool_hits + perf.pool_misses) as usize,
+            report.validated_total,
+            "every validated input is exactly one pool acquisition"
+        );
+        assert!(perf.solver_queries > 0);
+        assert!(
+            perf.unary_memo_hits > 0,
+            "prefix constraints must hit the solver memo: {perf:?}"
+        );
+        assert!(perf.pool_hit_rate() > 0.0 && perf.pool_hit_rate() < 1.0);
+
+        let n = report.normalized();
+        assert_eq!(n.perf.snapshot_bytes, 0);
+        assert_eq!(n.perf.pool_hits, 0);
+        assert_eq!(n.perf.pool_misses, 0);
+        assert_eq!(n.perf.solver_cache_hits, 0);
+        assert_eq!(n.perf.solver_queries, 0);
+        assert_eq!(n.perf.covered_flips_skipped, 0);
+        assert_eq!(n.perf.unary_memo_hits, 0);
+
+        // Disabling the refutation cache must not change any result
+        // field; only the solver-query accounting may move.
+        let mut sim2 = scenarios::healthy_line(3, 5);
+        sim2.run_until(SimTime::from_nanos(12_000_000_000));
+        let uncached = quick(Campaign::new(&sim2))
+            .executions(48)
+            .validate_top(6)
+            .solver_cache(false)
+            .run(&mut sim2)
+            .expect("runs");
+        assert_eq!(uncached.perf.solver_cache_hits, 0);
+        assert_eq!(uncached.perf.unary_memo_hits, 0);
+        assert_eq!(
+            serde_json::to_string(&uncached.normalized()).unwrap(),
+            serde_json::to_string(&report.normalized()).unwrap(),
+            "refutation cache must not alter the report"
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! across `pair_workers` values, which `tests/heterogeneous.rs` locks in.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use dice_netsim::{NodeId, ShadowSnapshot, Topology};
@@ -26,6 +26,7 @@ use dice_netsim::{NodeId, ShadowSnapshot, Topology};
 use crate::check::{CheckReport, Checker};
 use crate::explorer::{check_stage, explore_stage, validate_one, DiceConfig, PairOutcome};
 use crate::interface::AttestationRegistry;
+use crate::pool::{ClonePool, PoolStats};
 use crate::snapshot::SnapshotMetrics;
 use crate::sut::SutCatalog;
 
@@ -98,6 +99,10 @@ struct Shared<'e> {
     /// replaces the worker's message with a generic "a scoped thread
     /// panicked".
     first_panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+    /// Clone-pool counters folded in as workers retire (worker pools are
+    /// thread-local; only the final sums are shared).
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
 }
 
 /// Acquire `m`, recovering the guarded data if another worker panicked
@@ -117,9 +122,10 @@ fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 impl Shared<'_> {
-    /// Claim and run one validation unit from `batch`. Returns `false`
-    /// when the batch has no unclaimed candidates left.
-    fn run_val_unit(&self, batch: &ValBatch) -> bool {
+    /// Claim and run one validation unit from `batch` using the calling
+    /// worker's clone pool. Returns `false` when the batch has no
+    /// unclaimed candidates left.
+    fn run_val_unit(&self, batch: &ValBatch, pool: &mut ClonePool) -> bool {
         let i = batch.next.fetch_add(1, Ordering::Relaxed);
         let Some(candidate) = batch.candidates.get(i) else {
             return false;
@@ -135,6 +141,7 @@ impl Shared<'_> {
             self.registry,
             &task.baseline,
             self.checkers,
+            pool,
         );
         lock_unpoisoned(&batch.results).push((i, report));
         batch.done.fetch_add(1, Ordering::Release);
@@ -143,7 +150,7 @@ impl Shared<'_> {
 
     /// Steal one validation unit from any open round. Returns `false` if
     /// nothing was stealable.
-    fn steal_val_unit(&self) -> bool {
+    fn steal_val_unit(&self, pool: &mut ClonePool) -> bool {
         let batch = {
             let open = lock_unpoisoned(&self.open);
             open.iter()
@@ -151,7 +158,7 @@ impl Shared<'_> {
                 .cloned()
         };
         match batch {
-            Some(b) => self.run_val_unit(&b),
+            Some(b) => self.run_val_unit(&b, pool),
             None => false,
         }
     }
@@ -159,7 +166,7 @@ impl Shared<'_> {
     /// Run round `idx` to completion: explore, fan validation out on the
     /// shared pool (helping other rounds while waiting for stolen units),
     /// then fold the check stage and store the result.
-    fn run_round(&self, idx: usize) {
+    fn run_round(&self, idx: usize, pool: &mut ClonePool) {
         let task = &self.tasks[idx];
         let stage_start = std::time::Instant::now();
         let result = match explore_stage(&task.shadow, &task.cfg, self.catalog) {
@@ -176,7 +183,7 @@ impl Shared<'_> {
                 });
                 lock_unpoisoned(&self.open).push(Arc::clone(&batch));
                 // Drain own candidates; free workers steal concurrently.
-                while self.run_val_unit(&batch) {}
+                while self.run_val_unit(&batch, pool) {}
                 // Wait for stolen units, helping other rounds meanwhile.
                 // Time spent executing *foreign* validation units must not
                 // be billed to this round: per-round wall_us feeds the
@@ -192,7 +199,7 @@ impl Shared<'_> {
                         return;
                     }
                     let steal_start = std::time::Instant::now();
-                    if self.steal_val_unit() {
+                    if self.steal_val_unit(pool) {
                         foreign_us += steal_start.elapsed().as_micros() as u64;
                     } else {
                         idle_wait();
@@ -224,8 +231,16 @@ impl Shared<'_> {
 
     /// The worker loop. Workers `< round_workers` claim whole rounds;
     /// the rest only steal validation units (they exist when the
-    /// validation `workers` knob exceeds `pair_workers`).
+    /// validation `workers` knob exceeds `pair_workers`). Each worker
+    /// owns a clone pool for its lifetime; counters fold into the shared
+    /// sums on retirement.
     fn worker(&self, index: usize, round_workers: usize) {
+        let mut pool = ClonePool::new();
+        self.worker_loop(index, round_workers, &mut pool);
+        self.retire_pool(&pool);
+    }
+
+    fn worker_loop(&self, index: usize, round_workers: usize, pool: &mut ClonePool) {
         let total = self.tasks.len();
         loop {
             if self.panicked.load(Ordering::Acquire)
@@ -236,11 +251,11 @@ impl Shared<'_> {
             if index < round_workers {
                 let i = self.round_next.fetch_add(1, Ordering::Relaxed);
                 if i < total {
-                    self.run_round(i);
+                    self.run_round(i, pool);
                     continue;
                 }
             }
-            if self.steal_val_unit() {
+            if self.steal_val_unit(pool) {
                 continue;
             }
             if self.rounds_done.load(Ordering::Acquire) >= total {
@@ -248,6 +263,11 @@ impl Shared<'_> {
             }
             idle_wait();
         }
+    }
+
+    fn retire_pool(&self, pool: &ClonePool) {
+        self.pool_hits.fetch_add(pool.hits, Ordering::Relaxed);
+        self.pool_misses.fetch_add(pool.misses, Ordering::Relaxed);
     }
 }
 
@@ -262,7 +282,8 @@ fn idle_wait() {
 
 /// Execute `tasks` with at most `pair_workers` rounds in flight over a
 /// pool of `pool_workers` threads (`pool_workers >= pair_workers`), and
-/// return per-round results in task order.
+/// return per-round results in task order plus the aggregated clone-pool
+/// counters.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_rounds(
     tasks: &[RoundTask],
@@ -273,7 +294,7 @@ pub(crate) fn run_rounds(
     registry: &AttestationRegistry,
     checkers: &[Box<dyn Checker>],
     campaign_start: std::time::Instant,
-) -> Vec<Result<RoundDone, String>> {
+) -> (Vec<Result<RoundDone, String>>, PoolStats) {
     let shared = Shared {
         tasks,
         topo,
@@ -287,15 +308,19 @@ pub(crate) fn run_rounds(
         slots: Mutex::new((0..tasks.len()).map(|_| None).collect()),
         panicked: AtomicBool::new(false),
         first_panic: Mutex::new(None),
+        pool_hits: AtomicU64::new(0),
+        pool_misses: AtomicU64::new(0),
     };
     let round_workers = pair_workers.max(1);
     let pool_workers = pool_workers.max(round_workers);
     if round_workers == 1 && pool_workers == 1 {
         // Degenerate pool: run inline, no threads to spawn or join;
         // panics propagate directly.
+        let mut pool = ClonePool::new();
         for i in 0..tasks.len() {
-            shared.run_round(i);
+            shared.run_round(i, &mut pool);
         }
+        shared.retire_pool(&pool);
     } else {
         // Each worker catches its own unwind, records the payload of the
         // *first* panic, and raises the `panicked` flag so the surviving
@@ -321,14 +346,19 @@ pub(crate) fn run_rounds(
     if let Some(payload) = lock_unpoisoned(&shared.first_panic).take() {
         std::panic::resume_unwind(payload);
     }
+    let pool_stats = PoolStats {
+        hits: shared.pool_hits.load(Ordering::Relaxed),
+        misses: shared.pool_misses.load(Ordering::Relaxed),
+    };
     let slots = shared
         .slots
         .into_inner()
         .unwrap_or_else(PoisonError::into_inner);
-    slots
+    let results = slots
         .into_iter()
         .map(|slot| slot.expect("every round ran to completion"))
-        .collect()
+        .collect();
+    (results, pool_stats)
 }
 
 #[cfg(test)]

@@ -39,7 +39,11 @@ use crate::sut::SutCatalog;
 ///
 /// Serializes (and, with a full serde backend, deserializes) so experiment
 /// binaries and CI perf jobs can persist and load configurations as JSON.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// Deserialization is hand-written (below) so the perf knobs added after
+/// the format was first persisted (`pool_size`, `solver_cache`) default
+/// instead of erroring when absent — config files written by earlier
+/// builds keep loading.
+#[derive(Debug, Clone, Serialize)]
 pub struct DiceConfig {
     /// The node whose actions are explored this round.
     pub explorer: NodeId,
@@ -68,6 +72,53 @@ pub struct DiceConfig {
     pub workers: usize,
     /// Master seed for grammar and clone simulators.
     pub seed: u64,
+    /// Simulators each validation worker retains for reuse between
+    /// inputs (reset via `Simulator::reset_from_shadow` instead of
+    /// rebuilt via `from_shadow`). `0` disables pooling and forces a
+    /// fresh clone per input; reports are byte-identical either way.
+    pub pool_size: usize,
+    /// Share the concolic refutation cache across seeds within a round
+    /// (UNSAT negation queries never reach the solver twice). Exploration
+    /// outcomes are identical with the cache on or off; only solver time
+    /// differs.
+    pub solver_cache: bool,
+}
+
+impl Deserialize for DiceConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        fn field<T: Deserialize>(v: &serde::Value, name: &str) -> Result<T, serde::DeError> {
+            Deserialize::from_value(v.field(name)).map_err(|e| e.at(&format!("DiceConfig.{name}")))
+        }
+        /// Later-added field: absent (`Null`) reads as its default.
+        fn field_or<T: Deserialize>(
+            v: &serde::Value,
+            name: &str,
+            default: T,
+        ) -> Result<T, serde::DeError> {
+            match v.field(name) {
+                serde::Value::Null => Ok(default),
+                present => Deserialize::from_value(present)
+                    .map_err(|e| e.at(&format!("DiceConfig.{name}"))),
+            }
+        }
+        Ok(DiceConfig {
+            explorer: field(v, "explorer")?,
+            inject_peer: field(v, "inject_peer")?,
+            concolic_executions: field(v, "concolic_executions")?,
+            validate_top: field(v, "validate_top")?,
+            horizon: field(v, "horizon")?,
+            quiet_window: field(v, "quiet_window")?,
+            snapshot_deadline: field(v, "snapshot_deadline")?,
+            strategy: field(v, "strategy")?,
+            grammar_seeds: field(v, "grammar_seeds")?,
+            solver_budget: field(v, "solver_budget")?,
+            oscillation_threshold: field(v, "oscillation_threshold")?,
+            workers: field(v, "workers")?,
+            seed: field(v, "seed")?,
+            pool_size: field_or(v, "pool_size", 1)?,
+            solver_cache: field_or(v, "solver_cache", true)?,
+        })
+    }
 }
 
 /// The single derivation of every millisecond wall-clock report field
@@ -98,6 +149,8 @@ impl DiceConfig {
             oscillation_threshold: 20,
             workers: 1,
             seed: 0xD1CE,
+            pool_size: 1,
+            solver_cache: true,
         }
     }
 }
@@ -141,9 +194,15 @@ pub struct RoundReport {
     /// Host wall-clock duration of the round, in milliseconds (derived
     /// from [`RoundReport::wall_us`]; kept for report compatibility).
     pub wall_ms: u64,
-    /// Solver statistics from exploration.
+    /// Negation queries *answered* during exploration: solver calls plus
+    /// refutation-cache hits. Counting answered queries (not raw solver
+    /// invocations) keeps this field — and therefore normalized report
+    /// byte-identity — independent of whether the solver cache is
+    /// enabled; the cache split lives in
+    /// [`CampaignReport::perf`](crate::campaign::CampaignReport::perf).
     pub solver_queries: u64,
-    /// Solver SAT answers.
+    /// Solver SAT answers (only UNSAT answers are ever cached, so this
+    /// is cache-independent as-is).
     pub solver_sat: u64,
 }
 
@@ -219,6 +278,7 @@ pub(crate) fn explore_stage(
         strategy: cfg.strategy,
         max_executions: cfg.concolic_executions,
         solver_budget: cfg.solver_budget,
+        solver_cache: cfg.solver_cache,
     };
     let exploration = explore(&mut *program, &plan.seeds, &plan.marker, &explore_cfg);
 
@@ -255,7 +315,9 @@ pub(crate) fn explore_stage(
 
 /// Validate one candidate on an isolated clone of the snapshot and run
 /// the checker battery over the outcome — the unit of validation-level
-/// parallelism. Deterministic in `(shadow, cfg, i, input)`.
+/// parallelism. Deterministic in `(shadow, cfg, i, input)` regardless of
+/// whether the clone came from `pool` (reset in place) or was freshly
+/// built; the pool only recycles allocations.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn validate_one(
     i: usize,
@@ -267,22 +329,27 @@ pub(crate) fn validate_one(
     registry: &AttestationRegistry,
     baseline: &BTreeMap<(NodeId, dice_bgp::Ipv4Net), u64>,
     checkers: &[Box<dyn Checker>],
+    pool: &mut crate::pool::ClonePool,
 ) -> crate::check::CheckReport {
-    let mut clone = Simulator::from_shadow(shadow, topo, cfg.seed ^ (i as u64) << 16);
+    let mut clone = pool.acquire(cfg.pool_size, shadow, topo, cfg.seed ^ (i as u64) << 16);
     if let Some(bytes) = input {
         clone.deliver_direct(cfg.inject_peer, cfg.explorer, bytes);
     }
     let end = shadow.base_time() + cfg.horizon;
     let quiet = clone.run_until_quiet(cfg.quiet_window, end);
-    let cx = CheckContext {
-        sim: &clone,
-        catalog,
-        registry,
-        baseline_flips: baseline,
-        quiet,
-        injected: input.is_some(),
+    let report = {
+        let cx = CheckContext {
+            sim: &clone,
+            catalog,
+            registry,
+            baseline_flips: baseline,
+            quiet,
+            injected: input.is_some(),
+        };
+        run_checkers(checkers, &cx)
     };
-    run_checkers(checkers, &cx)
+    pool.release(cfg.pool_size, clone);
+    report
 }
 
 /// Stage 4: fold per-clone check reports into the round's [`RoundReport`].
@@ -330,7 +397,7 @@ pub(crate) fn check_stage(
         detection_input_ordinal: detection,
         wall_us,
         wall_ms: us_to_ms(wall_us),
-        solver_queries: exploration.solver.queries,
+        solver_queries: exploration.solver.queries + exploration.solver.cache_hits,
         solver_sat: exploration.solver.sat,
     };
     PairOutcome {
@@ -470,22 +537,24 @@ pub(crate) fn validate_candidates(
     baseline: &BTreeMap<(NodeId, dice_bgp::Ipv4Net), u64>,
     checkers: &[Box<dyn Checker>],
 ) -> Vec<crate::check::CheckReport> {
-    let run_one = |i: usize, input: Option<&Vec<u8>>| {
+    let run_one = |i: usize, input: Option<&Vec<u8>>, pool: &mut crate::pool::ClonePool| {
         validate_one(
-            i, input, shadow, topo, cfg, catalog, registry, baseline, checkers,
+            i, input, shadow, topo, cfg, catalog, registry, baseline, checkers, pool,
         )
     };
 
     if cfg.workers <= 1 {
+        let mut pool = crate::pool::ClonePool::new();
         return candidates
             .iter()
             .enumerate()
-            .map(|(i, c)| run_one(i, c.as_ref()))
+            .map(|(i, c)| run_one(i, c.as_ref(), &mut pool))
             .collect();
     }
 
     // Work-stealing by shared index: each worker claims the next candidate
     // until the list is drained. std-only, no external channel crate needed.
+    // Clone pools are worker-local, so no synchronization on the reuse path.
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results = std::sync::Mutex::new(Vec::with_capacity(candidates.len()));
     std::thread::scope(|s| {
@@ -493,17 +562,20 @@ pub(crate) fn validate_candidates(
             let next = &next;
             let results = &results;
             let run_one = &run_one;
-            s.spawn(move || loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(cand) = candidates.get(i) else { break };
-                let report = run_one(i, cand.as_ref());
-                // Poison-tolerant like the campaign executor: a panicking
-                // sibling must not trigger secondary "poisoned" panics
-                // that mask its message at the scope join.
-                results
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .push((i, report));
+            s.spawn(move || {
+                let mut pool = crate::pool::ClonePool::new();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(cand) = candidates.get(i) else { break };
+                    let report = run_one(i, cand.as_ref(), &mut pool);
+                    // Poison-tolerant like the campaign executor: a panicking
+                    // sibling must not trigger secondary "poisoned" panics
+                    // that mask its message at the scope join.
+                    results
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push((i, report));
+                }
             });
         }
     });
@@ -640,6 +712,26 @@ mod tests {
             bgp_sut::minimal_seed(peer_asn),
             "grammar layer must be fully disabled at zero seeds"
         );
+    }
+
+    #[test]
+    fn config_json_without_new_perf_knobs_still_loads() {
+        // Config files persisted before pool_size / solver_cache existed
+        // must keep deserializing, with the new knobs at their defaults.
+        let cfg = DiceConfig::new(NodeId(1), NodeId(0));
+        let json = serde_json::to_string(&cfg).unwrap();
+        let stripped = json
+            .replace(&format!(",\"pool_size\":{}", cfg.pool_size), "")
+            .replace(",\"solver_cache\":true", "");
+        assert_ne!(json, stripped, "both knobs were present and removed");
+        let back: DiceConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.pool_size, 1, "absent pool_size defaults to 1");
+        assert!(back.solver_cache, "absent solver_cache defaults to on");
+        assert_eq!(back.explorer, cfg.explorer);
+        assert_eq!(back.concolic_executions, cfg.concolic_executions);
+        // And the full round-trip still holds when the knobs are present.
+        let full: DiceConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(serde_json::to_string(&full).unwrap(), json);
     }
 
     #[test]

@@ -470,7 +470,7 @@ mod tests {
             &dice_concolic::ExploreConfig {
                 strategy: dice_concolic::Strategy::Generational,
                 max_executions: 64,
-                solver_budget: dice_concolic::SolverBudget::default(),
+                ..Default::default()
             },
         );
         let crash = report.first_crash().expect("bug must be reached");

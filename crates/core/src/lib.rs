@@ -70,12 +70,15 @@ pub mod grammar;
 pub mod handler;
 pub mod hash;
 pub mod interface;
+mod pool;
 pub mod scenarios;
 pub mod snapshot;
 pub mod sut;
 pub mod symmark;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignReport, ClassDetection, ExplorerSummary};
+pub use campaign::{
+    Campaign, CampaignConfig, CampaignReport, ClassDetection, ExplorerSummary, PerfCounters,
+};
 pub use check::{
     build_registry, default_checkers, flips_baseline, run_checkers, CheckContext, CheckReport,
     Checker, ConvergenceChecker, CrashChecker, FaultClass, FaultReport, OriginAuthorityChecker,

@@ -1,0 +1,112 @@
+//! Per-worker clone pools for system-wide validation.
+//!
+//! Phase 3 used to pay a full [`Simulator::from_shadow`] per validated
+//! input: re-cloning the topology, reallocating every channel queue, the
+//! event heap and the trace ring, and deep-copying node checkpoints. With
+//! copy-on-write snapshots the node copies are already lazy; the pool
+//! removes the remaining per-input construction cost by letting each
+//! worker keep finished simulators and rebind them to the next input with
+//! [`Simulator::reset_from_shadow`] — which reuses every allocation and
+//! is state-for-state identical to a fresh clone (netsim unit-tested), so
+//! pooling cannot perturb the report. `pool_size = 0` disables reuse and
+//! forces the fresh-clone path (the determinism tests compare both).
+//!
+//! Pools are strictly worker-local (no sharing, no locks); hit/miss
+//! counters fold into [`CampaignReport::perf`] at the end of a campaign
+//! and are zeroed by [`CampaignReport::normalized`] — which worker's pool
+//! serves an input is schedule-dependent even though the input's result
+//! is not.
+//!
+//! [`CampaignReport::perf`]: crate::campaign::CampaignReport::perf
+//! [`CampaignReport::normalized`]: crate::campaign::CampaignReport::normalized
+//! [`Simulator::from_shadow`]: dice_netsim::Simulator::from_shadow
+//! [`Simulator::reset_from_shadow`]: dice_netsim::Simulator::reset_from_shadow
+
+use dice_netsim::{ShadowSnapshot, Simulator, Topology};
+
+/// A worker-local pool of reusable validation simulators.
+///
+/// All simulators checked in must have been built over the same topology
+/// as the shadows they are later reset to — guaranteed here because a
+/// pool never outlives one campaign/round execution, which runs over a
+/// single topology.
+#[derive(Default)]
+pub(crate) struct ClonePool {
+    free: Vec<Simulator>,
+    /// Acquisitions served by resetting a pooled simulator.
+    pub(crate) hits: u64,
+    /// Acquisitions that had to build a fresh simulator.
+    pub(crate) misses: u64,
+}
+
+impl ClonePool {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Check a simulator out, bound to `shadow` with `seed`: a pooled one
+    /// reset in place when available (and `limit > 0`), a fresh
+    /// `from_shadow` clone otherwise.
+    pub(crate) fn acquire(
+        &mut self,
+        limit: usize,
+        shadow: &ShadowSnapshot,
+        topo: &Topology,
+        seed: u64,
+    ) -> Simulator {
+        if limit > 0 {
+            if let Some(mut sim) = self.free.pop() {
+                sim.reset_from_shadow(shadow, seed);
+                self.hits += 1;
+                return sim;
+            }
+        }
+        self.misses += 1;
+        Simulator::from_shadow(shadow, topo, seed)
+    }
+
+    /// Return a simulator for reuse; dropped when the pool is full (or
+    /// pooling is disabled via `limit = 0`).
+    pub(crate) fn release(&mut self, limit: usize, sim: Simulator) {
+        if self.free.len() < limit {
+            self.free.push(sim);
+        }
+    }
+}
+
+/// Aggregated pool counters returned by the campaign executor.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PoolStats {
+    pub(crate) hits: u64,
+    pub(crate) misses: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+    use dice_netsim::SimTime;
+
+    #[test]
+    fn pool_reuses_up_to_limit_and_respects_zero() {
+        let mut sim = scenarios::healthy_line(3, 5);
+        sim.run_until(SimTime::from_nanos(10_000_000_000));
+        let shadow = sim.instant_snapshot();
+        let topo = sim.topology().clone();
+
+        let mut pool = ClonePool::new();
+        let a = pool.acquire(1, &shadow, &topo, 1);
+        assert_eq!((pool.hits, pool.misses), (0, 1));
+        pool.release(1, a);
+        let b = pool.acquire(1, &shadow, &topo, 2);
+        assert_eq!((pool.hits, pool.misses), (1, 1), "second acquire is a hit");
+        pool.release(1, b);
+
+        // Disabled pool: always fresh, never retains.
+        let mut off = ClonePool::new();
+        let c = off.acquire(0, &shadow, &topo, 3);
+        off.release(0, c);
+        let _d = off.acquire(0, &shadow, &topo, 4);
+        assert_eq!((off.hits, off.misses), (0, 2));
+    }
+}

@@ -44,8 +44,65 @@ enum SessionState {
     Up,
 }
 
+/// The state slot of one node: either an owned (mutable) instance or a
+/// checkpoint shared copy-on-write with a [`ShadowSnapshot`]. Shared
+/// state materializes into an owned deep copy (`clone_node`) on first
+/// mutable access, so clones instantiated from a snapshot only pay for
+/// the nodes they actually drive.
+enum NodeState {
+    /// No node installed (or outside the snapshot scope of a clone).
+    Empty,
+    /// Checkpoint borrowed from a shadow snapshot; deep-copied on first
+    /// mutable access.
+    Shared(std::sync::Arc<dyn Node>),
+    /// Exclusively owned, mutable in place.
+    Owned(Box<dyn Node>),
+}
+
+impl NodeState {
+    fn is_installed(&self) -> bool {
+        !matches!(self, NodeState::Empty)
+    }
+
+    /// Read-only access without materializing a shared checkpoint.
+    fn get(&self) -> Option<&dyn Node> {
+        match self {
+            NodeState::Empty => None,
+            NodeState::Shared(a) => Some(a.as_ref()),
+            NodeState::Owned(b) => Some(b.as_ref()),
+        }
+    }
+
+    /// Take the node out for mutation, deep-copying a shared checkpoint
+    /// (the copy-on-write point). Leaves `Empty` behind.
+    fn take_owned(&mut self) -> Option<Box<dyn Node>> {
+        match std::mem::replace(self, NodeState::Empty) {
+            NodeState::Empty => None,
+            NodeState::Shared(a) => Some(a.clone_node()),
+            NodeState::Owned(b) => Some(b),
+        }
+    }
+
+    /// Ensure the slot owns its node (deep-copying a shared checkpoint).
+    fn materialize(&mut self) {
+        if let NodeState::Shared(a) = self {
+            *self = NodeState::Owned(a.clone_node());
+        }
+    }
+
+    /// An `Arc` checkpoint of the current state: free for `Shared` slots,
+    /// one `clone_node` for `Owned` ones.
+    fn checkpoint(&self) -> Option<std::sync::Arc<dyn Node>> {
+        match self {
+            NodeState::Empty => None,
+            NodeState::Shared(a) => Some(std::sync::Arc::clone(a)),
+            NodeState::Owned(b) => Some(std::sync::Arc::from(b.clone_node())),
+        }
+    }
+}
+
 struct NodeSlot {
-    node: Option<Box<dyn Node>>,
+    node: NodeState,
     crashed: Option<String>,
     timer_gen: BTreeMap<u64, u64>,
 }
@@ -165,7 +222,7 @@ impl Simulator {
         }
         let nodes = (0..topo.len())
             .map(|_| NodeSlot {
-                node: None,
+                node: NodeState::Empty,
                 crashed: None,
                 timer_gen: BTreeMap::new(),
             })
@@ -202,7 +259,7 @@ impl Simulator {
     /// Install the protocol node for `id`.
     pub fn set_node(&mut self, id: NodeId, node: Box<dyn Node>) {
         assert!(!self.started, "cannot install nodes after start");
-        self.nodes[id.index()].node = Some(node);
+        self.nodes[id.index()].node = NodeState::Owned(node);
     }
 
     /// The topology being simulated.
@@ -221,19 +278,23 @@ impl Simulator {
     }
 
     /// Immutable access to a node (for checkers). Panics if never installed.
+    /// Reads never materialize a shared checkpoint.
     pub fn node(&self, id: NodeId) -> &dyn Node {
         self.nodes[id.index()]
             .node
-            .as_deref()
+            .get()
             .expect("node not installed or currently executing")
     }
 
     /// Mutable access to a node (for operator-action injection).
+    /// Materializes a shared checkpoint into an owned copy first.
     pub fn node_mut(&mut self, id: NodeId) -> &mut dyn Node {
-        self.nodes[id.index()]
-            .node
-            .as_deref_mut()
-            .expect("node not installed or currently executing")
+        let slot = &mut self.nodes[id.index()];
+        slot.node.materialize();
+        match &mut slot.node {
+            NodeState::Owned(b) => b.as_mut(),
+            _ => panic!("node not installed or currently executing"),
+        }
     }
 
     /// Whether `id` has crashed, and why.
@@ -251,13 +312,13 @@ impl Simulator {
     pub fn start(&mut self) {
         assert!(!self.started, "start called twice");
         assert!(
-            self.nodes.iter().all(|s| s.node.is_some()),
+            self.nodes.iter().all(|s| s.node.is_installed()),
             "all nodes must be installed before start"
         );
         self.started = true;
         for (i, slot) in self.nodes.iter().enumerate() {
             self.pristine
-                .insert(NodeId(i as u32), slot.node.as_ref().unwrap().clone_node());
+                .insert(NodeId(i as u32), slot.node.get().unwrap().clone_node());
         }
         for id in 0..self.nodes.len() {
             self.schedule(SimTime::ZERO, Ev::Start(NodeId(id as u32)));
@@ -404,11 +465,13 @@ impl Simulator {
     }
 
     /// Run `f` on node `n` with a fresh effect buffer, then apply effects.
+    /// This is the copy-on-write point: a checkpoint shared with a shadow
+    /// snapshot is deep-copied here, on the node's first mutation.
     fn with_node(&mut self, n: NodeId, f: impl FnOnce(&mut dyn Node, &mut NodeApi<'_>)) {
         if self.nodes[n.index()].crashed.is_some() {
             return;
         }
-        let mut node = match self.nodes[n.index()].node.take() {
+        let mut node = match self.nodes[n.index()].node.take_owned() {
             Some(node) => node,
             None => return,
         };
@@ -418,7 +481,7 @@ impl Simulator {
             let mut api = NodeApi::new(n, self.now, &mut effects);
             f(node.as_mut(), &mut api);
         }
-        self.nodes[n.index()].node = Some(node);
+        self.nodes[n.index()].node = NodeState::Owned(node);
         self.apply_effects(n, &mut effects);
         self.effects_scratch = effects;
     }
@@ -658,7 +721,7 @@ impl Simulator {
             .expect("restart before start()")
             .clone_node();
         self.nodes[n.index()] = NodeSlot {
-            node: Some(fresh),
+            node: NodeState::Owned(fresh),
             crashed: None,
             timer_gen: BTreeMap::new(),
         };
@@ -738,9 +801,8 @@ impl Simulator {
         // channels.
         let init_clone = self.nodes[initiator.index()]
             .node
-            .as_ref()
-            .expect("initiator missing")
-            .clone_node();
+            .checkpoint()
+            .expect("initiator missing");
         st.record_node(initiator, init_clone);
         let outgoing: Vec<NodeId> = st.outgoing_of(initiator);
         self.snapshots.insert(id, st);
@@ -768,8 +830,8 @@ impl Simulator {
         }
         let first_marker = !st.is_marked(dst);
         if first_marker {
-            let clone = match self.nodes[dst.index()].node.as_ref() {
-                Some(n) => n.clone_node(),
+            let clone = match self.nodes[dst.index()].node.checkpoint() {
+                Some(n) => n,
                 None => {
                     st.fail(format!("node {dst} unavailable at marker"));
                     return;
@@ -837,8 +899,10 @@ impl Simulator {
     pub fn instant_snapshot(&self) -> ShadowSnapshot {
         let mut nodes = BTreeMap::new();
         for (i, slot) in self.nodes.iter().enumerate() {
-            if let (None, Some(n)) = (&slot.crashed, &slot.node) {
-                nodes.insert(NodeId(i as u32), n.clone_node());
+            if slot.crashed.is_none() {
+                if let Some(n) = slot.node.checkpoint() {
+                    nodes.insert(NodeId(i as u32), n);
+                }
             }
         }
         let mut in_flight = Vec::new();
@@ -868,28 +932,92 @@ impl Simulator {
     /// when instantiating a clone — not a real crash; checkers must ignore it.
     pub const OUTSIDE_SNAPSHOT: &'static str = "outside snapshot scope";
 
-    /// Build a runnable simulator from a shadow snapshot: cloned nodes,
-    /// sessions silently restored, in-flight messages re-enqueued. The clone
-    /// starts at the snapshot's base time and shares no state with the live
-    /// system.
+    /// Build a runnable simulator from a shadow snapshot: checkpoints
+    /// shared copy-on-write, sessions silently restored, in-flight
+    /// messages re-enqueued. The clone starts at the snapshot's base time
+    /// and shares no *mutable* state with the live system — shared node
+    /// checkpoints are deep-copied the moment the clone first mutates
+    /// them.
     pub fn from_shadow(shadow: &ShadowSnapshot, topo: &Topology, seed: u64) -> Simulator {
         let mut sim = Simulator::new(topo.clone(), seed);
-        sim.now = shadow.base_time();
-        sim.last_activity = shadow.base_time();
-        sim.started = true;
-        for (id, node) in shadow.nodes() {
-            sim.nodes[id.index()].node = Some(node.clone_node());
+        sim.bind_shadow(shadow);
+        sim
+    }
+
+    /// Rebind this simulator to a (possibly different) shadow snapshot of
+    /// the **same topology**, reusing every allocation the simulator
+    /// already holds — channel queues, the event heap, the trace ring,
+    /// node slots — instead of rebuilding them as
+    /// [`Simulator::from_shadow`] does. The result is state-for-state
+    /// indistinguishable from a fresh `from_shadow(shadow, topo, seed)`
+    /// (locked in by a unit test), which is what lets clone pools reuse
+    /// simulators across validated inputs without perturbing determinism.
+    ///
+    /// Panics (debug) if the shadow's node space does not fit this
+    /// simulator's topology.
+    pub fn reset_from_shadow(&mut self, shadow: &ShadowSnapshot, seed: u64) {
+        debug_assert!(
+            shadow
+                .nodes()
+                .keys()
+                .all(|id| id.index() < self.nodes.len()),
+            "shadow does not match the simulator's topology"
+        );
+        // Reseed the per-link randomness streams exactly as construction
+        // does: one parent stream split twice per edge, in edge order.
+        let mut rng = SimRng::seed_from_u64(seed);
+        for e in self.topo.edges() {
+            let label = ((e.a.0 as u64) << 32) | e.b.0 as u64;
+            self.link_rngs.insert((e.a, e.b), rng.split(label));
+            self.link_rngs
+                .insert((e.b, e.a), rng.split(label ^ 0xFFFF_FFFF));
         }
-        for slot in sim.nodes.iter_mut() {
-            if slot.node.is_none() {
+        // Channel structures survive; their contents do not.
+        for ch in self.channels.values_mut() {
+            ch.queue.clear();
+            ch.last_arrival = SimTime::ZERO;
+            ch.epoch = 0;
+        }
+        for s in self.sessions.values_mut() {
+            *s = SessionState::Down;
+        }
+        self.queue.clear();
+        self.seq = 0;
+        self.admin_down.clear();
+        self.trace.clear();
+        self.pristine.clear();
+        self.snapshots.clear();
+        self.next_snapshot = 0;
+        for slot in self.nodes.iter_mut() {
+            slot.node = NodeState::Empty;
+            slot.crashed = None;
+            slot.timer_gen.clear();
+        }
+        self.started = true;
+        self.bind_shadow(shadow);
+    }
+
+    /// Shared tail of [`Simulator::from_shadow`] and
+    /// [`Simulator::reset_from_shadow`]: install the shadow's checkpoints
+    /// (copy-on-write), restore sessions, re-enqueue in-flight traffic.
+    /// Expects empty node slots, empty channels, and a started simulator.
+    fn bind_shadow(&mut self, shadow: &ShadowSnapshot) {
+        self.now = shadow.base_time();
+        self.last_activity = shadow.base_time();
+        self.started = true;
+        for (id, node) in shadow.nodes() {
+            self.nodes[id.index()].node = NodeState::Shared(std::sync::Arc::clone(node));
+        }
+        for slot in self.nodes.iter_mut() {
+            if !slot.node.is_installed() {
                 // Nodes outside the snapshot scope are absent; mark crashed so
                 // no events are dispatched to them.
                 slot.crashed = Some(Self::OUTSIDE_SNAPSHOT.to_string());
             }
         }
         for &(a, b) in shadow.sessions_up() {
-            if sim.sessions.contains_key(&Self::skey(a, b)) {
-                sim.sessions.insert(Self::skey(a, b), SessionState::Up);
+            if self.sessions.contains_key(&Self::skey(a, b)) {
+                self.sessions.insert(Self::skey(a, b), SessionState::Up);
             }
         }
         // Re-enqueue in-flight messages preserving per-channel order.
@@ -900,8 +1028,8 @@ impl Simulator {
             .collect();
         for (src, dst, msgs) in inflight {
             for bytes in msgs {
-                if sim.session_up(src, dst) {
-                    sim.send_frame(
+                if self.session_up(src, dst) {
+                    self.send_frame(
                         src,
                         dst,
                         Frame::Data {
@@ -912,7 +1040,6 @@ impl Simulator {
                 }
             }
         }
-        sim
     }
 }
 
@@ -1147,6 +1274,91 @@ mod tests {
         sim.run_until(SimTime::from_nanos(1_000_000_000));
         let t = sim.node(NodeId(0)).as_any().downcast_ref::<T>().unwrap();
         assert_eq!(t.fired, 1, "re-armed timer must fire exactly once");
+    }
+
+    #[test]
+    fn reset_from_shadow_matches_from_shadow_state_for_state() {
+        // A pooled simulator rebound with `reset_from_shadow` must be
+        // indistinguishable from a freshly built `from_shadow` clone —
+        // same events, same node states, same randomness — even when the
+        // pooled simulator previously ran a *different* shadow.
+        let mut live = two_node_sim(42);
+        live.run_until(SimTime::from_nanos(500_000_000));
+        let early = live.instant_snapshot();
+        live.deliver_direct(NodeId(0), NodeId(1), &[1]);
+        live.run_until(SimTime::from_nanos(1_000_000_000));
+        let late = live.instant_snapshot();
+        let topo = live.topology().clone();
+
+        let drive = |sim: &mut Simulator| {
+            sim.deliver_direct(NodeId(0), NodeId(1), &[0]);
+            sim.run_until(sim.now() + SimDuration::from_secs(5));
+        };
+
+        let mut fresh = Simulator::from_shadow(&late, &topo, 7);
+        drive(&mut fresh);
+
+        // Dirty the pooled simulator thoroughly before the reset: a
+        // different shadow, a different seed, extra traffic and a fault.
+        let mut pooled = Simulator::from_shadow(&early, &topo, 99);
+        pooled.deliver_direct(NodeId(1), NodeId(0), &[2]);
+        pooled.run_until(pooled.now() + SimDuration::from_secs(1));
+        pooled.inject_session_reset(NodeId(0), NodeId(1));
+        pooled.reset_from_shadow(&late, 7);
+        drive(&mut pooled);
+
+        assert_eq!(fresh.now(), pooled.now());
+        assert_eq!(fresh.trace().stats(), pooled.trace().stats());
+        assert_eq!(
+            fresh.session_up(NodeId(0), NodeId(1)),
+            pooled.session_up(NodeId(0), NodeId(1))
+        );
+        for i in 0..2 {
+            let a = fresh
+                .node(NodeId(i))
+                .as_any()
+                .downcast_ref::<Pinger>()
+                .unwrap();
+            let b = pooled
+                .node(NodeId(i))
+                .as_any()
+                .downcast_ref::<Pinger>()
+                .unwrap();
+            assert_eq!(a.sent, b.sent, "node {i} sent counters diverge");
+            assert_eq!(a.got, b.got, "node {i} receive logs diverge");
+        }
+    }
+
+    #[test]
+    fn cow_clones_share_until_first_mutation() {
+        // Instantiating a snapshot must not deep-copy nodes up front: the
+        // checkpoint Arcs stay shared until a clone drives a node, and
+        // mutation in one clone never leaks into a sibling.
+        let mut live = two_node_sim(5);
+        live.run_until(SimTime::from_nanos(1_000_000_000));
+        let shadow = live.instant_snapshot();
+        let topo = live.topology().clone();
+        let baseline = shadow
+            .nodes()
+            .values()
+            .map(|n| n.as_any().downcast_ref::<Pinger>().unwrap().got.len())
+            .collect::<Vec<_>>();
+
+        let mut a = Simulator::from_shadow(&shadow, &topo, 1);
+        let b = Simulator::from_shadow(&shadow, &topo, 1);
+        a.deliver_direct(NodeId(0), NodeId(1), &[9]);
+        let a1 = a.node(NodeId(1)).as_any().downcast_ref::<Pinger>().unwrap();
+        let b1 = b.node(NodeId(1)).as_any().downcast_ref::<Pinger>().unwrap();
+        assert_eq!(a1.got.len(), baseline[1] + 1, "clone a saw the delivery");
+        assert_eq!(b1.got.len(), baseline[1], "sibling clone unaffected");
+        let s1 = shadow
+            .nodes()
+            .get(&NodeId(1))
+            .unwrap()
+            .as_any()
+            .downcast_ref::<Pinger>()
+            .unwrap();
+        assert_eq!(s1.got.len(), baseline[1], "snapshot itself unaffected");
     }
 
     #[test]

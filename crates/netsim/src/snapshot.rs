@@ -6,6 +6,7 @@
 //! bookkeeping state machine and the completed snapshot artifact.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use crate::node::{Node, NodeId};
 use crate::time::SimTime;
@@ -34,8 +35,9 @@ pub(crate) struct SnapshotState {
     channels: BTreeSet<(NodeId, NodeId)>,
     /// Channels whose marker has arrived.
     done: BTreeSet<(NodeId, NodeId)>,
-    /// Recorded node checkpoints.
-    nodes: BTreeMap<NodeId, Box<dyn Node>>,
+    /// Recorded node checkpoints, shared copy-on-write with any clones
+    /// later materialized from the snapshot.
+    nodes: BTreeMap<NodeId, Arc<dyn Node>>,
     /// Channel contents observed between `record_node(dst)` and the marker.
     recorded: BTreeMap<(NodeId, NodeId), Vec<Vec<u8>>>,
     sessions_up: Vec<(NodeId, NodeId)>,
@@ -77,7 +79,7 @@ impl SnapshotState {
         self.nodes.contains_key(&n)
     }
 
-    pub(crate) fn record_node(&mut self, n: NodeId, state: Box<dyn Node>) {
+    pub(crate) fn record_node(&mut self, n: NodeId, state: Arc<dyn Node>) {
         self.nodes.insert(n, state);
         // Start recording every incoming member channel of n.
         let incoming: Vec<(NodeId, NodeId)> = self
@@ -194,9 +196,19 @@ impl SnapshotState {
 /// A completed consistent snapshot: cloned node states, the messages that
 /// were in flight, and which sessions were up. This is the unit DiCE clones
 /// and explores over, in isolation from the live system.
+///
+/// Node checkpoints live behind `Arc<dyn Node>` and are shared
+/// **copy-on-write** with every simulator materialized from the snapshot:
+/// cloning a `ShadowSnapshot` (or instantiating it with
+/// [`Simulator::from_shadow`]) only bumps reference counts, and a node's
+/// state is deep-copied (`clone_node`) the first time a clone actually
+/// mutates it. A validation clone that quiesces after touching three of
+/// 27 routers pays for three checkpoint copies, not 27.
+///
+/// [`Simulator::from_shadow`]: crate::sim::Simulator::from_shadow
 pub struct ShadowSnapshot {
     base_time: SimTime,
-    nodes: BTreeMap<NodeId, Box<dyn Node>>,
+    nodes: BTreeMap<NodeId, Arc<dyn Node>>,
     in_flight: Vec<(NodeId, NodeId, Vec<Vec<u8>>)>,
     sessions_up: Vec<(NodeId, NodeId)>,
 }
@@ -204,7 +216,7 @@ pub struct ShadowSnapshot {
 impl ShadowSnapshot {
     pub(crate) fn new(
         base_time: SimTime,
-        nodes: BTreeMap<NodeId, Box<dyn Node>>,
+        nodes: BTreeMap<NodeId, Arc<dyn Node>>,
         in_flight: Vec<(NodeId, NodeId, Vec<Vec<u8>>)>,
         sessions_up: Vec<(NodeId, NodeId)>,
     ) -> Self {
@@ -225,6 +237,7 @@ impl ShadowSnapshot {
         in_flight: Vec<(NodeId, NodeId, Vec<Vec<u8>>)>,
         sessions_up: Vec<(NodeId, NodeId)>,
     ) -> Self {
+        let nodes = nodes.into_iter().map(|(k, v)| (k, Arc::from(v))).collect();
         Self::new(base_time, nodes, in_flight, sessions_up)
     }
 
@@ -233,8 +246,8 @@ impl ShadowSnapshot {
         self.base_time
     }
 
-    /// The recorded node checkpoints.
-    pub fn nodes(&self) -> &BTreeMap<NodeId, Box<dyn Node>> {
+    /// The recorded node checkpoints (shared copy-on-write).
+    pub fn nodes(&self) -> &BTreeMap<NodeId, Arc<dyn Node>> {
         &self.nodes
     }
 
@@ -269,8 +282,8 @@ impl ShadowSnapshot {
         node_bytes + chan_bytes
     }
 
-    /// Move this snapshot behind an [`Arc`](std::sync::Arc) for zero-copy
-    /// sharing across worker threads.
+    /// Move this snapshot behind an [`Arc`] for zero-copy sharing across
+    /// worker threads.
     ///
     /// A `ShadowSnapshot` is immutable after the Chandy–Lamport pass
     /// completes, and [`Node`] requires `Send + Sync`, so one snapshot can
@@ -295,12 +308,15 @@ const _: () = {
 
 impl Clone for ShadowSnapshot {
     fn clone(&self) -> Self {
+        // Checkpoints are immutable behind `Arc`, so a snapshot clone is a
+        // reference-count bump per node — the deep copy happens lazily,
+        // per node, only when a materialized simulator mutates it.
         ShadowSnapshot {
             base_time: self.base_time,
             nodes: self
                 .nodes
                 .iter()
-                .map(|(k, v)| (*k, v.clone_node()))
+                .map(|(k, v)| (*k, Arc::clone(v)))
                 .collect(),
             in_flight: self.in_flight.clone(),
             sessions_up: self.sessions_up.clone(),

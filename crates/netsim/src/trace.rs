@@ -106,6 +106,14 @@ impl Trace {
         }
     }
 
+    /// Reset events and counters while keeping the ring's allocation —
+    /// used when a pooled simulator is rebound to a new shadow snapshot
+    /// ([`Simulator::reset_from_shadow`](crate::sim::Simulator::reset_from_shadow)).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.stats = TraceStats::default();
+    }
+
     /// Record an event, updating counters and evicting the oldest event if
     /// at capacity.
     pub fn push(&mut self, t: SimTime, kind: TraceKind) {
