@@ -19,6 +19,7 @@ fn main() {
         "F3 — phase timeline of one DiCE round (27-router demo)",
         &["phase", "wall (ms)", "simulated time", "notes"],
     );
+    // dice-lint: allow(determinism-zone): benchmark binary reports wall time by design
     let wall0 = std::time::Instant::now();
 
     // Phase 0: the deployed system.

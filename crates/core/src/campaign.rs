@@ -467,6 +467,7 @@ impl Campaign {
     /// snapshot cost. Summing `rounds[i].snapshot` over a campaign
     /// therefore counts each snapshot exactly once.
     pub fn run(&self, live: &mut Simulator) -> Result<CampaignReport, String> {
+        // dice-lint: allow(determinism-zone): campaign wall-clock accounting; zeroed by normalized()
         let wall = std::time::Instant::now();
         let sim_start = live.now();
         let topo = live.topology().clone();

@@ -19,7 +19,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use dice_netsim::{NodeId, ShadowSnapshot, Topology};
 
@@ -29,6 +29,7 @@ use crate::interface::AttestationRegistry;
 use crate::pool::{ClonePool, PoolStats};
 use crate::snapshot::SnapshotMetrics;
 use crate::sut::SutCatalog;
+use crate::sync::lock_unpoisoned;
 
 /// One scheduled `(explorer, peer)` round: its deterministic ordinal, the
 /// per-round configuration, and the shared (Arc'd) snapshot context it
@@ -105,22 +106,6 @@ struct Shared<'e> {
     pool_misses: AtomicU64,
 }
 
-/// Acquire `m`, recovering the guarded data if another worker panicked
-/// while holding the lock.
-///
-/// Executor mutexes only guard plain collections (result vectors, the
-/// open-batch list, the slot table), so the data is never left in a
-/// broken intermediate state by an unwinding worker. Treating poison as
-/// fatal here used to *mask* the original failure: every surviving worker
-/// would raise a secondary "poisoned" panic, aborting the process via
-/// double panic or replacing the first worker's own message. Poison-
-/// tolerant acquisition lets the survivors drain normally (the
-/// [`Shared::panicked`] flag tells them to stop waiting), so the panic
-/// [`run_rounds`] re-raises is the original one.
-fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
 impl Shared<'_> {
     /// Claim and run one validation unit from `batch` using the calling
     /// worker's clone pool. Returns `false` when the batch has no
@@ -143,7 +128,7 @@ impl Shared<'_> {
             self.checkers,
             pool,
         );
-        lock_unpoisoned(&batch.results).push((i, report));
+        lock_unpoisoned(&batch.results, "val-results").push((i, report));
         batch.done.fetch_add(1, Ordering::Release);
         true
     }
@@ -152,7 +137,7 @@ impl Shared<'_> {
     /// nothing was stealable.
     fn steal_val_unit(&self, pool: &mut ClonePool) -> bool {
         let batch = {
-            let open = lock_unpoisoned(&self.open);
+            let open = lock_unpoisoned(&self.open, "open-batches");
             open.iter()
                 .find(|b| b.next.load(Ordering::Relaxed) < b.candidates.len())
                 .cloned()
@@ -168,6 +153,7 @@ impl Shared<'_> {
     /// then fold the check stage and store the result.
     fn run_round(&self, idx: usize, pool: &mut ClonePool) {
         let task = &self.tasks[idx];
+        // dice-lint: allow(determinism-zone): per-round wall-clock accounting; zeroed by normalized()
         let stage_start = std::time::Instant::now();
         let result = match explore_stage(&task.shadow, &task.cfg, self.catalog) {
             Err(e) => Err(e),
@@ -181,7 +167,7 @@ impl Shared<'_> {
                     done: AtomicUsize::new(0),
                     results: Mutex::new(Vec::with_capacity(total)),
                 });
-                lock_unpoisoned(&self.open).push(Arc::clone(&batch));
+                lock_unpoisoned(&self.open, "open-batches").push(Arc::clone(&batch));
                 // Drain own candidates; free workers steal concurrently.
                 while self.run_val_unit(&batch, pool) {}
                 // Wait for stolen units, helping other rounds meanwhile.
@@ -198,6 +184,7 @@ impl Shared<'_> {
                         // scope can join and re-raise its panic.
                         return;
                     }
+                    // dice-lint: allow(determinism-zone): foreign-unit cost carve-out; zeroed by normalized()
                     let steal_start = std::time::Instant::now();
                     if self.steal_val_unit(pool) {
                         foreign_us += steal_start.elapsed().as_micros() as u64;
@@ -205,8 +192,9 @@ impl Shared<'_> {
                         idle_wait();
                     }
                 }
-                lock_unpoisoned(&self.open).retain(|b| !Arc::ptr_eq(b, &batch));
-                let mut results = std::mem::take(&mut *lock_unpoisoned(&batch.results));
+                lock_unpoisoned(&self.open, "open-batches").retain(|b| !Arc::ptr_eq(b, &batch));
+                let mut results =
+                    std::mem::take(&mut *lock_unpoisoned(&batch.results, "val-results"));
                 results.sort_by_key(|(i, _)| *i);
                 let results: Vec<CheckReport> = results.into_iter().map(|(_, r)| r).collect();
                 let wall_us = task.snap_wall_us
@@ -225,7 +213,7 @@ impl Shared<'_> {
             outcome,
             completed_wall_us: self.campaign_start.elapsed().as_micros() as u64,
         });
-        lock_unpoisoned(&self.slots)[idx] = Some(result);
+        lock_unpoisoned(&self.slots, "round-slots")[idx] = Some(result);
         self.rounds_done.fetch_add(1, Ordering::Release);
     }
 
@@ -336,14 +324,14 @@ pub(crate) fn run_rounds(
                     });
                     if let Err(payload) = std::panic::catch_unwind(body) {
                         shared.panicked.store(true, Ordering::Release);
-                        let mut slot = lock_unpoisoned(&shared.first_panic);
+                        let mut slot = lock_unpoisoned(&shared.first_panic, "first-panic");
                         slot.get_or_insert(payload);
                     }
                 });
             }
         });
     }
-    if let Some(payload) = lock_unpoisoned(&shared.first_panic).take() {
+    if let Some(payload) = lock_unpoisoned(&shared.first_panic, "first-panic").take() {
         std::panic::resume_unwind(payload);
     }
     let pool_stats = PoolStats {
@@ -370,19 +358,6 @@ mod tests {
     use crate::snapshot::take_consistent_snapshot;
     use dice_netsim::{SimDuration, SimTime};
     use std::panic::AssertUnwindSafe;
-
-    #[test]
-    fn lock_unpoisoned_recovers_guarded_data() {
-        let m = Mutex::new(vec![1]);
-        let poison = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            let _guard = m.lock().unwrap();
-            panic!("poison the mutex");
-        }));
-        assert!(poison.is_err());
-        assert!(m.is_poisoned());
-        lock_unpoisoned(&m).push(2);
-        assert_eq!(*lock_unpoisoned(&m), vec![1, 2]);
-    }
 
     /// A checker that panics while validating — stands in for any defect
     /// in round code running on a pool worker.
@@ -437,6 +412,7 @@ mod tests {
                 &catalog,
                 &registry,
                 &checkers,
+                // dice-lint: allow(determinism-zone): campaign start reference for latency fields
                 std::time::Instant::now(),
             )
         }));

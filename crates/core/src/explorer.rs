@@ -331,6 +331,10 @@ pub(crate) fn validate_one(
     checkers: &[Box<dyn Checker>],
     pool: &mut crate::pool::ClonePool,
 ) -> crate::check::CheckReport {
+    // Validation units are the executor's stealable scheduling granule:
+    // no lock may be held entering or leaving one (enforced under the
+    // `race-audit` feature, a no-op otherwise).
+    crate::sync::audit_task_boundary("validate_one entry");
     let mut clone = pool.acquire(cfg.pool_size, shadow, topo, cfg.seed ^ (i as u64) << 16);
     if let Some(bytes) = input {
         clone.deliver_direct(cfg.inject_peer, cfg.explorer, bytes);
@@ -349,6 +353,7 @@ pub(crate) fn validate_one(
         run_checkers(checkers, &cx)
     };
     pool.release(cfg.pool_size, clone);
+    crate::sync::audit_task_boundary("validate_one exit");
     report
 }
 
@@ -426,6 +431,7 @@ pub(crate) fn run_pair(
     snap_metrics: SnapshotMetrics,
     snap_wall_us: u64,
 ) -> Result<PairOutcome, String> {
+    // dice-lint: allow(determinism-zone): round wall-clock accounting; zeroed by normalized()
     let stage_start = std::time::Instant::now();
     let stage = explore_stage(shadow, cfg, catalog)?;
     let results = validate_candidates(
@@ -496,6 +502,7 @@ impl DiceRunner {
 
     /// Execute one full DiCE round against the live system.
     pub fn run_round(&mut self, live: &mut Simulator) -> Result<RoundReport, String> {
+        // dice-lint: allow(determinism-zone): round wall-clock accounting; zeroed by normalized()
         let wall = std::time::Instant::now();
         self.round += 1;
         let cfg = &self.config;
@@ -571,10 +578,7 @@ pub(crate) fn validate_candidates(
                     // Poison-tolerant like the campaign executor: a panicking
                     // sibling must not trigger secondary "poisoned" panics
                     // that mask its message at the scope join.
-                    results
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)
-                        .push((i, report));
+                    crate::sync::lock_unpoisoned(results, "val-results").push((i, report));
                 }
             });
         }

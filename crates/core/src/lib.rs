@@ -75,6 +75,7 @@ pub mod scenarios;
 pub mod snapshot;
 pub mod sut;
 pub mod symmark;
+mod sync;
 
 pub use campaign::{
     Campaign, CampaignConfig, CampaignReport, ClassDetection, ExplorerSummary, PerfCounters,
@@ -93,3 +94,5 @@ pub use interface::{AttestationRegistry, LocalVerdict};
 pub use snapshot::{take_consistent_snapshot, take_instant_snapshot, SnapshotMetrics};
 pub use sut::{CheckView, ExplorableNode, ExplorationPlan, SessionHealth, SutCatalog, SutProbe};
 pub use symmark::{mark_nlri_only, mark_none, mark_update};
+#[cfg(feature = "race-audit")]
+pub use sync::race_audit;

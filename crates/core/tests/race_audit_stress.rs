@@ -1,0 +1,60 @@
+//! Race-audit stress test (`--features race-audit`): drive a mixed
+//! BGP + gossip campaign with real round/validation contention and
+//! assert the lock-order audit stays clean while the determinism
+//! contract holds.
+//!
+//! The audit state is process-global, so this lives in its own
+//! integration-test binary: `reset()` at the start owns the whole
+//! process's audit history.
+
+#![cfg(feature = "race-audit")]
+
+use dice_core::{race_audit, scenarios, Campaign};
+use dice_netsim::{SimDuration, SimTime};
+
+fn run_campaign(pair_workers: usize) -> String {
+    let mut sim = scenarios::mixed_bgp_gossip(21, true);
+    sim.run_until(SimTime::from_nanos(12_000_000_000));
+    let report = Campaign::new(&sim)
+        .executions(48)
+        .validate_top(6)
+        .horizon(SimDuration::from_secs(30))
+        .workers(2)
+        .pair_workers(pair_workers)
+        .run(&mut sim)
+        .expect("mixed campaign runs");
+    serde_json::to_string(&report.normalized()).unwrap()
+}
+
+#[test]
+fn audited_parallel_campaign_is_clean_and_deterministic() {
+    race_audit::reset();
+
+    // Sequential reference, then the contended schedule: 4 rounds in
+    // flight over a 5-thread pool (pair_workers=4, workers=2 means one
+    // extra steal-only worker), so validation units migrate between
+    // threads and every executor lock sees real contention.
+    let sequential = run_campaign(1);
+    let parallel = run_campaign(4);
+    assert_eq!(
+        sequential, parallel,
+        "normalized report must be byte-identical at pair_workers 1 and 4"
+    );
+
+    let audit = race_audit::report();
+    assert!(
+        audit.total_acquisitions() > 0,
+        "the audit must have observed the executor's locks, or this test proves nothing"
+    );
+    assert!(
+        audit.acquisitions.contains_key("val-results"),
+        "validation-result lock must be exercised: {:?}",
+        audit.acquisitions
+    );
+    assert!(
+        audit.is_clean(),
+        "lock-order inversions: {:?}; violations: {:?}",
+        audit.inversions,
+        audit.violations
+    );
+}

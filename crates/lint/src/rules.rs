@@ -1,0 +1,461 @@
+//! The five invariant rules, each grounded in a contract established by
+//! an earlier PR (see DESIGN.md §"Enforced invariants"). All rules match
+//! against the blanked code view, so doc prose and quoted strings never
+//! fire them, and scope themselves by workspace-relative path prefix.
+
+use crate::{Prepared, RawFinding};
+
+/// Run every rule over the prepared file set.
+pub(crate) fn run_all(files: &[Prepared]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for f in files {
+        seam_containment(f, &mut out);
+        determinism_zone(f, &mut out);
+        unordered_iter(f, &mut out);
+        lock_hygiene(f, &mut out);
+    }
+    wall_clock_coverage(files, &mut out);
+    out
+}
+
+/// Is `path` inside the dice-core source tree (the crate all per-crate
+/// rules anchor on)?
+fn in_core(path: &str) -> bool {
+    path.starts_with("crates/core/src/")
+}
+
+/// R1 — seam containment (contract from PR 2/PR 4): within `dice-core`,
+/// the concrete protocol types may only be downcast in their single
+/// adapter module. Everything else must go through the `SutCatalog`
+/// probe chain.
+fn seam_containment(f: &Prepared, out: &mut Vec<RawFinding>) {
+    if !in_core(&f.path) {
+        return;
+    }
+    const SEAMS: &[(&str, &str)] = &[
+        ("BgpRouter", "crates/core/src/bgp_sut.rs"),
+        ("GossipNode", "crates/core/src/gossip_sut.rs"),
+    ];
+    for (idx, line) in f.code.iter().enumerate() {
+        if !line.contains("downcast") {
+            continue;
+        }
+        for (ty, home) in SEAMS {
+            if line.contains(&format!("<{ty}>")) && f.path != *home {
+                out.push(RawFinding {
+                    rule: "seam-containment",
+                    path: f.path.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "`{ty}` downcast outside its adapter module {home} — resolve through the SutCatalog probe chain instead"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// R2 — determinism zone (contract from PR 3): report-affecting code must
+/// not read wall clocks or ambient randomness. The explicitly annotated
+/// wall-clock accounting sites (fields that `normalized()` zeroes) carry
+/// allow annotations with justifications.
+fn determinism_zone(f: &Prepared, out: &mut Vec<RawFinding>) {
+    let scoped = ["crates/", "src/", "examples/", "tests/"]
+        .iter()
+        .any(|p| f.path.starts_with(p));
+    if !scoped {
+        return;
+    }
+    const PATTERNS: &[&str] = &["Instant::now", "SystemTime", "thread_rng", "rand::random"];
+    for (idx, line) in f.code.iter().enumerate() {
+        for pat in PATTERNS {
+            if line.contains(pat) {
+                out.push(RawFinding {
+                    rule: "determinism-zone",
+                    path: f.path.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "`{pat}` in the determinism zone — wall-clock/ambient-RNG reads may only feed fields zeroed by normalized(); annotate legitimate accounting sites"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// R3 — unordered iteration (contract from PR 3): `HashMap`/`HashSet`
+/// iteration order is nondeterministic across runs, so anything feeding
+/// serialized reports or coverage unions must iterate sorted containers.
+/// Membership operations (`get`/`insert`/`contains`) are fine; this rule
+/// fires on iteration of bindings or fields declared with a hashed type
+/// in the same file.
+fn unordered_iter(f: &Prepared, out: &mut Vec<RawFinding>) {
+    let scoped = [
+        "crates/core/",
+        "crates/concolic/",
+        "crates/netsim/",
+        "crates/bgp/",
+        "crates/gossip/",
+    ]
+    .iter()
+    .any(|p| f.path.starts_with(p))
+        || (f.path.starts_with("src/"));
+    if !scoped {
+        return;
+    }
+
+    // Pass 1: names bound to HashMap/HashSet in this file (let bindings
+    // and struct fields).
+    let mut names: Vec<String> = Vec::new();
+    for line in &f.code {
+        if !(line.contains("HashMap<")
+            || line.contains("HashSet<")
+            || line.contains("HashMap::")
+            || line.contains("HashSet::"))
+        {
+            continue;
+        }
+        let trimmed = line.trim_start();
+        let binding = if let Some(rest) = trimmed.strip_prefix("let ") {
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+            rest.split([':', '=', ' ']).next()
+        } else {
+            // Struct field or typed parameter: `name: HashMap<...>`.
+            line.split(':').next().and_then(|lhs| {
+                let lhs = lhs.trim();
+                let name = lhs.rsplit([' ', '(', ',']).next()?;
+                Some(name)
+            })
+        };
+        if let Some(name) = binding {
+            let name = name.trim();
+            if !name.is_empty() && name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                names.push(name.to_string());
+            }
+        }
+    }
+    if names.is_empty() {
+        return;
+    }
+    names.sort();
+    names.dedup();
+
+    // Pass 2: iteration of any collected name.
+    const ITER_SUFFIXES: &[&str] = &[
+        ".iter()",
+        ".iter_mut()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".into_iter()",
+        ".drain(",
+    ];
+    for (idx, line) in f.code.iter().enumerate() {
+        for name in &names {
+            let mut flagged = false;
+            for (pos, _) in line.match_indices(name.as_str()) {
+                // Whole-word check on the left.
+                if pos > 0 {
+                    let prev = line.as_bytes()[pos - 1] as char;
+                    if prev.is_alphanumeric() || prev == '_' {
+                        continue;
+                    }
+                }
+                let after = &line[pos + name.len()..];
+                if after
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                {
+                    continue;
+                }
+                let after = after.trim_start();
+                if ITER_SUFFIXES.iter().any(|s| after.starts_with(s)) {
+                    flagged = true;
+                }
+            }
+            // `for x in name` / `for x in &name` / `for x in &mut name`.
+            if !flagged && line.contains("for ") && line.contains(" in ") {
+                if let Some(rest) = line.split(" in ").nth(1) {
+                    let expr = rest.trim().trim_end_matches('{').trim_end();
+                    let expr = expr.strip_prefix('&').unwrap_or(expr);
+                    let expr = expr.strip_prefix("mut ").unwrap_or(expr).trim();
+                    if expr == name {
+                        flagged = true;
+                    }
+                }
+            }
+            if flagged {
+                out.push(RawFinding {
+                    rule: "unordered-iter",
+                    path: f.path.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "iteration over unordered container `{name}` — use BTreeMap/BTreeSet (or collect + sort) before feeding reports or coverage unions"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// R4 — lock hygiene (contract from PR 4): `dice-core` locks must be
+/// poison-tolerant. A panicking worker must surface *its own* message, not
+/// a secondary "poisoned mutex" panic from a survivor — so every
+/// acquisition routes through `crate::sync::lock_unpoisoned`.
+fn lock_hygiene(f: &Prepared, out: &mut Vec<RawFinding>) {
+    if !in_core(&f.path) {
+        return;
+    }
+    let stripped: Vec<String> = f
+        .code
+        .iter()
+        .map(|l| l.chars().filter(|c| !c.is_whitespace()).collect())
+        .collect();
+    const PATTERNS: &[&str] = &[".lock().unwrap()", ".try_lock().unwrap()"];
+    for idx in 0..stripped.len() {
+        for pat in PATTERNS {
+            let on_this = stripped[idx].contains(pat);
+            // Also catch the rustfmt-split form spanning two lines.
+            let spans_next = !on_this
+                && idx + 1 < stripped.len()
+                && format!("{}{}", stripped[idx], stripped[idx + 1]).contains(pat)
+                && stripped[idx].contains(".lock(")
+                && !stripped[idx + 1].contains(pat);
+            if on_this || spans_next {
+                out.push(RawFinding {
+                    rule: "lock-hygiene",
+                    path: f.path.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "bare `{pat}` in dice-core — use crate::sync::lock_unpoisoned (poison-tolerant, race-audit instrumented)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// A wall-clock-named report field: these are host-time measurements that
+/// the determinism contract requires `normalized()` to zero.
+fn is_wall_clock_field(name: &str) -> bool {
+    name.starts_with("wall_")
+        || name.ends_with("_us")
+        || name.ends_with("_ms")
+        || name.ends_with("_us_cum")
+        || name.ends_with("_ms_cum")
+        || name.ends_with("_micros")
+}
+
+/// R5 — wall-clock field coverage (contract from PR 3/PR 5): every
+/// `*_us`/`*_ms`-style field of a `Serialize`-deriving struct in
+/// `dice-core` must be zeroed by `normalized()` (directly, or by
+/// resetting its whole struct to `Default`). Otherwise two runs of the
+/// same campaign would serialize differently and the byte-identity
+/// regression tests go flaky.
+fn wall_clock_coverage(files: &[Prepared], out: &mut Vec<RawFinding>) {
+    struct WallField {
+        strukt: String,
+        field: String,
+        path: String,
+        line: usize,
+    }
+    let mut fields: Vec<WallField> = Vec::new();
+    let mut normalized_bodies = String::new();
+
+    for f in files {
+        if !in_core(&f.path) {
+            continue;
+        }
+        // Struct-field collection: watch for a Serialize derive, then the
+        // struct header, then fields until the closing brace at column 0.
+        let mut derive_serialize = false;
+        let mut current: Option<String> = None;
+        for (idx, line) in f.code.iter().enumerate() {
+            let trimmed = line.trim_start();
+            if trimmed.starts_with("#[derive(") {
+                derive_serialize = line.contains("Serialize");
+                continue;
+            }
+            if current.is_none() {
+                if let Some(rest) = trimmed
+                    .strip_prefix("pub struct ")
+                    .or_else(|| trimmed.strip_prefix("struct "))
+                {
+                    if derive_serialize && rest.contains('{') {
+                        let name: String = rest
+                            .chars()
+                            .take_while(|c| c.is_alphanumeric() || *c == '_')
+                            .collect();
+                        current = Some(name);
+                    }
+                    derive_serialize = false;
+                    continue;
+                }
+                if !trimmed.is_empty() && !trimmed.starts_with("#[") && !trimmed.starts_with("//") {
+                    derive_serialize = false;
+                }
+            } else if line.starts_with('}') {
+                current = None;
+            } else if let Some((lhs, _)) = trimmed.split_once(':') {
+                let field = lhs.trim().trim_start_matches("pub ").trim();
+                if !field.is_empty()
+                    && field.chars().all(|c| c.is_alphanumeric() || c == '_')
+                    && is_wall_clock_field(field)
+                {
+                    fields.push(WallField {
+                        strukt: current.clone().unwrap_or_default(),
+                        field: field.to_string(),
+                        path: f.path.clone(),
+                        line: idx + 1,
+                    });
+                }
+            }
+        }
+
+        // Normalized-body collection: balanced-brace extraction from every
+        // `fn normalized` in core.
+        let joined = f.code.join("\n");
+        let mut search = 0usize;
+        while let Some(pos) = joined[search..].find("fn normalized") {
+            let start = search + pos;
+            if let Some(open_rel) = joined[start..].find('{') {
+                let open = start + open_rel;
+                let mut depth = 0i32;
+                let mut end = open;
+                for (i, c) in joined[open..].char_indices() {
+                    match c {
+                        '{' => depth += 1,
+                        '}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                end = open + i;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                normalized_bodies.push_str(&joined[open..=end]);
+                normalized_bodies.push('\n');
+                search = end;
+            } else {
+                break;
+            }
+        }
+    }
+
+    for wf in fields {
+        let zeroed_directly = normalized_bodies.contains(&format!(".{} = 0", wf.field))
+            || normalized_bodies.contains(&format!("{}: 0", wf.field));
+        let struct_reset = !wf.strukt.is_empty()
+            && normalized_bodies.contains(&format!("{}::default()", wf.strukt));
+        if !(zeroed_directly || struct_reset) {
+            let hint = if normalized_bodies.is_empty() {
+                "no normalized() implementation found in dice-core"
+            } else {
+                "normalized() never zeroes it"
+            };
+            out.push(RawFinding {
+                rule: "wall-clock-coverage",
+                path: wf.path,
+                line: wf.line,
+                message: format!(
+                    "wall-clock field `{}.{}` serializes into reports but {hint} — the byte-identity contract breaks",
+                    wf.strukt, wf.field
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{scan_files, SourceFile};
+
+    fn rules_of(path: &str, content: &str) -> Vec<String> {
+        let report = scan_files(&[SourceFile {
+            path: path.into(),
+            content: content.into(),
+        }]);
+        report.violations.iter().map(|f| f.rule.clone()).collect()
+    }
+
+    #[test]
+    fn membership_ops_on_hashed_containers_are_fine() {
+        let src = "use std::collections::HashSet;\n\
+                   fn f() {\n\
+                   let mut attempted: HashSet<u64> = HashSet::new();\n\
+                   attempted.insert(3);\n\
+                   assert!(attempted.contains(&3));\n\
+                   }\n";
+        assert!(rules_of("crates/concolic/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn adapter_modules_may_downcast_their_own_type() {
+        let src = "fn g(n: &dyn Node) { n.as_any().downcast_ref::<BgpRouter>(); }\n";
+        assert!(rules_of("crates/core/src/bgp_sut.rs", src).is_empty());
+        assert_eq!(
+            rules_of("crates/core/src/explorer.rs", src),
+            vec!["seam-containment"]
+        );
+    }
+
+    #[test]
+    fn vendor_and_lint_paths_are_out_of_scope() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert!(rules_of("vendor/criterion/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_rule_needs_cross_file_view() {
+        let strukt = "#[derive(Debug, Clone, Serialize)]\n\
+                      pub struct MiniReport {\n\
+                      pub wall_us: u64,\n\
+                      pub items: usize,\n\
+                      }\n";
+        let normalized_good = "impl MiniReport {\n\
+                               pub fn normalized(&self) -> MiniReport {\n\
+                               let mut r = self.clone();\n\
+                               r.wall_us = 0;\n\
+                               r\n\
+                               }\n\
+                               }\n";
+        let clean = crate::scan_files(&[
+            SourceFile {
+                path: "crates/core/src/a.rs".into(),
+                content: strukt.into(),
+            },
+            SourceFile {
+                path: "crates/core/src/b.rs".into(),
+                content: normalized_good.into(),
+            },
+        ]);
+        assert!(clean.violations.is_empty(), "{:?}", clean.violations);
+
+        let dirty = crate::scan_files(&[SourceFile {
+            path: "crates/core/src/a.rs".into(),
+            content: strukt.into(),
+        }]);
+        assert_eq!(dirty.violations.len(), 1);
+        assert_eq!(dirty.violations[0].rule, "wall-clock-coverage");
+        assert_eq!(dirty.violations[0].line, 3);
+    }
+
+    #[test]
+    fn struct_wide_default_reset_counts_as_zeroing() {
+        let src = "#[derive(Debug, Default, Serialize)]\n\
+                   pub struct Perf {\n\
+                   pub solve_us: u64,\n\
+                   }\n\
+                   impl R {\n\
+                   pub fn normalized(&self) -> R {\n\
+                   let mut r = self.clone();\n\
+                   r.perf = Perf::default();\n\
+                   r\n\
+                   }\n\
+                   }\n";
+        assert!(rules_of("crates/core/src/a.rs", src).is_empty());
+    }
+}

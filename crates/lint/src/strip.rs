@@ -1,0 +1,244 @@
+//! The "code view" pass: blank out comment text and string/char-literal
+//! contents so rules match only real tokens — never doc prose or quoted
+//! pattern strings. Delimiters and code structure keep their columns
+//! (blanked chars become spaces), so line/column positions of the
+//! surviving tokens are unchanged.
+
+/// Lexer state carried across lines.
+enum State {
+    Code,
+    /// Inside `/* ... */`, with nesting depth.
+    Block(u32),
+    /// Inside a `"`-delimited string (escapes honored).
+    Str,
+    /// Inside a raw string closed by `"` followed by `hashes` `#`s.
+    RawStr(u32),
+}
+
+/// Return per-line copies of `content` with comments and string/char
+/// literal contents replaced by spaces.
+pub(crate) fn blank_noncode(content: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut state = State::Code;
+    for line in content.lines() {
+        out.push(blank_line(line, &mut state));
+    }
+    out
+}
+
+fn blank_line(line: &str, state: &mut State) -> String {
+    let chars: Vec<char> = line.chars().collect();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0usize;
+    while i < chars.len() {
+        match state {
+            State::Block(depth) => {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    *depth += 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    *depth -= 1;
+                    out.push_str("  ");
+                    i += 2;
+                    if *depth == 0 {
+                        *state = State::Code;
+                    }
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if chars[i] == '\\' {
+                    out.push_str("  ");
+                    i += 2;
+                } else if chars[i] == '"' {
+                    out.push('"');
+                    i += 1;
+                    *state = State::Code;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                let n = *hashes as usize;
+                if chars[i] == '"'
+                    && chars[i + 1..].iter().take(n).filter(|&&c| c == '#').count() == n
+                {
+                    out.push('"');
+                    for _ in 0..n {
+                        out.push('#');
+                    }
+                    i += 1 + n;
+                    *state = State::Code;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::Code => {
+                let c = chars[i];
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    // Line comment: blank the rest of the line. Keep the
+                    // `//` so "comment starts here" stays visible.
+                    out.push_str("//");
+                    for _ in i + 2..chars.len() {
+                        out.push(' ');
+                    }
+                    i = chars.len();
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    *state = State::Block(1);
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    out.push('"');
+                    i += 1;
+                    *state = State::Str;
+                } else if (c == 'r' || c == 'b') && is_raw_string_start(&chars, i) {
+                    // r"..."  r#"..."#  br"..."  b"..." — consume the
+                    // prefix, count the hashes, enter the right state.
+                    let mut j = i;
+                    let mut raw = false;
+                    if chars[j] == 'b' {
+                        out.push('b');
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'r') {
+                        raw = true;
+                        out.push('r');
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        out.push('#');
+                        hashes += 1;
+                        j += 1;
+                    }
+                    out.push('"');
+                    i = j + 1;
+                    *state = if raw {
+                        State::RawStr(hashes)
+                    } else {
+                        State::Str
+                    };
+                } else if c == '\'' && is_char_literal(&chars, i) {
+                    // Blank the char literal contents.
+                    out.push('\'');
+                    let mut j = i + 1;
+                    if chars.get(j) == Some(&'\\') {
+                        out.push_str("  ");
+                        j += 2;
+                    } else {
+                        out.push(' ');
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'\'') {
+                        out.push('\'');
+                        j += 1;
+                    }
+                    i = j;
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `r` / `b` at `i` starts a raw/byte string iff the following chars are
+/// an optional `r` (after `b`), zero or more `#`s, then `"` — and the
+/// char before `i` is not identifier-ish (so `writer"x"` never counts,
+/// not that it parses anyway).
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    if chars[i] == 'b' && chars.get(j) == Some(&'r') {
+        j += 1;
+    }
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Distinguish `'x'` / `'\n'` char literals from `'a` lifetimes.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(line: &str) -> String {
+        blank_noncode(line).remove(0)
+    }
+
+    #[test]
+    fn line_comments_are_blanked() {
+        assert_eq!(
+            one("let x = 1; // Instant::now"),
+            "let x = 1; //             "
+        );
+    }
+
+    #[test]
+    fn doc_comments_are_blanked() {
+        let s = one("/// calls Instant::now for timing");
+        assert!(!s.contains("Instant"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let s = one("let p = \"Instant::now\";");
+        assert!(!s.contains("Instant"), "{s:?}");
+        assert!(s.contains("let p = \""));
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_strings() {
+        let s = one(r#"let p = "a\"b"; let q = Instant::now();"#);
+        assert!(s.contains("Instant::now"), "{s:?}");
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let lines = blank_noncode("/* Instant::now\nstill comment */ let x = 1;");
+        assert!(!lines[0].contains("Instant"));
+        assert!(!lines[1].contains("comment"));
+        assert!(lines[1].contains("let x = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let s = one(r##"let p = r#"Instant::now"#; let t = 2;"##);
+        assert!(!s.contains("Instant"), "{s:?}");
+        assert!(s.contains("let t = 2;"), "{s:?}");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let s = one("fn f<'a>(x: &'a str) { let c = '\"'; let d = Instant::now(); }");
+        assert!(s.contains("fn f<'a>(x: &'a str)"), "{s:?}");
+        assert!(s.contains("Instant::now"), "{s:?}");
+    }
+
+    #[test]
+    fn code_survives_untouched() {
+        let src = "let mut m: HashMap<u32, u8> = HashMap::new();";
+        assert_eq!(one(src), src);
+    }
+}

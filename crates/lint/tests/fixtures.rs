@@ -1,0 +1,160 @@
+//! Fixture suite: one seeded violation per rule, asserting the exact
+//! rule id, file and line — proof that every rule actually fires — plus
+//! the allow-annotation round trip and the meta-rules policing the
+//! escape hatch.
+//!
+//! Fixtures use the `.fixture` extension so cargo never compiles them
+//! and `scan_workspace` never visits them (it skips `fixtures/` dirs and
+//! `crates/lint/` entirely); each is presented to [`dice_lint::scan_files`]
+//! under a *virtual* workspace path chosen to land in the right rule
+//! scope.
+
+use dice_lint::{scan_files, Finding, LintReport, SourceFile};
+
+fn scan_one(virtual_path: &str, content: &str) -> LintReport {
+    scan_files(&[SourceFile {
+        path: virtual_path.into(),
+        content: content.into(),
+    }])
+}
+
+fn triple(f: &Finding) -> (&str, &str, usize) {
+    (f.rule.as_str(), f.path.as_str(), f.line)
+}
+
+#[test]
+fn seam_containment_fires_on_foreign_downcast() {
+    let report = scan_one(
+        "crates/core/src/campaign.rs",
+        include_str!("fixtures/seam.fixture"),
+    );
+    assert_eq!(
+        report.violations.iter().map(triple).collect::<Vec<_>>(),
+        vec![("seam-containment", "crates/core/src/campaign.rs", 3)]
+    );
+}
+
+#[test]
+fn determinism_zone_fires_on_wall_clock_read() {
+    let report = scan_one(
+        "crates/core/src/explorer.rs",
+        include_str!("fixtures/determinism.fixture"),
+    );
+    assert_eq!(
+        report.violations.iter().map(triple).collect::<Vec<_>>(),
+        vec![("determinism-zone", "crates/core/src/explorer.rs", 3)]
+    );
+}
+
+#[test]
+fn unordered_iter_fires_on_hashmap_iteration() {
+    let report = scan_one(
+        "crates/core/src/campaign.rs",
+        include_str!("fixtures/unordered.fixture"),
+    );
+    assert_eq!(
+        report.violations.iter().map(triple).collect::<Vec<_>>(),
+        vec![("unordered-iter", "crates/core/src/campaign.rs", 6)]
+    );
+}
+
+#[test]
+fn lock_hygiene_fires_on_bare_unwrap() {
+    let report = scan_one(
+        "crates/core/src/executor.rs",
+        include_str!("fixtures/lock.fixture"),
+    );
+    assert_eq!(
+        report.violations.iter().map(triple).collect::<Vec<_>>(),
+        vec![("lock-hygiene", "crates/core/src/executor.rs", 3)]
+    );
+}
+
+#[test]
+fn wall_clock_coverage_fires_on_unzeroed_field() {
+    let report = scan_one(
+        "crates/core/src/campaign.rs",
+        include_str!("fixtures/wall_clock.fixture"),
+    );
+    assert_eq!(
+        report.violations.iter().map(triple).collect::<Vec<_>>(),
+        vec![("wall-clock-coverage", "crates/core/src/campaign.rs", 5)]
+    );
+    assert!(
+        report.violations[0]
+            .message
+            .contains("FixtureReport.wall_us"),
+        "{}",
+        report.violations[0].message
+    );
+}
+
+#[test]
+fn allow_annotations_suppress_and_carry_their_reason() {
+    let report = scan_one(
+        "crates/core/src/explorer.rs",
+        include_str!("fixtures/allowed.fixture"),
+    );
+    assert!(
+        report.violations.is_empty(),
+        "both findings must be suppressed: {:?}",
+        report.violations
+    );
+    assert_eq!(
+        report.allowed.iter().map(triple).collect::<Vec<_>>(),
+        vec![
+            ("determinism-zone", "crates/core/src/explorer.rs", 4),
+            ("determinism-zone", "crates/core/src/explorer.rs", 8),
+        ]
+    );
+    // Round trip: the justification text survives into the report.
+    assert_eq!(
+        report.allowed[0].reason.as_deref(),
+        Some("fixture exercises the own-line form")
+    );
+    assert_eq!(report.allowed[1].reason.as_deref(), Some("trailing form"));
+}
+
+#[test]
+fn malformed_annotations_are_themselves_violations() {
+    let report = scan_one(
+        "crates/core/src/explorer.rs",
+        include_str!("fixtures/allow_syntax.fixture"),
+    );
+    let got: Vec<_> = report.violations.iter().map(triple).collect();
+    assert_eq!(
+        got,
+        vec![
+            // Unknown rule id.
+            ("allow-syntax", "crates/core/src/explorer.rs", 3),
+            // Missing `: <reason>` — and therefore it suppresses nothing:
+            // the wall-clock read below it still surfaces.
+            ("allow-syntax", "crates/core/src/explorer.rs", 5),
+            ("determinism-zone", "crates/core/src/explorer.rs", 6),
+        ]
+    );
+}
+
+#[test]
+fn stale_annotations_are_flagged() {
+    let report = scan_one(
+        "crates/core/src/explorer.rs",
+        include_str!("fixtures/stale.fixture"),
+    );
+    assert_eq!(
+        report.violations.iter().map(triple).collect::<Vec<_>>(),
+        vec![("stale-allow", "crates/core/src/explorer.rs", 3)]
+    );
+}
+
+#[test]
+fn json_report_reflects_the_findings() {
+    let report = scan_one(
+        "crates/core/src/campaign.rs",
+        include_str!("fixtures/seam.fixture"),
+    );
+    let json = report.to_json();
+    assert!(json.contains("\"rule\": \"seam-containment\""), "{json}");
+    assert!(json.contains("\"line\": 3"), "{json}");
+    assert!(!report.is_clean());
+}

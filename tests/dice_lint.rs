@@ -1,0 +1,40 @@
+//! Tier-1 gate: the whole workspace must be `dice-lint`-clean.
+//!
+//! This is the same scan `cargo run -p dice-lint` performs in CI, run as
+//! a test so the invariants (seam containment, determinism zone,
+//! unordered iteration, lock hygiene, wall-clock coverage) break the
+//! build the moment a PR violates one without a justified allow
+//! annotation.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = dice_lint::scan_workspace(root).expect("workspace scan succeeds");
+    assert!(
+        report.is_clean(),
+        "dice-lint found unallowed violations:\n{}",
+        report.to_table()
+    );
+    // A clean report on an empty scan would prove nothing.
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — did the walker break?",
+        report.files_scanned
+    );
+    // Every suppression must carry its parsed justification.
+    assert!(
+        !report.allowed.is_empty(),
+        "the tree has known annotated accounting sites; none were seen"
+    );
+    for f in &report.allowed {
+        assert!(
+            f.reason.as_deref().is_some_and(|r| !r.is_empty()),
+            "allowed finding without a justification: {}:{} {}",
+            f.path,
+            f.line,
+            f.rule
+        );
+    }
+}

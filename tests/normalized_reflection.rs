@@ -1,0 +1,80 @@
+//! Reflection-style check of the determinism contract: serialize a real
+//! `CampaignReport::normalized()` to JSON, then walk the *value tree* and
+//! assert every wall-clock-named field (`wall_*`, `*_us`, `*_ms`,
+//! `*_us_cum`, `*_ms_cum`, `*_micros`) and every perf-counter field is
+//! zero — whatever struct it lives in, at any nesting depth.
+//!
+//! This is the dynamic twin of the `wall-clock-coverage` lint rule: the
+//! rule proves each field is *mentioned* by `normalized()`; this test
+//! proves the zeroing actually happens on a populated report, including
+//! fields added by future PRs (any new `*_us` field that serializes
+//! nonzero after normalization fails here without any test edit).
+
+use dice_system::dice::{scenarios, Campaign};
+use dice_system::netsim::{SimDuration, SimTime};
+use serde_json::Value;
+
+/// Mirror of the lint's wall-clock field-name predicate.
+fn is_wall_clock_name(name: &str) -> bool {
+    name.starts_with("wall_")
+        || name.ends_with("_us")
+        || name.ends_with("_ms")
+        || name.ends_with("_us_cum")
+        || name.ends_with("_ms_cum")
+        || name.ends_with("_micros")
+}
+
+fn is_zero(v: &Value) -> bool {
+    matches!(v, Value::U64(0) | Value::I64(0)) || matches!(v, Value::F64(f) if *f == 0.0)
+}
+
+/// Recursively check `v`, accumulating the dotted path for diagnostics
+/// and counting the wall-clock fields verified.
+fn check(v: &Value, path: &str, in_perf: bool, checked: &mut usize) {
+    match v {
+        Value::Object(map) => {
+            for (key, child) in map.iter() {
+                let child_path = format!("{path}.{key}");
+                if is_wall_clock_name(key) || in_perf {
+                    assert!(
+                        is_zero(child),
+                        "normalized() left `{child_path}` nonzero: {child:?}"
+                    );
+                    *checked += 1;
+                }
+                check(child, &child_path, in_perf || key == "perf", checked);
+            }
+        }
+        Value::Array(items) => {
+            for (i, child) in items.iter().enumerate() {
+                check(child, &format!("{path}[{i}]"), in_perf, checked);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[test]
+fn normalized_report_zeroes_every_wall_clock_and_perf_field() {
+    let mut sim = scenarios::mixed_bgp_gossip(9, true);
+    sim.run_until(SimTime::from_nanos(12_000_000_000));
+    let report = Campaign::new(&sim)
+        .executions(32)
+        .validate_top(4)
+        .horizon(SimDuration::from_secs(30))
+        .run(&mut sim)
+        .expect("mixed campaign runs");
+
+    // The raw report must actually measure something, or "all zeroed"
+    // would be vacuous.
+    assert!(report.wall_us > 0, "raw report should carry wall time");
+
+    let json = serde_json::to_string(&report.normalized()).expect("serializes");
+    let value: Value = serde_json::from_str(&json).expect("parses back");
+    let mut checked = 0usize;
+    check(&value, "report", false, &mut checked);
+    assert!(
+        checked >= 10,
+        "expected to verify many wall-clock/perf fields, saw {checked}"
+    );
+}
