@@ -201,6 +201,7 @@ struct WorkItem {
 /// symbolic-marking policy). Seeds play the role of Oasis's test-suite
 /// inputs: exploration starts from known-interesting messages rather than
 /// from scratch.
+// dice-lint: allow(panic-freedom): arena ids and guarded byte offsets index same-sized tables built in this pass
 pub fn explore(
     program: &mut dyn ConcolicProgram,
     seeds: &[Vec<u8>],
@@ -273,7 +274,6 @@ pub fn explore(
                             .enumerate()
                             .min_by_key(|(_, w)| w.seq)
                             .map(|(i, _)| i)
-                            .unwrap()
                     } else {
                         // Highest score first; FIFO within equal scores.
                         queue
@@ -281,9 +281,8 @@ pub fn explore(
                             .enumerate()
                             .max_by(|(_, a), (_, b)| a.score.cmp(&b.score).then(b.seq.cmp(&a.seq)))
                             .map(|(i, _)| i)
-                            .unwrap()
                     };
-                    Some(queue.swap_remove(pick))
+                    pick.map(|i| queue.swap_remove(i))
                 }
             }
         };

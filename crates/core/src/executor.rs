@@ -110,6 +110,7 @@ impl Shared<'_> {
     /// Claim and run one validation unit from `batch` using the calling
     /// worker's clone pool. Returns `false` when the batch has no
     /// unclaimed candidates left.
+    // dice-lint: allow(panic-freedom): batch.task is a round index minted by run_rounds
     fn run_val_unit(&self, batch: &ValBatch, pool: &mut ClonePool) -> bool {
         let i = batch.next.fetch_add(1, Ordering::Relaxed);
         let Some(candidate) = batch.candidates.get(i) else {
@@ -151,6 +152,7 @@ impl Shared<'_> {
     /// Run round `idx` to completion: explore, fan validation out on the
     /// shared pool (helping other rounds while waiting for stolen units),
     /// then fold the check stage and store the result.
+    // dice-lint: allow(panic-freedom): idx comes from the round_next counter, bounded by tasks.len()
     fn run_round(&self, idx: usize, pool: &mut ClonePool) {
         let task = &self.tasks[idx];
         // dice-lint: allow(determinism-zone): per-round wall-clock accounting; zeroed by normalized()
@@ -268,6 +270,30 @@ fn idle_wait() {
     std::thread::sleep(std::time::Duration::from_micros(100));
 }
 
+/// Test-only fault injection for the executor's shared locks, re-exported
+/// as `dice_core::executor_test_support`. Thread-local on purpose: the
+/// flag is armed and consumed on the campaign's calling thread, so
+/// parallel tests in one binary cannot poison each other's runs.
+#[doc(hidden)]
+pub mod test_support {
+    use std::cell::Cell;
+
+    thread_local! {
+        static POISON_OPEN_LOCK: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Arm the one-shot poison: the calling thread's next `run_rounds`
+    /// deliberately poisons its open-batches mutex before workers start.
+    pub fn poison_next_run() {
+        POISON_OPEN_LOCK.with(|c| c.set(true));
+    }
+
+    /// Consume the flag (internal).
+    pub(crate) fn poison_armed() -> bool {
+        POISON_OPEN_LOCK.with(|c| c.replace(false))
+    }
+}
+
 /// Execute `tasks` with at most `pair_workers` rounds in flight over a
 /// pool of `pool_workers` threads (`pool_workers >= pair_workers`), and
 /// return per-round results in task order plus the aggregated clone-pool
@@ -299,6 +325,18 @@ pub(crate) fn run_rounds(
         pool_hits: AtomicU64::new(0),
         pool_misses: AtomicU64::new(0),
     };
+    // Test-only fault injection: poison the open-batches lock before any
+    // worker starts, proving campaign results never depend on pristine
+    // lock state (every access goes through lock_unpoisoned). The panic
+    // unwinds through the held guard — that is what sets the poison flag
+    // — and is caught on this thread before the pool spins up.
+    if test_support::poison_armed() {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = shared.open.lock();
+            panic!("deliberate poison injection"); // dice-lint: allow(panic-freedom): test-only poison injection, caught on this thread
+        }));
+        debug_assert!(shared.open.is_poisoned());
+    }
     let round_workers = pair_workers.max(1);
     let pool_workers = pool_workers.max(round_workers);
     if round_workers == 1 && pool_workers == 1 {
@@ -342,9 +380,12 @@ pub(crate) fn run_rounds(
         .slots
         .into_inner()
         .unwrap_or_else(PoisonError::into_inner);
+    // Every slot is Some unless a worker died without reporting — panics
+    // resume_unwind above, so surface the gap as a round error instead
+    // of crashing the harness.
     let results = slots
         .into_iter()
-        .map(|slot| slot.expect("every round ran to completion"))
+        .map(|slot| slot.unwrap_or_else(|| Err("round never completed".into())))
         .collect();
     (results, pool_stats)
 }

@@ -258,6 +258,7 @@ pub(crate) struct ExploreStage {
 ///
 /// Pure function of `(shadow, cfg)`: safe to call concurrently for
 /// different rounds over the same `ShadowSnapshot`.
+// dice-lint: allow(panic-freedom): order permutes 0..executions.len(), so the index stays in bounds
 pub(crate) fn explore_stage(
     shadow: &ShadowSnapshot,
     cfg: &DiceConfig,

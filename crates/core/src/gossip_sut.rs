@@ -90,10 +90,15 @@ pub fn minimal_seed(config: &GossipConfig) -> Vec<u8> {
     }))
 }
 
-/// Deterministic seed corpus for `grammar_seeds >= 1`: `n` valid rumors
-/// over the node's interests plus one valid digest and one subscribe —
+/// Deterministic seed corpus for `grammar_seeds >= 1`: one valid digest
+/// and one subscribe, then `n` valid rumors over the node's interests —
 /// every opcode is represented, so exploration starts with all three
-/// dispatch arms covered.
+/// dispatch arms covered. The digest frame leads the corpus on purpose:
+/// seeds run FIFO, so its count byte is negated within the first
+/// generation of flips and the seeded overflow bug (count >= threshold)
+/// is reachable well inside the default execution budget — no rumor seed
+/// has to be flipped *into* the digest arm first.
+// dice-lint: allow(panic-freedom): topics is non-empty by construction (falls back to vec![0])
 pub fn seed_corpus(config: &GossipConfig, n: usize, seed: u64) -> Vec<Vec<u8>> {
     let mut rng = SimRng::seed_from_u64(seed ^ 0x6055_19D0);
     let topics: Vec<TopicId> = {
@@ -104,7 +109,9 @@ pub fn seed_corpus(config: &GossipConfig, n: usize, seed: u64) -> Vec<Vec<u8>> {
             i.into_iter().collect()
         }
     };
-    let mut seeds = Vec::with_capacity(n + 2);
+    // Draw order is part of the corpus contract (rumors first), so the
+    // rumor bytes are stable across this reordering of the output.
+    let mut rumors = Vec::with_capacity(n);
     for k in 0..n {
         let topic = topics[k % topics.len()];
         let plen = rng.below(9) as usize;
@@ -112,7 +119,7 @@ pub fn seed_corpus(config: &GossipConfig, n: usize, seed: u64) -> Vec<Vec<u8>> {
         for _ in 0..plen {
             payload.push(rng.next_u32() as u8);
         }
-        seeds.push(encode(&GossipFrame::Rumor(Rumor {
+        rumors.push(encode(&GossipFrame::Rumor(Rumor {
             topic,
             id: rng.next_u32() & 0x00FF_FFFF,
             origin: (0xE000 | rng.below(64) as u16) ^ 0x0800,
@@ -125,8 +132,10 @@ pub fn seed_corpus(config: &GossipConfig, n: usize, seed: u64) -> Vec<Vec<u8>> {
         .take(3)
         .map(|&t| (t, rng.next_u32() & 0xFFFF))
         .collect();
+    let mut seeds = Vec::with_capacity(n + 2);
     seeds.push(encode(&GossipFrame::Digest(digest)));
     seeds.push(encode(&GossipFrame::Subscribe { topic: topics[0] }));
+    seeds.extend(rumors);
     seeds
 }
 
@@ -474,6 +483,37 @@ mod tests {
             },
         );
         let crash = report.first_crash().expect("bug must be reached");
+        let input = &report.executions[crash].input;
+        assert_eq!(input[0], OP_DIGEST);
+        assert!(input[1] >= BUG_COUNT_THRESHOLD);
+    }
+
+    #[test]
+    fn default_corpus_reaches_seeded_bug_within_a_small_budget() {
+        // The digest frame leads the corpus, so the overflow-guarded
+        // count byte is a first-generation flip target: the campaign's
+        // default budget (192 executions) has an order of magnitude of
+        // headroom over what detection actually needs. Locked in at 32
+        // so a corpus-ordering regression fails loudly here instead of
+        // as a missing fault class in the heterogeneous campaign test.
+        let mut buggy = config();
+        buggy.bugs.digest_count_overflow = true;
+        let mut program = SymbolicGossipHandler::new(buggy.clone());
+        let seeds = seed_corpus(&buggy, 4, 7);
+        assert_eq!(seeds[0][0], OP_DIGEST, "digest seed must lead");
+        let report = dice_concolic::explore(
+            &mut program,
+            &seeds,
+            &mark_gossip,
+            &dice_concolic::ExploreConfig {
+                strategy: dice_concolic::Strategy::Generational,
+                max_executions: 32,
+                ..Default::default()
+            },
+        );
+        let crash = report
+            .first_crash()
+            .expect("digest-first corpus must reach the bug within 32 executions");
         let input = &report.executions[crash].input;
         assert_eq!(input[0], OP_DIGEST);
         assert!(input[1] >= BUG_COUNT_THRESHOLD);

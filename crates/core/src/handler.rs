@@ -107,11 +107,13 @@ impl SymbolicUpdateHandler {
     }
 
     /// The import policy for the configured peer.
+    // dice-lint: allow(panic-freedom): peer and policy ids are validated in new()
     fn import_policy(&self) -> &Policy {
         let n = self.config.neighbor(self.peer).expect("validated in new()");
         &self.config.policies[&n.import]
     }
 
+    // dice-lint: allow(panic-freedom): peer and policy ids are validated in new()
     fn neighbor_asn(&self) -> Asn {
         self.config
             .neighbor(self.peer)

@@ -85,6 +85,8 @@ pub use check::{
     Checker, ConvergenceChecker, CrashChecker, FaultClass, FaultReport, OriginAuthorityChecker,
     OscillationChecker,
 };
+#[doc(hidden)]
+pub use executor::test_support as executor_test_support;
 pub use explorer::{DiceConfig, DiceRunner, RoundReport};
 pub use gossip_sut::SymbolicGossipHandler;
 pub use grammar::{GrammarConfig, UpdateGrammar};

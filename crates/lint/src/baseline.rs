@@ -1,0 +1,358 @@
+//! `--baseline`: the debt ratchet. A baseline file records currently
+//! tolerated violations as `(rule, path, message)` entries — line
+//! numbers are deliberately excluded so unrelated edits above a site
+//! don't churn the file. Ratcheting compares the live scan against the
+//! baseline as multisets:
+//!
+//! * a violation **not** in the baseline is *new* debt → CI fails;
+//! * a baseline entry with no live violation is *stale* (the debt was
+//!   paid, or the code moved) → CI fails until the entry is removed.
+//!
+//! Debt can therefore only shrink. The committed baseline is empty at
+//! merge; a non-empty one exists only on in-flight branches that landed
+//! a justified exception via review.
+
+use std::collections::BTreeMap;
+
+use crate::{json_escape, Finding, LintReport};
+
+/// One tolerated violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule identifier.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// Exact finding message.
+    pub message: String,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// Tolerated violations, in file order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// Outcome of ratcheting a report against a baseline.
+#[derive(Debug, Default)]
+pub struct RatchetOutcome {
+    /// Live violations absent from the baseline — new debt.
+    pub new: Vec<Finding>,
+    /// Baseline entries with no live counterpart — paid-off debt that
+    /// must be removed from the file.
+    pub stale: Vec<BaselineEntry>,
+}
+
+impl RatchetOutcome {
+    /// Whether the ratchet passes (no new and no stale debt).
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+}
+
+impl Baseline {
+    /// Snapshot the report's current violations as a baseline.
+    pub fn from_report(report: &LintReport) -> Baseline {
+        Baseline {
+            entries: report
+                .violations
+                .iter()
+                .map(|v| BaselineEntry {
+                    rule: v.rule.clone(),
+                    path: v.path.clone(),
+                    message: v.message.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Serialize to the on-disk JSON shape.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            s.push_str(&format!(
+                "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"message\": \"{}\"}}{comma}",
+                json_escape(&e.rule),
+                json_escape(&e.path),
+                json_escape(&e.message)
+            ));
+        }
+        if !self.entries.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// Parse a baseline file. Accepts any JSON object with an `entries`
+    /// array of `{rule, path, message}` objects (std-only mini parser —
+    /// this crate takes no dependencies by design).
+    pub fn parse(s: &str) -> Result<Baseline, String> {
+        let value = Json::parse(s)?;
+        let Json::Obj(pairs) = value else {
+            return Err("baseline root must be a JSON object".into());
+        };
+        let Some(entries) = pairs.iter().find(|(k, _)| k == "entries").map(|(_, v)| v) else {
+            return Err("baseline object has no `entries` array".into());
+        };
+        let Json::Arr(items) = entries else {
+            return Err("`entries` must be an array".into());
+        };
+        let mut out = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let Json::Obj(fields) = item else {
+                return Err(format!("entries[{i}] is not an object"));
+            };
+            let get = |key: &str| -> Result<String, String> {
+                match fields.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+                    Some(Json::Str(s)) => Ok(s.clone()),
+                    _ => Err(format!("entries[{i}] is missing string field `{key}`")),
+                }
+            };
+            out.push(BaselineEntry {
+                rule: get("rule")?,
+                path: get("path")?,
+                message: get("message")?,
+            });
+        }
+        Ok(Baseline { entries: out })
+    }
+}
+
+/// Compare the report's violations against the baseline as multisets
+/// keyed by `(rule, path, message)`.
+pub fn ratchet(report: &LintReport, baseline: &Baseline) -> RatchetOutcome {
+    let key_of = |rule: &str, path: &str, message: &str| format!("{rule}\u{0}{path}\u{0}{message}");
+    let mut budget: BTreeMap<String, usize> = BTreeMap::new();
+    for e in &baseline.entries {
+        *budget
+            .entry(key_of(&e.rule, &e.path, &e.message))
+            .or_insert(0) += 1;
+    }
+    let mut out = RatchetOutcome::default();
+    for v in &report.violations {
+        let key = key_of(&v.rule, &v.path, &v.message);
+        match budget.get_mut(&key) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => out.new.push(v.clone()),
+        }
+    }
+    // Whatever budget remains was never consumed: stale entries, in
+    // baseline order, respecting multiplicity.
+    for e in &baseline.entries {
+        let key = key_of(&e.rule, &e.path, &e.message);
+        if let Some(n) = budget.get_mut(&key) {
+            if *n > 0 {
+                *n -= 1;
+                out.stale.push(e.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Minimal JSON value for the baseline subset.
+enum Json {
+    Obj(Vec<(String, Json)>),
+    Arr(Vec<Json>),
+    Str(String),
+    /// Numbers, booleans and null are accepted but unused.
+    Other,
+}
+
+impl Json {
+    fn parse(s: &str) -> Result<Json, String> {
+        let chars: Vec<char> = s.chars().collect();
+        let mut i = 0usize;
+        let v = parse_value(&chars, &mut i)?;
+        skip_ws(&chars, &mut i);
+        if i != chars.len() {
+            return Err(format!("trailing characters at offset {i}"));
+        }
+        Ok(v)
+    }
+}
+
+fn skip_ws(chars: &[char], i: &mut usize) {
+    while chars.get(*i).is_some_and(|c| c.is_whitespace()) {
+        *i += 1;
+    }
+}
+
+fn parse_value(chars: &[char], i: &mut usize) -> Result<Json, String> {
+    skip_ws(chars, i);
+    match chars.get(*i) {
+        Some('{') => {
+            *i += 1;
+            let mut pairs = Vec::new();
+            skip_ws(chars, i);
+            if chars.get(*i) == Some(&'}') {
+                *i += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(chars, i);
+                let Json::Str(key) = parse_value(chars, i)? else {
+                    return Err(format!("object key at offset {i} is not a string"));
+                };
+                skip_ws(chars, i);
+                if chars.get(*i) != Some(&':') {
+                    return Err(format!("expected `:` at offset {i}"));
+                }
+                *i += 1;
+                let value = parse_value(chars, i)?;
+                pairs.push((key, value));
+                skip_ws(chars, i);
+                match chars.get(*i) {
+                    Some(',') => *i += 1,
+                    Some('}') => {
+                        *i += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at offset {i}")),
+                }
+            }
+        }
+        Some('[') => {
+            *i += 1;
+            let mut items = Vec::new();
+            skip_ws(chars, i);
+            if chars.get(*i) == Some(&']') {
+                *i += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(chars, i)?);
+                skip_ws(chars, i);
+                match chars.get(*i) {
+                    Some(',') => *i += 1,
+                    Some(']') => {
+                        *i += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at offset {i}")),
+                }
+            }
+        }
+        Some('"') => {
+            *i += 1;
+            let mut out = String::new();
+            loop {
+                match chars.get(*i) {
+                    None => return Err("unterminated string".into()),
+                    Some('"') => {
+                        *i += 1;
+                        return Ok(Json::Str(out));
+                    }
+                    Some('\\') => {
+                        *i += 1;
+                        match chars.get(*i) {
+                            Some('"') => out.push('"'),
+                            Some('\\') => out.push('\\'),
+                            Some('/') => out.push('/'),
+                            Some('n') => out.push('\n'),
+                            Some('t') => out.push('\t'),
+                            Some('r') => out.push('\r'),
+                            Some('b') => out.push('\u{8}'),
+                            Some('f') => out.push('\u{c}'),
+                            Some('u') => {
+                                let hex: String = chars
+                                    .get(*i + 1..*i + 5)
+                                    .unwrap_or_default()
+                                    .iter()
+                                    .collect();
+                                let code = u32::from_str_radix(&hex, 16)
+                                    .map_err(|_| format!("bad \\u escape at offset {i}"))?;
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                *i += 4;
+                            }
+                            _ => return Err(format!("bad escape at offset {i}")),
+                        }
+                        *i += 1;
+                    }
+                    Some(c) => {
+                        out.push(*c);
+                        *i += 1;
+                    }
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == '-' || *c == 't' || *c == 'f' || *c == 'n' => {
+            // Number / true / false / null: consume the token, discard.
+            while chars
+                .get(*i)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || *c == '.' || *c == '-' || *c == '+')
+            {
+                *i += 1;
+            }
+            Ok(Json::Other)
+        }
+        _ => Err(format!("unexpected character at offset {i}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{scan_files, SourceFile};
+
+    fn sample_report() -> LintReport {
+        scan_files(&[SourceFile {
+            path: "crates/core/src/x.rs".into(),
+            content: "fn f() { let t = std::time::Instant::now(); }\n".into(),
+        }])
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let report = sample_report();
+        let b = Baseline::from_report(&report);
+        assert_eq!(b.entries.len(), 1);
+        let parsed = Baseline::parse(&b.to_json()).unwrap();
+        assert_eq!(parsed.entries, b.entries);
+    }
+
+    #[test]
+    fn empty_baseline_parses_and_flags_everything_as_new() {
+        let baseline = Baseline::parse("{\n  \"entries\": []\n}\n").unwrap();
+        let outcome = ratchet(&sample_report(), &baseline);
+        assert_eq!(outcome.new.len(), 1);
+        assert!(outcome.stale.is_empty());
+        assert!(!outcome.is_clean());
+    }
+
+    #[test]
+    fn baselined_debt_passes_and_paid_debt_goes_stale() {
+        let report = sample_report();
+        let baseline = Baseline::from_report(&report);
+        assert!(ratchet(&report, &baseline).is_clean());
+
+        let clean_report = scan_files(&[SourceFile {
+            path: "crates/core/src/x.rs".into(),
+            content: "fn f() {}\n".into(),
+        }]);
+        let outcome = ratchet(&clean_report, &baseline);
+        assert!(outcome.new.is_empty());
+        assert_eq!(outcome.stale.len(), 1, "paid-off debt must be pruned");
+    }
+
+    #[test]
+    fn multiset_semantics_respect_duplicate_messages() {
+        let content = "fn f() { let a = std::time::Instant::now(); }\n\
+                       fn g() { let b = std::time::Instant::now(); }\n";
+        let report = scan_files(&[SourceFile {
+            path: "crates/core/src/x.rs".into(),
+            content: content.into(),
+        }]);
+        assert_eq!(report.violations.len(), 2);
+        // Baseline holds only ONE of the two identical-message findings:
+        // the second live one is new debt.
+        let mut baseline = Baseline::from_report(&report);
+        baseline.entries.truncate(1);
+        let outcome = ratchet(&report, &baseline);
+        assert_eq!(outcome.new.len(), 1);
+        assert!(outcome.stale.is_empty());
+    }
+}

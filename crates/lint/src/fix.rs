@@ -1,0 +1,164 @@
+//! `--fix`: mechanical autofixes for the rules whose remediation is a
+//! pure rewrite. Only unallowed violations are touched (a justified
+//! allow is a decision, not debt), and only single-line sites — anything
+//! structural is left for a human. Fixes are idempotent by construction:
+//! a fixed site no longer matches its rule, so a second pass finds
+//! nothing (the fixture suite locks this in).
+//!
+//! | rule | rewrite |
+//! |---|---|
+//! | `lock-hygiene` | `recv.lock().unwrap()` → `crate::sync::lock_unpoisoned(&recv, "<name>")` |
+//! | `stale-allow` | delete the annotation (own-line) or truncate it off the code line |
+
+use crate::{marker, scan_files, SourceFile};
+
+/// One file rewritten by [`apply_fixes`].
+pub struct FixedFile {
+    /// Workspace-relative path (same as the input [`SourceFile`]).
+    pub path: String,
+    /// Full new contents.
+    pub content: String,
+    /// Number of individual fix edits applied.
+    pub edits: usize,
+}
+
+enum Action {
+    /// Replace the line with the given text.
+    Replace(String),
+    /// Delete the line entirely.
+    Delete,
+}
+
+/// Compute mechanical fixes for the current violations of `files`.
+/// Returns only the files that changed; callers decide whether to write
+/// them back to disk. Running the result through `apply_fixes` again
+/// yields an empty list.
+pub fn apply_fixes(files: &[SourceFile]) -> Vec<FixedFile> {
+    let report = scan_files(files);
+    let mut out = Vec::new();
+    for file in files {
+        let lines: Vec<&str> = file.content.lines().collect();
+        // (line index, action), computed per finding then applied
+        // bottom-up so earlier indices stay valid.
+        let mut actions: Vec<(usize, Action)> = Vec::new();
+        for v in report.violations.iter().filter(|v| v.path == file.path) {
+            let Some(raw) = lines.get(v.line - 1) else {
+                continue;
+            };
+            let action = match v.rule.as_str() {
+                "lock-hygiene" => fix_lock_line(raw),
+                "stale-allow" => fix_stale_line(raw),
+                _ => None,
+            };
+            if let Some(action) = action {
+                actions.push((v.line - 1, action));
+            }
+        }
+        if actions.is_empty() {
+            continue;
+        }
+        actions.sort_by_key(|(i, _)| *i);
+        actions.dedup_by_key(|(i, _)| *i);
+        let edits = actions.len();
+        let mut new_lines: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+        for (idx, action) in actions.into_iter().rev() {
+            match action {
+                Action::Replace(text) => new_lines[idx] = text,
+                Action::Delete => {
+                    new_lines.remove(idx);
+                }
+            }
+        }
+        let mut content = new_lines.join("\n");
+        if file.content.ends_with('\n') {
+            content.push('\n');
+        }
+        out.push(FixedFile {
+            path: file.path.clone(),
+            content,
+            edits,
+        });
+    }
+    out
+}
+
+/// Rewrite the first `recv.lock().unwrap()` on the line where `recv` is
+/// a plain identifier dot-chain (`self.open`, `batch.results`, …). Any
+/// other receiver shape (call results, parenthesized expressions,
+/// multi-line formatting) is left alone — those need human judgment.
+fn fix_lock_line(raw: &str) -> Option<Action> {
+    const PAT: &str = ".lock().unwrap()";
+    let at = raw.find(PAT)?;
+    let before = &raw[..at];
+    // Walk the receiver backwards: identifier chars and `.` only.
+    let recv_start = before
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| c.is_alphanumeric() || *c == '_' || *c == '.')
+        .last()
+        .map(|(i, _)| i)?;
+    let recv = &before[recv_start..];
+    if recv.is_empty()
+        || recv.starts_with('.')
+        || recv.ends_with('.')
+        || recv.chars().next().is_some_and(|c| c.is_ascii_digit())
+    {
+        return None;
+    }
+    let name = recv.rsplit('.').next().unwrap_or(recv);
+    let fixed = format!(
+        "{}crate::sync::lock_unpoisoned(&{recv}, \"{name}\"){}",
+        &raw[..recv_start],
+        &raw[at + PAT.len()..]
+    );
+    Some(Action::Replace(fixed))
+}
+
+/// Remove a stale allow annotation: delete the whole line when it is a
+/// comment-only line, otherwise truncate from the comment that carries
+/// the marker.
+fn fix_stale_line(raw: &str) -> Option<Action> {
+    let marker = marker();
+    let comment_at = raw.find("//")?;
+    raw[comment_at..].find(&marker)?;
+    if raw.trim_start().starts_with("//") {
+        Some(Action::Delete)
+    } else {
+        Some(Action::Replace(raw[..comment_at].trim_end().to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_fix_rewrites_the_receiver_chain() {
+        let fixed = fix_lock_line("        let g = self.open.lock().unwrap();");
+        let Some(Action::Replace(text)) = fixed else {
+            panic!("expected a replacement");
+        };
+        assert_eq!(
+            text,
+            "        let g = crate::sync::lock_unpoisoned(&self.open, \"open\");"
+        );
+    }
+
+    #[test]
+    fn lock_fix_declines_non_trivial_receivers() {
+        assert!(fix_lock_line("let g = (a + b).lock().unwrap();").is_none());
+        assert!(fix_lock_line(".lock().unwrap()").is_none());
+    }
+
+    #[test]
+    fn stale_fix_deletes_own_line_and_truncates_trailing() {
+        let m = marker();
+        let own = format!("    // {m}lock-hygiene): obsolete");
+        assert!(matches!(fix_stale_line(&own), Some(Action::Delete)));
+        let trailing = format!("let x = 1; // {m}lock-hygiene): obsolete");
+        let Some(Action::Replace(text)) = fix_stale_line(&trailing) else {
+            panic!("expected a replacement");
+        };
+        assert_eq!(text, "let x = 1;");
+    }
+}

@@ -1,0 +1,940 @@
+//! The workspace item graph: functions, impls, structs, attributes and
+//! name-resolved intra-workspace call edges, built from the token stream
+//! of every scanned file.
+//!
+//! Resolution is heuristic by design (no rustc, no syn): a qualified call
+//! `T::f(...)` resolves to `fn f` inside `impl T` (or inside the file
+//! whose stem is `T`, for module-qualified calls), a method call `.f(...)`
+//! resolves to every impl/trait fn named `f`, and a bare call `f(...)`
+//! resolves to every free fn named `f` plus same-impl siblings. That
+//! over-approximates the true call graph, which is the right direction
+//! for a reachability-based panic-freedom rule: false edges can only make
+//! the rule *stricter*.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{tokenize, Tok, TokKind};
+use crate::Prepared;
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum CallKind {
+    /// `f(...)`
+    Bare,
+    /// `.f(...)`
+    Method,
+    /// `Q::f(...)` — qualifier is the last path segment before the name.
+    Qualified(String),
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub(crate) struct Call {
+    pub(crate) kind: CallKind,
+    pub(crate) name: String,
+}
+
+/// A `fn` item.
+#[derive(Debug)]
+pub(crate) struct FnItem {
+    /// Index into [`ItemGraph::files`].
+    pub(crate) file: usize,
+    pub(crate) name: String,
+    /// Enclosing `impl`/`trait` type name, if any.
+    pub(crate) impl_of: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub(crate) line: usize,
+    /// Token-index span of the body braces (inclusive), if the fn has one.
+    pub(crate) body: Option<(usize, usize)>,
+    /// Attributes directly on this fn: (line, raw text including `#[..]`).
+    pub(crate) attrs: Vec<(usize, String)>,
+    /// Raw texts of attributes on enclosing `mod`/`impl` containers.
+    pub(crate) container_attrs: Vec<String>,
+    /// Inside a `#[cfg(test)]` module or a `tests/` tree.
+    pub(crate) in_test: bool,
+    pub(crate) calls: Vec<Call>,
+    /// Resolved callee indices into [`ItemGraph::fns`].
+    pub(crate) callees: Vec<usize>,
+}
+
+/// One named field of a struct.
+#[derive(Debug)]
+pub(crate) struct Field {
+    pub(crate) name: String,
+    /// 1-based declaration line.
+    pub(crate) line: usize,
+    /// Capitalized identifiers appearing in the field's type — the
+    /// struct-reference edges `schema-drift` walks (sees through `Vec<_>`,
+    /// `Option<_>`, `BTreeMap<_, _>` and friends).
+    pub(crate) ty_idents: Vec<String>,
+}
+
+/// A `struct` item with named fields.
+#[derive(Debug)]
+pub(crate) struct StructItem {
+    pub(crate) file: usize,
+    pub(crate) name: String,
+    /// Idents inside a `#[derive(...)]` attribute on the struct.
+    pub(crate) derives: Vec<String>,
+    pub(crate) fields: Vec<Field>,
+}
+
+/// What an attribute is attached to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Attached {
+    Fn,
+    Struct,
+    Enum,
+    Mod,
+    Impl,
+    /// A struct/enum field.
+    Field,
+    /// A statement (or expression) inside a fn body.
+    Stmt,
+    Other,
+}
+
+/// One `#[...]` attribute group.
+#[derive(Debug)]
+pub(crate) struct AttrRec {
+    pub(crate) file: usize,
+    /// 1-based line of the `#`.
+    pub(crate) line: usize,
+    /// Raw source text of the group, including delimiters — recovered
+    /// from the unblanked lines so `feature = "race-audit"` is readable.
+    pub(crate) text: String,
+    pub(crate) attached: Attached,
+    /// Enclosing fn (index into [`ItemGraph::fns`]) for `Stmt` attrs.
+    pub(crate) enclosing_fn: Option<usize>,
+}
+
+/// Tokenized file, retained so rules can re-walk bodies.
+pub(crate) struct FileToks {
+    pub(crate) path: String,
+    pub(crate) toks: Vec<Tok>,
+}
+
+/// The whole workspace graph.
+pub(crate) struct ItemGraph {
+    pub(crate) files: Vec<FileToks>,
+    pub(crate) fns: Vec<FnItem>,
+    pub(crate) structs: Vec<StructItem>,
+    pub(crate) attrs: Vec<AttrRec>,
+}
+
+/// Words that look like `ident (` but are never calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "move", "ref", "mut", "let",
+    "else", "fn", "impl", "use", "pub", "where", "unsafe", "async", "dyn", "crate", "super",
+];
+
+struct RawAttr {
+    /// Token span of `#` .. matching `]`, inclusive.
+    span: (usize, usize),
+    line: usize,
+    text: String,
+}
+
+/// An item head found in the linear scan.
+struct Head {
+    kind: HeadKind,
+    name: String,
+    /// Token index of the keyword.
+    at: usize,
+    line: usize,
+    /// Attr groups directly above: (line, text).
+    attrs: Vec<(usize, String)>,
+    /// Body token span (inclusive braces), if any.
+    body: Option<(usize, usize)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HeadKind {
+    Fn,
+    Struct,
+    Enum,
+    Mod,
+    Impl,
+    Trait,
+}
+
+impl ItemGraph {
+    /// Build the graph over every prepared file.
+    pub(crate) fn build(prepared: &[Prepared]) -> ItemGraph {
+        let mut graph = ItemGraph {
+            files: Vec::with_capacity(prepared.len()),
+            fns: Vec::new(),
+            structs: Vec::new(),
+            attrs: Vec::new(),
+        };
+        for p in prepared {
+            build_file(p, &mut graph);
+        }
+        resolve_calls(&mut graph);
+        graph
+    }
+
+    /// Indices of fns transitively reachable from the given roots
+    /// (inclusive), following resolved call edges.
+    pub(crate) fn reachable(&self, roots: &[usize]) -> BTreeSet<usize> {
+        let mut seen: BTreeSet<usize> = roots.iter().copied().collect();
+        let mut work: Vec<usize> = roots.to_vec();
+        while let Some(f) = work.pop() {
+            for &c in &self.fns[f].callees {
+                if seen.insert(c) {
+                    work.push(c);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+impl ItemGraph {
+    /// Find a fn by file-path suffix and name (first match) — test
+    /// convenience; rules use their own `find_root` with an impl filter.
+    fn find_fn(&self, path_suffix: &str, name: &str) -> Option<usize> {
+        self.fns.iter().position(|f| {
+            f.name == name && !f.in_test && self.files[f.file].path.ends_with(path_suffix)
+        })
+    }
+}
+
+fn is_test_path(path: &str) -> bool {
+    path.starts_with("tests/") || path.contains("/tests/") || path.starts_with("examples/")
+}
+
+/// Recover the raw text of a token span from the unblanked lines.
+fn raw_span_text(raw: &[String], toks: &[Tok], span: (usize, usize)) -> String {
+    let (a, b) = span;
+    let (sl, sc) = (toks[a].line, toks[a].col);
+    let (el, ec) = (toks[b].line, toks[b].col);
+    if sl == el {
+        let line = &raw[sl - 1];
+        let chars: Vec<char> = line.chars().collect();
+        return chars[sc.min(chars.len())..(ec + 1).min(chars.len())]
+            .iter()
+            .collect();
+    }
+    let mut out = String::new();
+    for l in sl..=el {
+        let chars: Vec<char> = raw[l - 1].chars().collect();
+        let from = if l == sl { sc } else { 0 };
+        let to = if l == el {
+            (ec + 1).min(chars.len())
+        } else {
+            chars.len()
+        };
+        out.push_str(&chars[from.min(chars.len())..to].iter().collect::<String>());
+        out.push(' ');
+    }
+    out.trim_end().to_string()
+}
+
+/// Scan forward over a balanced bracket pair starting at `open` (which
+/// must index the opening token); returns the index of the matching
+/// closer.
+fn match_bracket(toks: &[Tok], open: usize, oc: char, cc: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(oc) {
+            depth += 1;
+        } else if t.is_punct(cc) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Parse the self-type of an `impl` (or the name of a `trait`) whose
+/// keyword sits at `at`. For `impl<T> Trait for Type<T>` this is `Type`;
+/// for `impl Type` it is `Type`.
+fn impl_type_name(toks: &[Tok], at: usize) -> Option<String> {
+    let mut i = at + 1;
+    // Skip generics.
+    if toks.get(i).is_some_and(|t| t.is_punct('<')) {
+        let mut depth = 0i32;
+        while i < toks.len() {
+            if toks[i].is_punct('<') {
+                depth += 1;
+            } else if toks[i].is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    let read_path = |i: &mut usize| -> Option<String> {
+        let mut last: Option<String> = None;
+        loop {
+            // Skip reference/pointer/dyn noise.
+            while toks.get(*i).is_some_and(|t| {
+                t.is_punct('&')
+                    || t.kind == TokKind::Lifetime
+                    || t.is_ident("mut")
+                    || t.is_ident("dyn")
+            }) {
+                *i += 1;
+            }
+            let t = toks.get(*i)?;
+            if t.kind != TokKind::Ident {
+                return last;
+            }
+            last = Some(t.text.clone());
+            *i += 1;
+            // Generic args on this segment.
+            if toks.get(*i).is_some_and(|t| t.is_punct('<')) {
+                let mut depth = 0i32;
+                while *i < toks.len() {
+                    if toks[*i].is_punct('<') {
+                        depth += 1;
+                    } else if toks[*i].is_punct('>') {
+                        depth -= 1;
+                        if depth == 0 {
+                            *i += 1;
+                            break;
+                        }
+                    }
+                    *i += 1;
+                }
+            }
+            // Continue through `::`.
+            if toks.get(*i).is_some_and(|t| t.is_punct(':'))
+                && toks.get(*i + 1).is_some_and(|t| t.is_punct(':'))
+            {
+                *i += 2;
+                continue;
+            }
+            return last;
+        }
+    };
+    let first = read_path(&mut i)?;
+    if toks.get(i).is_some_and(|t| t.is_ident("for")) {
+        i += 1;
+        return read_path(&mut i).or(Some(first));
+    }
+    Some(first)
+}
+
+fn build_file(p: &Prepared, graph: &mut ItemGraph) {
+    let file_idx = graph.files.len();
+    let toks = tokenize(&p.code);
+
+    // Pass 1: attribute groups.
+    let mut attrs: Vec<RawAttr> = Vec::new();
+    {
+        let mut i = 0usize;
+        while i < toks.len() {
+            if toks[i].is_punct('#') {
+                let mut j = i + 1;
+                // `#![...]` inner attributes too.
+                if toks.get(j).is_some_and(|t| t.is_punct('!')) {
+                    j += 1;
+                }
+                if toks.get(j).is_some_and(|t| t.is_punct('[')) {
+                    if let Some(close) = match_bracket(&toks, j, '[', ']') {
+                        attrs.push(RawAttr {
+                            span: (i, close),
+                            line: toks[i].line,
+                            text: raw_span_text(&p.raw, &toks, (i, close)),
+                        });
+                        i = close + 1;
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    let in_attr = |idx: usize| attrs.iter().any(|a| a.span.0 <= idx && idx <= a.span.1);
+
+    // Pass 2: item heads with body spans.
+    let mut heads: Vec<Head> = Vec::new();
+    {
+        let mut i = 0usize;
+        while i < toks.len() {
+            if in_attr(i) {
+                i += 1;
+                continue;
+            }
+            let t = &toks[i];
+            let kind = if t.kind == TokKind::Ident {
+                match t.text.as_str() {
+                    "fn" => Some(HeadKind::Fn),
+                    "struct" => Some(HeadKind::Struct),
+                    "enum" => Some(HeadKind::Enum),
+                    "mod" => Some(HeadKind::Mod),
+                    "impl" => Some(HeadKind::Impl),
+                    "trait" => Some(HeadKind::Trait),
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            let Some(kind) = kind else {
+                i += 1;
+                continue;
+            };
+            // `fn`-pointer types (`fn(u8) -> u8`) have no name ident.
+            let name = match kind {
+                HeadKind::Impl | HeadKind::Trait => impl_type_name(&toks, i),
+                _ => toks
+                    .get(i + 1)
+                    .filter(|n| n.kind == TokKind::Ident)
+                    .map(|n| n.text.clone()),
+            };
+            let Some(name) = name else {
+                i += 1;
+                continue;
+            };
+            // Directly-preceding attribute groups (contiguous above).
+            let mut head_attrs: Vec<(usize, String)> = Vec::new();
+            {
+                let mut edge = i;
+                // Walk attr groups backwards while they end right before
+                // `edge` (allowing `pub`, `unsafe`, `const`, `async`,
+                // `extern`, visibility parens between).
+                loop {
+                    let mut k = edge;
+                    while k > 0 {
+                        let prev = &toks[k - 1];
+                        let skippable = prev.kind == TokKind::Ident
+                            && matches!(
+                                prev.text.as_str(),
+                                "pub" | "unsafe" | "const" | "async" | "extern" | "default"
+                            )
+                            || prev.is_punct('(')
+                            || prev.is_punct(')')
+                            || prev.is_ident("crate")
+                            || prev.is_ident("super")
+                            || prev.kind == TokKind::Str;
+                        if skippable {
+                            k -= 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    let Some(a) = attrs.iter().find(|a| a.span.1 + 1 == k) else {
+                        break;
+                    };
+                    head_attrs.push((a.line, a.text.clone()));
+                    edge = a.span.0;
+                }
+                head_attrs.reverse();
+            }
+            // Find the body: first `{` before any `;` at bracket depth 0.
+            let mut body = None;
+            {
+                let mut j = i + 1;
+                let mut paren = 0i32;
+                let mut bracket = 0i32;
+                while j < toks.len() {
+                    let tj = &toks[j];
+                    if tj.is_punct('(') {
+                        paren += 1;
+                    } else if tj.is_punct(')') {
+                        paren -= 1;
+                    } else if tj.is_punct('[') {
+                        bracket += 1;
+                    } else if tj.is_punct(']') {
+                        bracket -= 1;
+                    } else if paren == 0 && bracket == 0 {
+                        if tj.is_punct(';') {
+                            break;
+                        }
+                        if tj.is_punct('{') {
+                            body = match_bracket(&toks, j, '{', '}').map(|c| (j, c));
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            heads.push(Head {
+                kind,
+                name,
+                at: i,
+                line: t.line,
+                attrs: head_attrs,
+                body,
+            });
+            i += 1;
+        }
+    }
+
+    // Containment helpers over head body spans.
+    let containers_of = |at: usize, kinds: &[HeadKind]| -> Vec<&Head> {
+        heads
+            .iter()
+            .filter(|h| kinds.contains(&h.kind) && h.body.is_some_and(|(a, b)| a < at && at <= b))
+            .collect()
+    };
+
+    let file_is_test = is_test_path(&p.path);
+
+    // Materialize fns and structs.
+    let fn_base = graph.fns.len();
+    for h in &heads {
+        match h.kind {
+            HeadKind::Fn => {
+                let impls = containers_of(h.at, &[HeadKind::Impl, HeadKind::Trait]);
+                let impl_of = impls.last().map(|c| c.name.clone());
+                let mods = containers_of(h.at, &[HeadKind::Mod, HeadKind::Impl]);
+                let container_attrs: Vec<String> = mods
+                    .iter()
+                    .flat_map(|m| m.attrs.iter().map(|(_, t)| t.clone()))
+                    .collect();
+                let in_test = file_is_test
+                    || containers_of(h.at, &[HeadKind::Mod])
+                        .iter()
+                        .any(|m| m.attrs.iter().any(|(_, t)| t.contains("cfg(test")));
+                graph.fns.push(FnItem {
+                    file: file_idx,
+                    name: h.name.clone(),
+                    impl_of,
+                    line: h.line,
+                    body: h.body,
+                    attrs: h.attrs.clone(),
+                    container_attrs,
+                    in_test,
+                    calls: Vec::new(),
+                    callees: Vec::new(),
+                });
+            }
+            HeadKind::Struct => {
+                let derives = h
+                    .attrs
+                    .iter()
+                    .filter(|(_, t)| t.contains("derive("))
+                    .flat_map(|(_, t)| {
+                        t.split(|c: char| !(c.is_alphanumeric() || c == '_'))
+                            .filter(|w| !w.is_empty())
+                            .map(str::to_string)
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                let mut fields = Vec::new();
+                if let Some((open, close)) = h.body {
+                    // Named fields at depth 1 of the struct body:
+                    // `ident : <type tokens> ,`.
+                    let mut depth = 0i32;
+                    let mut j = open;
+                    while j <= close {
+                        let tj = &toks[j];
+                        if tj.is_punct('{') {
+                            depth += 1;
+                        } else if tj.is_punct('}') {
+                            depth -= 1;
+                        } else if depth == 1
+                            && tj.kind == TokKind::Ident
+                            && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                            && !toks.get(j + 2).is_some_and(|t| t.is_punct(':'))
+                            && !in_attr(j)
+                        {
+                            // Type tokens run to the `,` or `}` at depth 1
+                            // (angle depth tracked so `BTreeMap<K, V>`
+                            // commas do not end the field).
+                            let mut ty_idents = Vec::new();
+                            let mut k = j + 2;
+                            let mut angle = 0i32;
+                            while k <= close {
+                                let tk = &toks[k];
+                                if tk.is_punct('<') {
+                                    angle += 1;
+                                } else if tk.is_punct('>') {
+                                    angle -= 1;
+                                } else if angle == 0 && (tk.is_punct(',') || tk.is_punct('}')) {
+                                    break;
+                                } else if tk.kind == TokKind::Ident
+                                    && tk.text.chars().next().is_some_and(char::is_uppercase)
+                                {
+                                    ty_idents.push(tk.text.clone());
+                                }
+                                k += 1;
+                            }
+                            fields.push(Field {
+                                name: tj.text.clone(),
+                                line: tj.line,
+                                ty_idents,
+                            });
+                            j = k;
+                            continue;
+                        }
+                        j += 1;
+                    }
+                }
+                graph.structs.push(StructItem {
+                    file: file_idx,
+                    name: h.name.clone(),
+                    derives,
+                    fields,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    // Attribute records with attachment kinds.
+    for a in &attrs {
+        let after = a.span.1 + 1;
+        // Skip over stacked attrs / visibility to the item keyword.
+        let mut j = after;
+        while j < toks.len() {
+            if in_attr(j) {
+                j += 1;
+                continue;
+            }
+            let t = &toks[j];
+            if t.kind == TokKind::Ident
+                && matches!(
+                    t.text.as_str(),
+                    "pub" | "unsafe" | "const" | "async" | "extern" | "default" | "crate" | "super"
+                )
+            {
+                j += 1;
+                continue;
+            }
+            if t.is_punct('(') || t.is_punct(')') {
+                j += 1;
+                continue;
+            }
+            break;
+        }
+        let attached = match toks.get(j) {
+            Some(t) if t.is_ident("fn") => Attached::Fn,
+            Some(t) if t.is_ident("struct") => Attached::Struct,
+            Some(t) if t.is_ident("enum") => Attached::Enum,
+            Some(t) if t.is_ident("mod") => Attached::Mod,
+            Some(t) if t.is_ident("impl") => Attached::Impl,
+            Some(t) if t.is_ident("use") || t.is_ident("type") || t.is_ident("static") => {
+                Attached::Other
+            }
+            Some(t)
+                if t.kind == TokKind::Ident
+                    && toks.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                    && heads.iter().any(|h| {
+                        matches!(h.kind, HeadKind::Struct | HeadKind::Enum)
+                            && h.body.is_some_and(|(x, y)| x < j && j <= y)
+                    }) =>
+            {
+                Attached::Field
+            }
+            Some(_) => {
+                let inside_fn = heads.iter().any(|h| {
+                    h.kind == HeadKind::Fn && h.body.is_some_and(|(x, y)| x < j && j <= y)
+                });
+                if inside_fn {
+                    Attached::Stmt
+                } else {
+                    Attached::Other
+                }
+            }
+            None => Attached::Other,
+        };
+        // Resolve the enclosing fn index for statement attrs.
+        let enclosing_fn = if attached == Attached::Stmt {
+            let mut best: Option<usize> = None;
+            for (fi, h) in heads.iter().filter(|h| h.kind == HeadKind::Fn).enumerate() {
+                if h.body.is_some_and(|(x, y)| x < a.span.0 && a.span.0 <= y) {
+                    best = Some(fn_base + fi);
+                }
+            }
+            best
+        } else {
+            None
+        };
+        graph.attrs.push(AttrRec {
+            file: file_idx,
+            line: a.line,
+            text: a.text.clone(),
+            attached,
+            enclosing_fn,
+        });
+    }
+
+    // Call extraction per fn, skipping nested fn bodies and attr spans.
+    let fn_spans: Vec<Option<(usize, usize)>> = heads
+        .iter()
+        .filter(|h| h.kind == HeadKind::Fn)
+        .map(|h| h.body)
+        .collect();
+    for (local, h) in heads.iter().filter(|h| h.kind == HeadKind::Fn).enumerate() {
+        let Some((open, close)) = h.body else {
+            continue;
+        };
+        let nested: Vec<(usize, usize)> = fn_spans
+            .iter()
+            .enumerate()
+            .filter(|&(o, _)| o != local)
+            .filter_map(|(_, s)| *s)
+            .filter(|&(a, b)| a > open && b < close)
+            .collect();
+        let mut calls: Vec<Call> = Vec::new();
+        let mut j = open;
+        while j <= close {
+            if let Some(&(_, nb)) = nested.iter().find(|&&(na, nb)| na <= j && j <= nb) {
+                // Inside a nested fn: jump past it.
+                j = nb + 1;
+                continue;
+            }
+            if in_attr(j) {
+                j += 1;
+                continue;
+            }
+            let t = &toks[j];
+            if t.kind == TokKind::Ident
+                && !NON_CALL_KEYWORDS.contains(&t.text.as_str())
+                && toks.get(j + 1).is_some_and(|n| n.is_punct('('))
+            {
+                let prev = if j > 0 { Some(&toks[j - 1]) } else { None };
+                let kind = if prev.is_some_and(|p| p.is_punct('.')) {
+                    Some(CallKind::Method)
+                } else if j >= 3
+                    && toks[j - 1].is_punct(':')
+                    && toks[j - 2].is_punct(':')
+                    && toks[j - 3].kind == TokKind::Ident
+                {
+                    Some(CallKind::Qualified(toks[j - 3].text.clone()))
+                } else if prev.is_some_and(|p| p.is_ident("fn")) {
+                    None
+                } else {
+                    Some(CallKind::Bare)
+                };
+                if let Some(kind) = kind {
+                    calls.push(Call {
+                        kind,
+                        name: t.text.clone(),
+                    });
+                }
+            }
+            j += 1;
+        }
+        // Dedup.
+        calls.sort_by(|a, b| (&a.name, fmt_kind(&a.kind)).cmp(&(&b.name, fmt_kind(&b.kind))));
+        calls.dedup_by(|a, b| a.name == b.name && a.kind == b.kind);
+        graph.fns[fn_base + local].calls = calls;
+    }
+
+    graph.files.push(FileToks {
+        path: p.path.clone(),
+        toks,
+    });
+}
+
+fn fmt_kind(k: &CallKind) -> String {
+    match k {
+        CallKind::Bare => "b".into(),
+        CallKind::Method => "m".into(),
+        CallKind::Qualified(q) => format!("q{q}"),
+    }
+}
+
+/// File stem (`strip` for `crates/lint/src/strip.rs`).
+fn stem(path: &str) -> &str {
+    path.rsplit('/')
+        .next()
+        .and_then(|f| f.strip_suffix(".rs"))
+        .unwrap_or("")
+}
+
+fn resolve_calls(graph: &mut ItemGraph) {
+    // Name tables over non-test fns only: test helpers share names with
+    // engine fns but are never on a hot path.
+    let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut by_impl: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    let mut by_stem: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    for (i, f) in graph.fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        match &f.impl_of {
+            Some(t) => {
+                methods.entry(&f.name).or_default().push(i);
+                by_impl.entry((t.as_str(), &f.name)).or_default().push(i);
+            }
+            None => {
+                free.entry(&f.name).or_default().push(i);
+            }
+        }
+        by_stem
+            .entry((stem(&graph.files[f.file].path), &f.name))
+            .or_default()
+            .push(i);
+    }
+
+    let mut callees: Vec<Vec<usize>> = Vec::with_capacity(graph.fns.len());
+    for f in &graph.fns {
+        let mut out: BTreeSet<usize> = BTreeSet::new();
+        for c in &f.calls {
+            match &c.kind {
+                CallKind::Bare => {
+                    if let Some(v) = free.get(c.name.as_str()) {
+                        out.extend(v.iter().copied());
+                    }
+                    if let Some(t) = &f.impl_of {
+                        if let Some(v) = by_impl.get(&(t.as_str(), c.name.as_str())) {
+                            out.extend(v.iter().copied());
+                        }
+                    }
+                }
+                CallKind::Method => {
+                    if let Some(v) = methods.get(c.name.as_str()) {
+                        out.extend(v.iter().copied());
+                    }
+                }
+                CallKind::Qualified(q) => {
+                    let q = if q == "Self" {
+                        f.impl_of.clone().unwrap_or_else(|| q.clone())
+                    } else {
+                        q.clone()
+                    };
+                    if let Some(v) = by_impl.get(&(q.as_str(), c.name.as_str())) {
+                        out.extend(v.iter().copied());
+                    } else if let Some(v) = by_stem.get(&(q.as_str(), c.name.as_str())) {
+                        out.extend(v.iter().copied());
+                    }
+                }
+            }
+        }
+        callees.push(out.into_iter().collect());
+    }
+    for (f, c) in graph.fns.iter_mut().zip(callees) {
+        f.callees = c;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strip::blank_noncode;
+
+    fn graph_of(files: &[(&str, &str)]) -> ItemGraph {
+        let prepared: Vec<Prepared> = files
+            .iter()
+            .map(|(path, content)| Prepared {
+                path: path.to_string(),
+                raw: content.lines().map(str::to_string).collect(),
+                code: blank_noncode(content),
+            })
+            .collect();
+        ItemGraph::build(&prepared)
+    }
+
+    #[test]
+    fn fns_and_impls_are_indexed() {
+        let g = graph_of(&[(
+            "crates/core/src/a.rs",
+            "pub struct S { pub x: u64 }\n\
+             impl S {\n    pub fn get(&self) -> u64 { self.x }\n}\n\
+             fn free() -> u64 { 7 }\n",
+        )]);
+        assert_eq!(g.fns.len(), 2);
+        let get = &g.fns[0];
+        assert_eq!(get.name, "get");
+        assert_eq!(get.impl_of.as_deref(), Some("S"));
+        assert_eq!(g.fns[1].impl_of, None);
+        assert_eq!(g.structs.len(), 1);
+        assert_eq!(g.structs[0].fields[0].name, "x");
+    }
+
+    #[test]
+    fn trait_impl_self_type_is_the_for_type() {
+        let g = graph_of(&[(
+            "crates/core/src/a.rs",
+            "impl<T: Clone> From<T> for Wrapper<T> {\n    fn from(t: T) -> Self { Wrapper(t) }\n}\n",
+        )]);
+        assert_eq!(g.fns[0].impl_of.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn calls_resolve_transitively() {
+        let g = graph_of(&[
+            (
+                "crates/core/src/a.rs",
+                "pub fn root() { step(); }\n\
+             fn step() { helper::deep(); }\n",
+            ),
+            (
+                "crates/core/src/helper.rs",
+                "pub fn deep() { finish(); }\nfn finish() {}\n",
+            ),
+        ]);
+        let root = g.find_fn("a.rs", "root").unwrap();
+        let reach = g.reachable(&[root]);
+        let names: Vec<&str> = reach.iter().map(|&i| g.fns[i].name.as_str()).collect();
+        assert_eq!(names, vec!["root", "step", "deep", "finish"]);
+    }
+
+    #[test]
+    fn method_calls_resolve_to_impl_fns() {
+        let g = graph_of(&[(
+            "crates/core/src/a.rs",
+            "struct S;\nimpl S { fn hit(&self) {} }\n\
+             fn caller(s: &S) { s.hit(); }\n",
+        )]);
+        let caller = g.find_fn("a.rs", "caller").unwrap();
+        let reach = g.reachable(&[caller]);
+        assert!(reach.iter().any(|&i| g.fns[i].name == "hit"));
+    }
+
+    #[test]
+    fn test_mod_fns_are_marked_and_unresolvable() {
+        let g = graph_of(&[(
+            "crates/core/src/a.rs",
+            "fn caller() { probe(); }\n\
+             #[cfg(test)]\nmod tests {\n    pub fn probe() {}\n}\n",
+        )]);
+        let probe = g.fns.iter().find(|f| f.name == "probe").unwrap();
+        assert!(probe.in_test);
+        let caller = g.find_fn("a.rs", "caller").unwrap();
+        assert_eq!(g.reachable(&[caller]).len(), 1, "test fn must not resolve");
+    }
+
+    #[test]
+    fn attr_text_preserves_string_literals() {
+        let g = graph_of(&[(
+            "crates/core/src/a.rs",
+            "#[cfg(feature = \"race-audit\")]\nfn gated() {}\n",
+        )]);
+        let a = g.attrs.iter().find(|a| a.attached == Attached::Fn).unwrap();
+        assert!(a.text.contains("feature = \"race-audit\""), "{}", a.text);
+        assert_eq!(g.fns[0].attrs.len(), 1);
+        assert!(g.fns[0].attrs[0].1.contains("race-audit"));
+    }
+
+    #[test]
+    fn statement_attrs_know_their_fn() {
+        let g = graph_of(&[(
+            "crates/core/src/a.rs",
+            "fn f(name: &str) {\n    #[cfg(feature = \"race-audit\")]\n    on_acquire(name);\n    #[cfg(not(feature = \"race-audit\"))]\n    let _ = name;\n}\n",
+        )]);
+        let stmts: Vec<&AttrRec> = g
+            .attrs
+            .iter()
+            .filter(|a| a.attached == Attached::Stmt)
+            .collect();
+        assert_eq!(stmts.len(), 2, "{:?}", g.attrs);
+        assert_eq!(stmts[0].enclosing_fn, Some(0));
+        assert_eq!(stmts[1].enclosing_fn, Some(0));
+    }
+
+    #[test]
+    fn derive_idents_are_collected() {
+        let g = graph_of(&[(
+            "crates/core/src/a.rs",
+            "#[derive(Debug, Clone, Serialize)]\npub struct R { pub wall_us: u64, pub inner: Vec<Sub> }\n",
+        )]);
+        let s = &g.structs[0];
+        assert!(s.derives.iter().any(|d| d == "Serialize"));
+        assert_eq!(s.fields.len(), 2);
+        assert_eq!(s.fields[1].ty_idents, vec!["Vec", "Sub"]);
+    }
+}

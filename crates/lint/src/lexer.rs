@@ -1,0 +1,226 @@
+//! A spanned token stream over the blanked code view.
+//!
+//! The [`crate::strip`] pass already removed comment text and
+//! string/char-literal contents while preserving columns, so tokenizing
+//! its output is simple: identifiers, numbers, lifetimes, string shells
+//! (the surviving `"…"` delimiters) and single-character punctuation.
+//! Rules that need multi-character operators (`::`, `->`, `=>`) derive
+//! them from adjacent punct tokens, which works because the stripper
+//! never inserts spaces between surviving code characters.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TokKind {
+    /// Identifier or keyword: `[A-Za-z_][A-Za-z0-9_]*`.
+    Ident,
+    /// Numeric literal (decimal/hex/octal/binary, including `_` and
+    /// suffix letters — the lexer does not validate, only groups).
+    Number,
+    /// Lifetime: `'` followed by an identifier.
+    Lifetime,
+    /// The shell of a blanked string literal (`"   "` from the stripper).
+    Str,
+    /// One punctuation character.
+    Punct(char),
+}
+
+/// One token with its position in the original file.
+#[derive(Debug, Clone)]
+pub(crate) struct Tok {
+    pub(crate) kind: TokKind,
+    /// Token text. For [`TokKind::Str`] this is the empty string (the
+    /// contents were blanked anyway); for punctuation it is the single
+    /// character.
+    pub(crate) text: String,
+    /// 1-based line number.
+    pub(crate) line: usize,
+    /// 0-based character column of the token's first character. The
+    /// stripper preserves columns, so this indexes into the *raw* line
+    /// too — that is how attribute text (with its unblanked string
+    /// literals) is recovered.
+    pub(crate) col: usize,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub(crate) fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub(crate) fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// Tokenize the blanked code view (one entry per source line).
+pub(crate) fn tokenize(code: &[String]) -> Vec<Tok> {
+    let mut out = Vec::new();
+    for (idx, line) in code.iter().enumerate() {
+        let lineno = idx + 1;
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if c == '/' && chars.get(i + 1) == Some(&'/') {
+                // The stripper leaves the `//` of a line comment in place;
+                // nothing after it on this line is code.
+                break;
+            }
+            if c.is_ascii_alphabetic() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                // A blanked string shell may follow an ident prefix
+                // (`b"…"`, `r#"…"#`); the `"` below handles the shell.
+                out.push(Tok {
+                    kind: TokKind::Ident,
+                    text: chars[start..i].iter().collect(),
+                    line: lineno,
+                    col: start,
+                });
+                continue;
+            }
+            if c.is_ascii_digit() {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+                {
+                    // Stop a `1..x` range from being eaten as one number.
+                    if chars[i] == '.' && chars.get(i + 1) == Some(&'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.push(Tok {
+                    kind: TokKind::Number,
+                    text: chars[start..i].iter().collect(),
+                    line: lineno,
+                    col: start,
+                });
+                continue;
+            }
+            if c == '"' {
+                // A blanked string: skip to the closing quote on this line
+                // (the stripper guarantees interior chars are spaces; a
+                // multi-line string leaves an unmatched quote — consume to
+                // end of line).
+                let mut j = i + 1;
+                while j < chars.len() && chars[j] != '"' {
+                    j += 1;
+                }
+                out.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line: lineno,
+                    col: i,
+                });
+                i = if j < chars.len() { j + 1 } else { chars.len() };
+                continue;
+            }
+            if c == '\'' {
+                // Lifetime (`'a`) or blanked char shell (`' '`). The
+                // stripper reduces char literals to `'x'`-shaped shells
+                // with blank interiors.
+                if chars
+                    .get(i + 1)
+                    .is_some_and(|n| n.is_ascii_alphabetic() || *n == '_')
+                    && chars.get(i + 2) != Some(&'\'')
+                {
+                    let start = i;
+                    i += 1;
+                    while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                    out.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: chars[start..i].iter().collect(),
+                        line: lineno,
+                        col: start,
+                    });
+                } else {
+                    // Char shell: `'<blank>'` or `'<blank><blank>'`.
+                    let mut j = i + 1;
+                    while j < chars.len() && chars[j] != '\'' {
+                        j += 1;
+                    }
+                    out.push(Tok {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line: lineno,
+                        col: i,
+                    });
+                    i = if j < chars.len() { j + 1 } else { chars.len() };
+                }
+                continue;
+            }
+            out.push(Tok {
+                kind: TokKind::Punct(c),
+                text: c.to_string(),
+                line: lineno,
+                col: i,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strip::blank_noncode;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(&blank_noncode(src))
+    }
+
+    #[test]
+    fn idents_numbers_and_puncts() {
+        let t = toks("let x = foo(42);");
+        let texts: Vec<&str> = t.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["let", "x", "=", "foo", "(", "42", ")", ";"]);
+        assert_eq!(t[0].kind, TokKind::Ident);
+        assert_eq!(t[5].kind, TokKind::Number);
+    }
+
+    #[test]
+    fn lines_are_one_based_and_tracked() {
+        let t = toks("fn a() {\n    b();\n}\n");
+        let b = t.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 2);
+    }
+
+    #[test]
+    fn comments_and_strings_yield_no_idents() {
+        let t = toks("// unwrap here\nlet s = \"unwrap\"; a.unwrap();");
+        let unwraps = t.iter().filter(|t| t.is_ident("unwrap")).count();
+        assert_eq!(unwraps, 1, "{t:?}");
+        assert!(t.iter().any(|t| t.kind == TokKind::Str));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_shells() {
+        let t = toks("fn f<'a>(x: &'a str, c: char) { let y = 'z'; }");
+        assert!(t
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        // 'z' became a blanked shell, not a lifetime.
+        assert_eq!(
+            t.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2 // both occurrences of 'a
+        );
+    }
+
+    #[test]
+    fn range_is_not_swallowed_by_number() {
+        let t = toks("for i in 0..n {}");
+        let texts: Vec<&str> = t.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["for", "i", "in", "0", ".", ".", "n", "{", "}"]);
+    }
+}

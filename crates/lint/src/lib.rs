@@ -12,13 +12,21 @@
 //!
 //! ## Rules
 //!
+//! Line/token rules match the blanked code view directly; the semantic
+//! rules (`panic-freedom`, `alloc-hot-path`, `cfg-pairing`,
+//! `schema-drift`) query the workspace [item graph](graph) built from a
+//! spanned [token stream](lexer) over that same view.
+//!
 //! | id | invariant |
 //! |---|---|
 //! | `seam-containment` | `downcast_ref::<BgpRouter>` only in `core/src/bgp_sut.rs`; `GossipNode` downcasts only in `gossip_sut.rs` |
 //! | `determinism-zone` | no `Instant::now` / `SystemTime` / ambient RNG in report-affecting code without an annotation |
 //! | `unordered-iter` | no `HashMap`/`HashSet` iteration feeding serialized reports or coverage unions |
 //! | `lock-hygiene` | no bare `.lock().unwrap()` in `dice-core` — route through the poison-tolerant helper |
-//! | `wall-clock-coverage` | every `*_us`/`*_ms` field of a serializable report struct is zeroed by `normalized()` |
+//! | `panic-freedom` | no `unwrap`/`expect`/`panic!`/identifier slice-index in fns reachable from the round hot loop or the solve path |
+//! | `alloc-hot-path` | no fresh allocations (`Vec::new`, `format!`, `.clone()`, …) inside the pooled validation paths |
+//! | `cfg-pairing` | every `race-audit`-gated fn/statement has a feature-off counterpart |
+//! | `schema-drift` | every wall-clock field of a `Serialize` struct reachable from `CampaignReport` is zeroed by `normalized()` |
 //! | `allow-syntax` | escape-hatch annotations must name a known rule and give a reason |
 //! | `stale-allow` | escape-hatch annotations must actually suppress a finding |
 //!
@@ -43,8 +51,17 @@
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
+mod baseline;
+mod fix;
+mod graph;
+mod lexer;
 mod rules;
+mod sarif;
 mod strip;
+
+pub use baseline::{ratchet, Baseline, BaselineEntry, RatchetOutcome};
+pub use fix::{apply_fixes, FixedFile};
+pub use sarif::to_sarif;
 
 /// The rule identifiers enforced by this crate, in severity-neutral
 /// reporting order. `allow-syntax` and `stale-allow` police the escape
@@ -54,7 +71,10 @@ pub const RULES: &[&str] = &[
     "determinism-zone",
     "unordered-iter",
     "lock-hygiene",
-    "wall-clock-coverage",
+    "panic-freedom",
+    "alloc-hot-path",
+    "cfg-pairing",
+    "schema-drift",
     "allow-syntax",
     "stale-allow",
 ];
@@ -85,6 +105,12 @@ pub(crate) struct RawFinding {
     /// 1-based line number.
     pub(crate) line: usize,
     pub(crate) message: String,
+    /// For findings inside a function body (semantic rules only): the
+    /// 1-based line of the enclosing `fn` keyword. An allow annotation on
+    /// (or directly above) the fn declaration then suppresses every
+    /// finding of that rule in the body — the fn-level escape hatch for
+    /// index-heavy code where per-line annotations would drown the file.
+    pub(crate) fn_line: Option<usize>,
 }
 
 /// A resolved finding: either an unallowed violation or a finding
@@ -109,6 +135,11 @@ pub struct Finding {
 pub struct LintReport {
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Wall-clock milliseconds the workspace scan took (file IO, lexing,
+    /// item-graph build and rules). Zero for in-memory [`scan_files`]
+    /// callers; set by [`scan_workspace`]. The tier-1 suite asserts a
+    /// ceiling on this so the analyzer stays honest as the graph grows.
+    pub scan_wall_ms: u64,
     /// Findings not covered by an allow annotation. Empty = exit 0.
     pub violations: Vec<Finding>,
     /// Findings suppressed by a justified annotation.
@@ -197,7 +228,8 @@ pub fn scan_files(files: &[SourceFile]) -> LintReport {
         })
         .collect();
 
-    let raw_findings = rules::run_all(&prepared);
+    let graph = graph::ItemGraph::build(&prepared);
+    let raw_findings = rules::run_all(&prepared, &graph);
 
     let mut report = LintReport {
         files_scanned: files.len(),
@@ -217,9 +249,14 @@ pub fn scan_files(files: &[SourceFile]) -> LintReport {
             .map(|(_, a)| a);
         let hit = anns.and_then(|anns| {
             anns.iter_mut().find(|a| {
-                a.rule == f.rule
-                    && a.reason.is_some()
-                    && ((a.line == f.line) || (a.own_line && a.line + 1 == f.line))
+                let covers_line = (a.line == f.line) || (a.own_line && a.line + 1 == f.line);
+                // Fn-level coverage: an annotation on (or above) the fn
+                // declaration suppresses every body finding of that rule.
+                // Only the semantic rules set `fn_line`.
+                let covers_fn = f
+                    .fn_line
+                    .is_some_and(|fl| (a.line == fl) || (a.own_line && a.line + 1 == fl));
+                a.rule == f.rule && a.reason.is_some() && (covers_line || covers_fn)
             })
         });
         match hit {
@@ -293,10 +330,24 @@ pub fn scan_files(files: &[SourceFile]) -> LintReport {
 }
 
 /// Walk the workspace at `root` (the `src/`, `crates/`, `examples/` and
-/// `tests/` trees), skipping `vendor/`, `target/`, `.git/`, fixture
-/// directories and this crate itself, and scan every `.rs` file found.
-/// Directory entries are visited in sorted order so the report is stable.
+/// `tests/` trees), skipping `vendor/`, `target/`, `.git/`, this crate's
+/// own fixture directory and this crate itself, and scan every `.rs`
+/// file found. Directory entries are visited in sorted order so the
+/// report is stable.
 pub fn scan_workspace(root: &Path) -> std::io::Result<LintReport> {
+    // dice-lint: timing the scanner itself — this crate is excluded from
+    // its own scan, so the wall-clock read below never trips a rule.
+    let scan_start = std::time::Instant::now();
+    let files = workspace_files(root)?;
+    let mut report = scan_files(&files);
+    report.scan_wall_ms = scan_start.elapsed().as_millis() as u64;
+    Ok(report)
+}
+
+/// Collect the workspace's scannable sources (same walk and exclusions
+/// as [`scan_workspace`]) without scanning them — the `--fix` path needs
+/// the file list to write rewrites back to disk.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<SourceFile>> {
     let mut paths: Vec<PathBuf> = Vec::new();
     for top in ["src", "crates", "examples", "tests"] {
         let dir = root.join(top);
@@ -322,7 +373,7 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<LintReport> {
             content: std::fs::read_to_string(&p)?,
         });
     }
-    Ok(scan_files(&files))
+    Ok(files)
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -333,7 +384,11 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     for path in entries {
         if path.is_dir() {
             let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            if matches!(name, "vendor" | "target" | ".git" | "fixtures") {
+            // Only this crate's own fixture corpus is skipped — another
+            // crate's real `fixtures/` module is ordinary code and must
+            // be scanned like anything else.
+            let own_fixtures = name == "fixtures" && path.ends_with("crates/lint/tests/fixtures");
+            if matches!(name, "vendor" | "target" | ".git") || own_fixtures {
                 continue;
             }
             collect_rs(&path, out)?;
@@ -403,6 +458,7 @@ impl LintReport {
         let mut s = String::new();
         s.push_str("{\n");
         let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(s, "  \"scan_wall_ms\": {},", self.scan_wall_ms);
         let _ = writeln!(
             s,
             "  \"rules\": [{}],",
@@ -529,6 +585,35 @@ mod tests {
         let report = scan_files(&[file]);
         assert_eq!(report.violations.len(), 1);
         assert_eq!(report.violations[0].rule, "stale-allow");
+    }
+
+    #[test]
+    fn fixtures_dirs_outside_lint_are_scanned() {
+        // Regression: the walker used to skip *any* directory named
+        // `fixtures`, silently unscanning real code. Only this crate's
+        // own fixture corpus is exempt now.
+        let root =
+            std::env::temp_dir().join(format!("dice-lint-fixture-scan-{}", std::process::id()));
+        let src = root.join("crates").join("foo").join("src").join("fixtures");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(
+            src.join("gen.rs"),
+            "fn f() { let t = std::time::Instant::now(); }\n",
+        )
+        .unwrap();
+        let report = scan_workspace(&root).unwrap();
+        std::fs::remove_dir_all(&root).unwrap();
+        assert_eq!(
+            report.files_scanned, 1,
+            "the fixtures/ module must be walked"
+        );
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert_eq!(report.violations[0].rule, "determinism-zone");
+        assert!(
+            report.violations[0].path.ends_with("fixtures/gen.rs"),
+            "{}",
+            report.violations[0].path
+        );
     }
 
     #[test]

@@ -1,12 +1,18 @@
-//! The five invariant rules, each grounded in a contract established by
-//! an earlier PR (see DESIGN.md §"Enforced invariants"). All rules match
-//! against the blanked code view, so doc prose and quoted strings never
-//! fire them, and scope themselves by workspace-relative path prefix.
+//! The invariant rules, each grounded in a contract established by an
+//! earlier PR (see DESIGN.md §"Enforced invariants"). The line/token
+//! rules match against the blanked code view, so doc prose and quoted
+//! strings never fire them, and scope themselves by workspace-relative
+//! path prefix. The semantic rules (`panic-freedom`, `alloc-hot-path`,
+//! `cfg-pairing`, `schema-drift`) query the [`ItemGraph`] instead:
+//! reachability over name-resolved call edges, attribute attachment,
+//! and struct-reference walks.
 
+use crate::graph::{Attached, ItemGraph};
+use crate::lexer::TokKind;
 use crate::{Prepared, RawFinding};
 
-/// Run every rule over the prepared file set.
-pub(crate) fn run_all(files: &[Prepared]) -> Vec<RawFinding> {
+/// Run every rule over the prepared file set and its item graph.
+pub(crate) fn run_all(files: &[Prepared], graph: &ItemGraph) -> Vec<RawFinding> {
     let mut out = Vec::new();
     for f in files {
         seam_containment(f, &mut out);
@@ -14,7 +20,10 @@ pub(crate) fn run_all(files: &[Prepared]) -> Vec<RawFinding> {
         unordered_iter(f, &mut out);
         lock_hygiene(f, &mut out);
     }
-    wall_clock_coverage(files, &mut out);
+    panic_freedom(graph, &mut out);
+    alloc_hot_path(graph, &mut out);
+    cfg_pairing(graph, &mut out);
+    schema_drift(files, graph, &mut out);
     out
 }
 
@@ -49,6 +58,7 @@ fn seam_containment(f: &Prepared, out: &mut Vec<RawFinding>) {
                     message: format!(
                         "`{ty}` downcast outside its adapter module {home} — resolve through the SutCatalog probe chain instead"
                     ),
+                    fn_line: None,
                 });
             }
         }
@@ -77,6 +87,7 @@ fn determinism_zone(f: &Prepared, out: &mut Vec<RawFinding>) {
                     message: format!(
                         "`{pat}` in the determinism zone — wall-clock/ambient-RNG reads may only feed fields zeroed by normalized(); annotate legitimate accounting sites"
                     ),
+                    fn_line: None,
                 });
             }
         }
@@ -193,6 +204,7 @@ fn unordered_iter(f: &Prepared, out: &mut Vec<RawFinding>) {
                     message: format!(
                         "iteration over unordered container `{name}` — use BTreeMap/BTreeSet (or collect + sort) before feeding reports or coverage unions"
                     ),
+                    fn_line: None,
                 });
             }
         }
@@ -230,8 +242,290 @@ fn lock_hygiene(f: &Prepared, out: &mut Vec<RawFinding>) {
                     message: format!(
                         "bare `{pat}` in dice-core — use crate::sync::lock_unpoisoned (poison-tolerant, race-audit instrumented)"
                     ),
+                    fn_line: None,
                 });
             }
+        }
+    }
+}
+
+/// Is `path` inside the engine (the crates whose hot loops the semantic
+/// rules guard)?
+fn in_engine(path: &str) -> bool {
+    path.starts_with("crates/core/src/") || path.starts_with("crates/concolic/src/")
+}
+
+/// The entry points of the round hot loop and the concolic solve path.
+/// Reachability for `panic-freedom` starts here. A root that does not
+/// exist in the scanned file set is simply absent (single-file fixture
+/// scans define their own); if a refactor renames one in the real tree,
+/// every `panic-freedom` allow annotation in its old reachable set goes
+/// stale and `stale-allow` fires — the rule polices its own anchors.
+const PANIC_ROOTS: &[(&str, &str, Option<&str>)] = &[
+    ("core/src/executor.rs", "run_rounds", None),
+    ("core/src/campaign.rs", "run", Some("Campaign")),
+    ("concolic/src/explore.rs", "explore", None),
+    ("concolic/src/solve.rs", "solve", Some("Solver")),
+    ("concolic/src/solve.rs", "solve_memo", Some("Solver")),
+];
+
+/// Find a fn by file-path suffix, name and (optionally) impl type.
+fn find_root(graph: &ItemGraph, suffix: &str, name: &str, impl_of: Option<&str>) -> Option<usize> {
+    graph.fns.iter().position(|f| {
+        f.name == name
+            && !f.in_test
+            && graph.files[f.file].path.ends_with(suffix)
+            && impl_of.is_none_or(|t| f.impl_of.as_deref() == Some(t))
+    })
+}
+
+/// Scan one fn body for panicking constructs, pushing a finding per site.
+fn panic_sites_in(graph: &ItemGraph, fi: usize, out: &mut Vec<RawFinding>) {
+    let f = &graph.fns[fi];
+    let Some((open, close)) = f.body else {
+        return;
+    };
+    let toks = &graph.files[f.file].toks;
+    let path = &graph.files[f.file].path;
+    let mut push = |line: usize, what: String| {
+        out.push(RawFinding {
+            rule: "panic-freedom",
+            path: path.clone(),
+            line,
+            message: format!(
+                "{what} in `{}` — reachable from the round hot loop; plumb a Result or justify with an allow",
+                f.name
+            ),
+            fn_line: Some(f.line),
+        });
+    };
+    const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+    let mut j = open;
+    while j <= close {
+        let t = &toks[j];
+        if t.kind == TokKind::Ident {
+            let next_is = |c: char| toks.get(j + 1).is_some_and(|n| n.is_punct(c));
+            let prev_dot = j > 0 && toks[j - 1].is_punct('.');
+            if prev_dot && next_is('(') && (t.text == "unwrap" || t.text == "expect") {
+                push(t.line, format!("`.{}()`", t.text));
+            } else if next_is('!') && PANIC_MACROS.contains(&t.text.as_str()) {
+                push(t.line, format!("`{}!`", t.text));
+            }
+        } else if t.is_punct('[') {
+            // Identifier-indexed `expr[idx]` can panic out of bounds.
+            // Only fires when the receiver is an expression (ident, `)`
+            // or `]` on the left — never types, attrs, or `vec![`) and
+            // the index contains at least one identifier (literal
+            // indices into fixed-size arrays are exempt).
+            let recv_is_expr = j > 0
+                && (toks[j - 1].kind == TokKind::Ident && !is_keyword(&toks[j - 1].text)
+                    || toks[j - 1].is_punct(')')
+                    || toks[j - 1].is_punct(']'));
+            if recv_is_expr {
+                let mut depth = 0i32;
+                let mut k = j;
+                let mut has_ident = false;
+                while k <= close {
+                    if toks[k].is_punct('[') {
+                        depth += 1;
+                    } else if toks[k].is_punct(']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if toks[k].kind == TokKind::Ident && k > j {
+                        has_ident = true;
+                    }
+                    k += 1;
+                }
+                if has_ident {
+                    push(t.line, "identifier-indexed `[...]`".to_string());
+                }
+            }
+        }
+        j += 1;
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "else" | "match" | "return" | "in" | "as" | "mut" | "ref" | "move" | "let"
+    )
+}
+
+/// R5 — panic freedom (contract for the campaign-as-a-service direction):
+/// a long-running service cannot `unwrap()` its way down. Every fn
+/// transitively reachable from [`PANIC_ROOTS`] (the executor's round
+/// stages and the solve path) and living in the engine crates must be
+/// free of `unwrap`/`expect`/panicking macros/identifier slice-indexing,
+/// or carry a justified allow (line- or fn-level).
+fn panic_freedom(graph: &ItemGraph, out: &mut Vec<RawFinding>) {
+    let roots: Vec<usize> = PANIC_ROOTS
+        .iter()
+        .filter_map(|(suffix, name, impl_of)| find_root(graph, suffix, name, *impl_of))
+        .collect();
+    if roots.is_empty() {
+        return;
+    }
+    for fi in graph.reachable(&roots) {
+        let f = &graph.fns[fi];
+        if f.in_test || !in_engine(&graph.files[f.file].path) {
+            continue;
+        }
+        panic_sites_in(graph, fi, out);
+    }
+}
+
+/// The pooled validation paths whose PR-5 allocation-free steady state
+/// `alloc-hot-path` guards. Direct bodies only: these are the per-unit
+/// inner loops; their callees allocate behind the clone pool by design.
+const POOLED_FNS: &[(&str, &str)] = &[
+    ("core/src/executor.rs", "run_val_unit"),
+    ("core/src/executor.rs", "steal_val_unit"),
+    ("core/src/explorer.rs", "validate_one"),
+    ("core/src/pool.rs", "acquire"),
+    ("core/src/pool.rs", "release"),
+];
+
+/// R6 — hot-path allocations (contract from PR 5): the pooled validation
+/// paths reuse clones instead of allocating per unit. Fresh allocations
+/// (`Vec::new`, `vec!`, `format!`, `Box::new`, `.to_vec()`,
+/// `.to_string()`, `.to_owned()`, `.clone()`) in their direct bodies
+/// regress the steady state the zero-copy roadmap item extends.
+fn alloc_hot_path(graph: &ItemGraph, out: &mut Vec<RawFinding>) {
+    const ALLOC_QUALIFIERS: &[&str] = &["Vec", "String", "Box", "BTreeMap", "BTreeSet", "HashMap"];
+    const ALLOC_MACROS: &[&str] = &["vec", "format"];
+    const ALLOC_METHODS: &[&str] = &["to_vec", "to_string", "to_owned", "clone"];
+    for (suffix, name) in POOLED_FNS {
+        let Some(fi) = find_root(graph, suffix, name, None) else {
+            continue;
+        };
+        let f = &graph.fns[fi];
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        let toks = &graph.files[f.file].toks;
+        let path = &graph.files[f.file].path;
+        for j in open..=close {
+            let t = &toks[j];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let next_is = |c: char| toks.get(j + 1).is_some_and(|n| n.is_punct(c));
+            let hit = if next_is('(')
+                && j >= 3
+                && toks[j - 1].is_punct(':')
+                && toks[j - 2].is_punct(':')
+                && t.text == "new"
+                && ALLOC_QUALIFIERS.contains(&toks[j - 3].text.as_str())
+            {
+                Some(format!("`{}::new()`", toks[j - 3].text))
+            } else if next_is('!') && ALLOC_MACROS.contains(&t.text.as_str()) {
+                Some(format!("`{}!`", t.text))
+            } else if next_is('(')
+                && j > 0
+                && toks[j - 1].is_punct('.')
+                && ALLOC_METHODS.contains(&t.text.as_str())
+            {
+                Some(format!("`.{}()`", t.text))
+            } else {
+                None
+            };
+            if let Some(what) = hit {
+                out.push(RawFinding {
+                    rule: "alloc-hot-path",
+                    path: path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "{what} in pooled path `{}` — the validation loop must reuse pooled clones, not allocate per unit",
+                        f.name
+                    ),
+                    fn_line: Some(f.line),
+                });
+            }
+        }
+    }
+}
+
+/// R7 — cfg pairing (contract from PR 6's race-audit layer): a
+/// `#[cfg(feature = "race-audit")]`-gated fn or statement must have a
+/// feature-off counterpart in the same scope, otherwise the default
+/// build silently loses behavior (feature rot that no offline build
+/// catches). Structural carriers — gated fields, impls, mods, uses —
+/// are exempt: they simply vanish feature-off, and any code referencing
+/// them is itself gated and checked here.
+fn cfg_pairing(graph: &ItemGraph, out: &mut Vec<RawFinding>) {
+    let is_positive_audit = |text: &str| {
+        text.contains("feature = \"race-audit\"")
+            && !text.contains("not(")
+            && !text.contains("not (")
+    };
+    let is_negative_audit = |text: &str| {
+        text.contains("race-audit") && (text.contains("not(") || text.contains("not ("))
+    };
+    for a in &graph.attrs {
+        if !is_positive_audit(&a.text) {
+            continue;
+        }
+        let path = &graph.files[a.file].path;
+        if path.starts_with("tests/") || path.contains("/tests/") || path.starts_with("examples/") {
+            continue; // test-tree code is additive coverage, not behavior
+        }
+        match a.attached {
+            Attached::Fn => {
+                let Some(f) = graph
+                    .fns
+                    .iter()
+                    .find(|f| f.file == a.file && f.attrs.iter().any(|(l, _)| *l == a.line))
+                else {
+                    continue;
+                };
+                if f.in_test || f.container_attrs.iter().any(|t| t.contains("race-audit")) {
+                    continue;
+                }
+                let paired = graph.fns.iter().any(|g| {
+                    g.file == a.file
+                        && g.name == f.name
+                        && g.attrs.iter().any(|(_, t)| is_negative_audit(t))
+                });
+                if !paired {
+                    out.push(RawFinding {
+                        rule: "cfg-pairing",
+                        path: path.clone(),
+                        line: a.line,
+                        message: format!(
+                            "race-audit-gated fn `{}` has no `#[cfg(not(feature = ...))]` counterpart — the default build loses it silently",
+                            f.name
+                        ),
+                        fn_line: None,
+                    });
+                }
+            }
+            Attached::Stmt => {
+                let paired = graph.attrs.iter().any(|b| {
+                    b.file == a.file
+                        && b.attached == Attached::Stmt
+                        && b.enclosing_fn == a.enclosing_fn
+                        && is_negative_audit(&b.text)
+                });
+                if !paired {
+                    let fn_name = a
+                        .enclosing_fn
+                        .map(|fi| graph.fns[fi].name.clone())
+                        .unwrap_or_else(|| "?".into());
+                    out.push(RawFinding {
+                        rule: "cfg-pairing",
+                        path: path.clone(),
+                        line: a.line,
+                        message: format!(
+                            "race-audit-gated statement in `{fn_name}` has no `#[cfg(not(feature = ...))]` sibling — unused-binding or behavior drift feature-off"
+                        ),
+                        fn_line: None,
+                    });
+                }
+            }
+            _ => {}
         }
     }
 }
@@ -247,74 +541,56 @@ fn is_wall_clock_field(name: &str) -> bool {
         || name.ends_with("_micros")
 }
 
-/// R5 — wall-clock field coverage (contract from PR 3/PR 5): every
-/// `*_us`/`*_ms`-style field of a `Serialize`-deriving struct in
-/// `dice-core` must be zeroed by `normalized()` (directly, or by
-/// resetting its whole struct to `Default`). Otherwise two runs of the
-/// same campaign would serialize differently and the byte-identity
-/// regression tests go flaky.
-fn wall_clock_coverage(files: &[Prepared], out: &mut Vec<RawFinding>) {
-    struct WallField {
-        strukt: String,
-        field: String,
-        path: String,
-        line: usize,
+/// R8 — schema drift (contract from PR 3/PR 5, upgraded from the PR-6
+/// name-pattern rule): walk the `#[derive(Serialize)]` structs reachable
+/// from `CampaignReport` over field-type references and verify every
+/// wall-clock field is zeroed by a `normalized()` body (directly, or by
+/// resetting its whole struct to `Default`). The item graph sees through
+/// `Vec<_>`/`Option<_>`/`BTreeMap<_, _>` wrappers, so nested report
+/// shapes that no test constructs are still covered statically —
+/// complementing the runtime reflection test.
+fn schema_drift(files: &[Prepared], graph: &ItemGraph, out: &mut Vec<RawFinding>) {
+    // Serialize-deriving structs in core, by name.
+    let core_structs: Vec<usize> = graph
+        .structs
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| {
+            in_core(&graph.files[s.file].path) && s.derives.iter().any(|d| d == "Serialize")
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let by_name = |name: &str| -> Vec<usize> {
+        core_structs
+            .iter()
+            .copied()
+            .filter(|&i| graph.structs[i].name == name)
+            .collect()
+    };
+    // BFS from CampaignReport over field-type references.
+    let mut reach: Vec<usize> = by_name("CampaignReport");
+    if reach.is_empty() {
+        return;
     }
-    let mut fields: Vec<WallField> = Vec::new();
-    let mut normalized_bodies = String::new();
+    let mut seen: std::collections::BTreeSet<usize> = reach.iter().copied().collect();
+    while let Some(si) = reach.pop() {
+        for field in &graph.structs[si].fields {
+            for ty in &field.ty_idents {
+                for ref_idx in by_name(ty) {
+                    if seen.insert(ref_idx) {
+                        reach.push(ref_idx);
+                    }
+                }
+            }
+        }
+    }
 
+    // Every `fn normalized` body in core, by balanced-brace extraction.
+    let mut normalized_bodies = String::new();
     for f in files {
         if !in_core(&f.path) {
             continue;
         }
-        // Struct-field collection: watch for a Serialize derive, then the
-        // struct header, then fields until the closing brace at column 0.
-        let mut derive_serialize = false;
-        let mut current: Option<String> = None;
-        for (idx, line) in f.code.iter().enumerate() {
-            let trimmed = line.trim_start();
-            if trimmed.starts_with("#[derive(") {
-                derive_serialize = line.contains("Serialize");
-                continue;
-            }
-            if current.is_none() {
-                if let Some(rest) = trimmed
-                    .strip_prefix("pub struct ")
-                    .or_else(|| trimmed.strip_prefix("struct "))
-                {
-                    if derive_serialize && rest.contains('{') {
-                        let name: String = rest
-                            .chars()
-                            .take_while(|c| c.is_alphanumeric() || *c == '_')
-                            .collect();
-                        current = Some(name);
-                    }
-                    derive_serialize = false;
-                    continue;
-                }
-                if !trimmed.is_empty() && !trimmed.starts_with("#[") && !trimmed.starts_with("//") {
-                    derive_serialize = false;
-                }
-            } else if line.starts_with('}') {
-                current = None;
-            } else if let Some((lhs, _)) = trimmed.split_once(':') {
-                let field = lhs.trim().trim_start_matches("pub ").trim();
-                if !field.is_empty()
-                    && field.chars().all(|c| c.is_alphanumeric() || c == '_')
-                    && is_wall_clock_field(field)
-                {
-                    fields.push(WallField {
-                        strukt: current.clone().unwrap_or_default(),
-                        field: field.to_string(),
-                        path: f.path.clone(),
-                        line: idx + 1,
-                    });
-                }
-            }
-        }
-
-        // Normalized-body collection: balanced-brace extraction from every
-        // `fn normalized` in core.
         let joined = f.code.join("\n");
         let mut search = 0usize;
         while let Some(pos) = joined[search..].find("fn normalized") {
@@ -345,26 +621,33 @@ fn wall_clock_coverage(files: &[Prepared], out: &mut Vec<RawFinding>) {
         }
     }
 
-    for wf in fields {
-        let zeroed_directly = normalized_bodies.contains(&format!(".{} = 0", wf.field))
-            || normalized_bodies.contains(&format!("{}: 0", wf.field));
-        let struct_reset = !wf.strukt.is_empty()
-            && normalized_bodies.contains(&format!("{}::default()", wf.strukt));
-        if !(zeroed_directly || struct_reset) {
-            let hint = if normalized_bodies.is_empty() {
-                "no normalized() implementation found in dice-core"
-            } else {
-                "normalized() never zeroes it"
-            };
-            out.push(RawFinding {
-                rule: "wall-clock-coverage",
-                path: wf.path,
-                line: wf.line,
-                message: format!(
-                    "wall-clock field `{}.{}` serializes into reports but {hint} — the byte-identity contract breaks",
-                    wf.strukt, wf.field
-                ),
-            });
+    for &si in &seen {
+        let s = &graph.structs[si];
+        let path = &graph.files[s.file].path;
+        for field in &s.fields {
+            if !is_wall_clock_field(&field.name) {
+                continue;
+            }
+            let zeroed_directly = normalized_bodies.contains(&format!(".{} = 0", field.name))
+                || normalized_bodies.contains(&format!("{}: 0", field.name));
+            let struct_reset = normalized_bodies.contains(&format!("{}::default()", s.name));
+            if !(zeroed_directly || struct_reset) {
+                let hint = if normalized_bodies.is_empty() {
+                    "no normalized() implementation found in dice-core"
+                } else {
+                    "normalized() never zeroes it"
+                };
+                out.push(RawFinding {
+                    rule: "schema-drift",
+                    path: path.clone(),
+                    line: field.line,
+                    message: format!(
+                        "wall-clock field `{}.{}` is serialized via CampaignReport but {hint} — the byte-identity contract breaks",
+                        s.name, field.name
+                    ),
+                    fn_line: None,
+                });
+            }
         }
     }
 }
@@ -409,14 +692,36 @@ mod tests {
     }
 
     #[test]
-    fn wall_clock_rule_needs_cross_file_view() {
-        let strukt = "#[derive(Debug, Clone, Serialize)]\n\
-                      pub struct MiniReport {\n\
-                      pub wall_us: u64,\n\
-                      pub items: usize,\n\
-                      }\n";
-        let normalized_good = "impl MiniReport {\n\
-                               pub fn normalized(&self) -> MiniReport {\n\
+    fn schema_drift_walks_reachable_structs_cross_file() {
+        // Nested struct reached only through CampaignReport's field type;
+        // its wall-clock field must be zeroed even though no name pattern
+        // ties the two files together.
+        let root = "#[derive(Debug, Clone, Serialize)]\n\
+                    pub struct CampaignReport {\n\
+                    pub rounds: Vec<Inner>,\n\
+                    }\n";
+        let inner = "#[derive(Debug, Clone, Serialize)]\n\
+                     pub struct Inner {\n\
+                     pub wall_us: u64,\n\
+                     pub items: usize,\n\
+                     }\n";
+        let dirty = crate::scan_files(&[
+            SourceFile {
+                path: "crates/core/src/a.rs".into(),
+                content: root.into(),
+            },
+            SourceFile {
+                path: "crates/core/src/b.rs".into(),
+                content: inner.into(),
+            },
+        ]);
+        assert_eq!(dirty.violations.len(), 1, "{:?}", dirty.violations);
+        assert_eq!(dirty.violations[0].rule, "schema-drift");
+        assert_eq!(dirty.violations[0].path, "crates/core/src/b.rs");
+        assert_eq!(dirty.violations[0].line, 3);
+
+        let normalized_good = "impl Inner {\n\
+                               pub fn normalized(&self) -> Inner {\n\
                                let mut r = self.clone();\n\
                                r.wall_us = 0;\n\
                                r\n\
@@ -425,22 +730,30 @@ mod tests {
         let clean = crate::scan_files(&[
             SourceFile {
                 path: "crates/core/src/a.rs".into(),
-                content: strukt.into(),
+                content: root.into(),
             },
             SourceFile {
                 path: "crates/core/src/b.rs".into(),
-                content: normalized_good.into(),
+                content: format!("{inner}{normalized_good}"),
             },
         ]);
         assert!(clean.violations.is_empty(), "{:?}", clean.violations);
+    }
 
-        let dirty = crate::scan_files(&[SourceFile {
-            path: "crates/core/src/a.rs".into(),
-            content: strukt.into(),
-        }]);
-        assert_eq!(dirty.violations.len(), 1);
-        assert_eq!(dirty.violations[0].rule, "wall-clock-coverage");
-        assert_eq!(dirty.violations[0].line, 3);
+    #[test]
+    fn schema_drift_ignores_structs_not_reachable_from_the_report() {
+        // A Serialize struct nobody references from CampaignReport does
+        // not serialize into campaign output; its wall fields are its
+        // own business.
+        let src = "#[derive(Debug, Clone, Serialize)]\n\
+                   pub struct CampaignReport {\n\
+                   pub rounds: u64,\n\
+                   }\n\
+                   #[derive(Debug, Clone, Serialize)]\n\
+                   pub struct Standalone {\n\
+                   pub wall_us: u64,\n\
+                   }\n";
+        assert!(rules_of("crates/core/src/a.rs", src).is_empty());
     }
 
     #[test]
@@ -449,13 +762,107 @@ mod tests {
                    pub struct Perf {\n\
                    pub solve_us: u64,\n\
                    }\n\
-                   impl R {\n\
-                   pub fn normalized(&self) -> R {\n\
+                   #[derive(Debug, Clone, Serialize)]\n\
+                   pub struct CampaignReport {\n\
+                   pub perf: Perf,\n\
+                   }\n\
+                   impl CampaignReport {\n\
+                   pub fn normalized(&self) -> CampaignReport {\n\
                    let mut r = self.clone();\n\
                    r.perf = Perf::default();\n\
                    r\n\
                    }\n\
                    }\n";
         assert!(rules_of("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_freedom_follows_call_edges_from_the_roots() {
+        let src = "pub fn run_rounds() { stage(); }\n\
+                   fn stage() { helper(); }\n\
+                   fn helper(v: &[u8], i: usize) -> u8 {\n\
+                   let x: Option<u8> = None;\n\
+                   x.unwrap()\n\
+                   }\n\
+                   fn unreached() { let y: Option<u8> = None; y.expect(\"never flagged\"); }\n";
+        let got = rules_of("crates/core/src/executor.rs", src);
+        assert_eq!(
+            got,
+            vec!["panic-freedom"],
+            "only the reachable unwrap fires"
+        );
+    }
+
+    #[test]
+    fn panic_freedom_flags_identifier_indexing_but_not_literals() {
+        let src = "pub fn run_rounds(v: &[u8], i: usize) {\n\
+                   let _a = v[i];\n\
+                   let table = [1u8, 2, 3];\n\
+                   let _b = table[0];\n\
+                   }\n";
+        let report = crate::scan_files(&[SourceFile {
+            path: "crates/core/src/executor.rs".into(),
+            content: src.into(),
+        }]);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert_eq!(report.violations[0].line, 2);
+        assert!(report.violations[0].message.contains("identifier-indexed"));
+    }
+
+    #[test]
+    fn fn_level_allow_covers_every_site_in_the_body() {
+        let m = "dice-lint: allow";
+        let src = format!(
+            "pub fn run_rounds(v: &[u8], i: usize) {{ helper(v, i); }}\n\
+             // {m}(panic-freedom): fixture — indices bounded by caller\n\
+             fn helper(v: &[u8], i: usize) -> u8 {{\n\
+             let a = v[i];\n\
+             let b = v[i + 1];\n\
+             a + b\n\
+             }}\n"
+        );
+        let report = crate::scan_files(&[SourceFile {
+            path: "crates/core/src/executor.rs".into(),
+            content: src,
+        }]);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.allowed.len(), 2, "both index sites suppressed");
+    }
+
+    #[test]
+    fn alloc_hot_path_guards_the_pooled_fns_only() {
+        let src = "impl Shared {\n\
+                   fn run_val_unit(&self) { let v: Vec<u8> = Vec::new(); drop(v); }\n\
+                   fn elsewhere(&self) { let v: Vec<u8> = Vec::new(); drop(v); }\n\
+                   }\n";
+        let report = crate::scan_files(&[SourceFile {
+            path: "crates/core/src/executor.rs".into(),
+            content: src.into(),
+        }]);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert_eq!(report.violations[0].rule, "alloc-hot-path");
+        assert_eq!(report.violations[0].line, 2);
+    }
+
+    #[test]
+    fn cfg_pairing_requires_a_feature_off_sibling() {
+        let gated_only = "#[cfg(feature = \"race-audit\")]\n\
+                          pub fn audit_hook() {}\n";
+        let got = rules_of("crates/core/src/sync.rs", gated_only);
+        assert_eq!(got, vec!["cfg-pairing"]);
+
+        let paired = "#[cfg(feature = \"race-audit\")]\n\
+                      pub fn audit_hook() {}\n\
+                      #[cfg(not(feature = \"race-audit\"))]\n\
+                      pub fn audit_hook() {}\n";
+        assert!(rules_of("crates/core/src/sync.rs", paired).is_empty());
+
+        let stmt_pair = "pub fn f(name: &str) {\n\
+                         #[cfg(feature = \"race-audit\")]\n\
+                         on_acquire(name);\n\
+                         #[cfg(not(feature = \"race-audit\"))]\n\
+                         let _ = name;\n\
+                         }\n";
+        assert!(rules_of("crates/core/src/sync.rs", stmt_pair).is_empty());
     }
 }

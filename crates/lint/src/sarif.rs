@@ -1,0 +1,103 @@
+//! SARIF 2.1.0 output for code-scanning UIs. Hand-rolled like the JSON
+//! report (std-only crate). Violations become `error`-level results;
+//! allowed findings are emitted as suppressed `note`s so scanners show
+//! the justified escape hatches without failing on them.
+
+use std::fmt::Write as _;
+
+use crate::{json_escape, Finding, LintReport, RULES};
+
+const SCHEMA: &str =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+fn result_json(f: &Finding, level: &str, suppressed: bool) -> String {
+    let mut s = String::from("        {\n");
+    let _ = writeln!(s, "          \"ruleId\": \"{}\",", json_escape(&f.rule));
+    let _ = writeln!(s, "          \"level\": \"{level}\",");
+    let mut text = f.message.clone();
+    if let Some(reason) = &f.reason {
+        let _ = write!(text, " [allowed: {reason}]");
+    }
+    let _ = writeln!(
+        s,
+        "          \"message\": {{\"text\": \"{}\"}},",
+        json_escape(&text)
+    );
+    if suppressed {
+        s.push_str("          \"suppressions\": [{\"kind\": \"inSource\"}],\n");
+    }
+    let _ = writeln!(
+        s,
+        "          \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]",
+        json_escape(&f.path),
+        f.line
+    );
+    s.push_str("        }");
+    s
+}
+
+/// Render the report as a SARIF 2.1.0 log.
+pub fn to_sarif(report: &LintReport) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"$schema\": \"{SCHEMA}\",");
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [\n    {\n");
+    s.push_str("      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"dice-lint\",\n");
+    s.push_str("          \"informationUri\": \"https://example.invalid/dice-lint\",\n");
+    s.push_str("          \"rules\": [\n");
+    for (i, r) in RULES.iter().enumerate() {
+        let comma = if i + 1 < RULES.len() { "," } else { "" };
+        let _ = writeln!(s, "            {{\"id\": \"{r}\"}}{comma}");
+    }
+    s.push_str("          ]\n        }\n      },\n");
+    s.push_str("      \"results\": [\n");
+    let total = report.violations.len() + report.allowed.len();
+    let mut emitted = 0usize;
+    for f in &report.violations {
+        emitted += 1;
+        let comma = if emitted < total { ",\n" } else { "\n" };
+        s.push_str(&result_json(f, "error", false));
+        s.push_str(comma);
+    }
+    for f in &report.allowed {
+        emitted += 1;
+        let comma = if emitted < total { ",\n" } else { "\n" };
+        s.push_str(&result_json(f, "note", true));
+        s.push_str(comma);
+    }
+    s.push_str("      ]\n    }\n  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{scan_files, SourceFile};
+
+    #[test]
+    fn sarif_log_carries_rule_location_and_suppression() {
+        let m = crate::marker();
+        let content = format!(
+            "fn f() {{ let t = std::time::Instant::now(); }}\n\
+             // {m}determinism-zone): fixture reason\n\
+             fn g() {{ let u = std::time::Instant::now(); }}\n"
+        );
+        let report = scan_files(&[SourceFile {
+            path: "crates/core/src/x.rs".into(),
+            content,
+        }]);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.allowed.len(), 1);
+        let sarif = to_sarif(&report);
+        assert!(sarif.contains("\"version\": \"2.1.0\""), "{sarif}");
+        assert!(sarif.contains("\"ruleId\": \"determinism-zone\""));
+        assert!(sarif.contains("\"startLine\": 1"));
+        assert!(sarif.contains("\"suppressions\": [{\"kind\": \"inSource\"}]"));
+        assert!(
+            sarif.contains("\"id\": \"panic-freedom\""),
+            "all rules listed"
+        );
+    }
+}

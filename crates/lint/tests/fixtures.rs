@@ -9,7 +9,7 @@
 //! under a *virtual* workspace path chosen to land in the right rule
 //! scope.
 
-use dice_lint::{scan_files, Finding, LintReport, SourceFile};
+use dice_lint::{apply_fixes, scan_files, Finding, LintReport, SourceFile};
 
 fn scan_one(virtual_path: &str, content: &str) -> LintReport {
     scan_files(&[SourceFile {
@@ -71,22 +71,127 @@ fn lock_hygiene_fires_on_bare_unwrap() {
 }
 
 #[test]
-fn wall_clock_coverage_fires_on_unzeroed_field() {
+fn schema_drift_fires_on_unzeroed_reachable_field() {
     let report = scan_one(
         "crates/core/src/campaign.rs",
-        include_str!("fixtures/wall_clock.fixture"),
+        include_str!("fixtures/schema_drift.fixture"),
     );
     assert_eq!(
         report.violations.iter().map(triple).collect::<Vec<_>>(),
-        vec![("wall-clock-coverage", "crates/core/src/campaign.rs", 5)]
+        vec![("schema-drift", "crates/core/src/campaign.rs", 9)]
     );
     assert!(
         report.violations[0]
             .message
-            .contains("FixtureReport.wall_us"),
+            .contains("StageBreakdown.wall_us"),
         "{}",
         report.violations[0].message
     );
+}
+
+#[test]
+fn panic_freedom_fires_on_expect_reachable_from_run_rounds() {
+    let report = scan_one(
+        "crates/core/src/executor.rs",
+        include_str!("fixtures/panic_freedom.fixture"),
+    );
+    assert_eq!(
+        report.violations.iter().map(triple).collect::<Vec<_>>(),
+        vec![("panic-freedom", "crates/core/src/executor.rs", 8)]
+    );
+    assert!(
+        report.violations[0].message.contains("`.expect()`"),
+        "{}",
+        report.violations[0].message
+    );
+}
+
+#[test]
+fn alloc_hot_path_fires_on_to_vec_in_pooled_fn() {
+    let report = scan_one(
+        "crates/core/src/explorer.rs",
+        include_str!("fixtures/alloc_hot_path.fixture"),
+    );
+    assert_eq!(
+        report.violations.iter().map(triple).collect::<Vec<_>>(),
+        vec![("alloc-hot-path", "crates/core/src/explorer.rs", 2)]
+    );
+    assert!(
+        report.violations[0].message.contains("`.to_vec()`"),
+        "{}",
+        report.violations[0].message
+    );
+}
+
+#[test]
+fn cfg_pairing_fires_on_unpaired_gated_fn() {
+    let report = scan_one(
+        "crates/core/src/sync.rs",
+        include_str!("fixtures/cfg_pairing.fixture"),
+    );
+    assert_eq!(
+        report.violations.iter().map(triple).collect::<Vec<_>>(),
+        vec![("cfg-pairing", "crates/core/src/sync.rs", 3)]
+    );
+    assert!(
+        report.violations[0].message.contains("on_acquire"),
+        "{}",
+        report.violations[0].message
+    );
+}
+
+#[test]
+fn autofix_rewrites_bare_lock_unwrap_and_is_idempotent() {
+    let files = [SourceFile {
+        path: "crates/core/src/executor.rs".into(),
+        content: include_str!("fixtures/fix_lock.fixture").into(),
+    }];
+    let fixed = apply_fixes(&files);
+    assert_eq!(fixed.len(), 1);
+    assert_eq!(fixed[0].edits, 1);
+    assert!(
+        fixed[0]
+            .content
+            .contains("crate::sync::lock_unpoisoned(&m, \"m\")"),
+        "{}",
+        fixed[0].content
+    );
+    // The rewrite clears the violation…
+    let rescanned = scan_one("crates/core/src/executor.rs", &fixed[0].content);
+    assert!(
+        rescanned.violations.is_empty(),
+        "{:?}",
+        rescanned.violations
+    );
+    // …and a second pass has nothing to do.
+    let again = apply_fixes(&[SourceFile {
+        path: "crates/core/src/executor.rs".into(),
+        content: fixed[0].content.clone(),
+    }]);
+    assert!(again.is_empty(), "autofix must be idempotent");
+}
+
+#[test]
+fn autofix_prunes_stale_annotations_in_both_placements() {
+    let files = [SourceFile {
+        path: "crates/core/src/executor.rs".into(),
+        content: include_str!("fixtures/fix_stale.fixture").into(),
+    }];
+    let fixed = apply_fixes(&files);
+    assert_eq!(fixed.len(), 1);
+    assert_eq!(fixed[0].edits, 2);
+    assert!(
+        !fixed[0].content.contains("allow("),
+        "both annotations removed: {}",
+        fixed[0].content
+    );
+    assert!(fixed[0].content.contains("pub fn calm()"));
+    assert!(fixed[0].content.contains("    7\n"), "{}", fixed[0].content);
+    let again = apply_fixes(&[SourceFile {
+        path: "crates/core/src/executor.rs".into(),
+        content: fixed[0].content.clone(),
+    }]);
+    assert!(again.is_empty(), "autofix must be idempotent");
 }
 
 #[test]

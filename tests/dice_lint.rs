@@ -2,9 +2,9 @@
 //!
 //! This is the same scan `cargo run -p dice-lint` performs in CI, run as
 //! a test so the invariants (seam containment, determinism zone,
-//! unordered iteration, lock hygiene, wall-clock coverage) break the
-//! build the moment a PR violates one without a justified allow
-//! annotation.
+//! unordered iteration, lock hygiene, panic freedom, hot-path
+//! allocations, cfg pairing, schema drift) break the build the moment a
+//! PR violates one without a justified allow annotation.
 
 use std::path::Path;
 
@@ -37,4 +37,12 @@ fn workspace_is_lint_clean() {
             f.rule
         );
     }
+    // The scan is a tier-1 gate, so it must stay cheap: the item graph
+    // and call-edge resolution are linear passes, and 5 s of headroom is
+    // an order of magnitude above what the tree needs today.
+    assert!(
+        report.scan_wall_ms < 5000,
+        "lint scan took {} ms — the semantic rules regressed",
+        report.scan_wall_ms
+    );
 }

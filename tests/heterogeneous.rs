@@ -343,10 +343,6 @@ fn three_kind_campaign(seed: u64, pair_workers: usize) -> dice_system::dice::Cam
     let mut sim = three_kind_system(seed);
     sim.run_until(SimTime::from_nanos(12_000_000_000));
     Campaign::with_catalog(&sim, mixed_catalog())
-        // The default 10-seed gossip corpus needs ~64 executions before
-        // generational search flips a rumor seed into the buggy digest
-        // arm; 96 leaves headroom across seeds.
-        .executions(96)
         .validate_top(5)
         .horizon(SimDuration::from_secs(30))
         .workers(2)
@@ -431,6 +427,30 @@ fn three_kind_reports_are_byte_identical_across_pair_workers() {
     assert_eq!(
         runs[0], runs[1],
         "normalized three-kind reports must match at pair_workers 1 and 4"
+    );
+}
+
+#[test]
+fn campaign_survives_a_poisoned_executor_lock_byte_identically() {
+    // End-to-end poison recovery: arm the executor's test-only fault so
+    // the open-batches mutex is poisoned before any worker starts, then
+    // run the full three-kind federation campaign. Every lock access goes
+    // through lock_unpoisoned, so the campaign must neither panic nor
+    // drift — the normalized report is byte-identical to a pristine run.
+    let pristine = three_kind_campaign(43, 2);
+    dice_system::dice::executor_test_support::poison_next_run();
+    let poisoned = three_kind_campaign(43, 2);
+    assert!(
+        poisoned
+            .faults
+            .iter()
+            .any(|f| f.detail.contains("digest count overflow")),
+        "gossip bug still found under a poisoned lock"
+    );
+    assert_eq!(
+        serde_json::to_string(&pristine.normalized()).unwrap(),
+        serde_json::to_string(&poisoned.normalized()).unwrap(),
+        "poison recovery must not perturb the normalized report"
     );
 }
 
