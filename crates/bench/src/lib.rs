@@ -23,6 +23,52 @@
 
 use std::fmt::Write as _;
 
+/// Fixed, realistic wire-path workloads shared by the `wire_path`
+/// criterion bench and the `exp_wire` allocation experiment, so the time
+/// and allocation sides of W1 measure the same messages.
+pub mod wire_workload {
+    use dice_bgp::wire::{Message, UpdateMsg};
+    use dice_bgp::{net, AsPath, Community, Ipv4Addr, PathAttrs};
+    use dice_gossip::{GossipFrame, Rumor};
+
+    /// A transit-grade BGP UPDATE: two withdrawals, a 4-hop AS_PATH,
+    /// MED + LOCAL_PREF, three communities, eight announced prefixes.
+    pub fn bgp_update() -> Message {
+        let mut attrs = PathAttrs {
+            as_path: AsPath::sequence([65001, 65007, 65021, 65100]),
+            next_hop: Ipv4Addr(0x0a00_0001),
+            med: Some(50),
+            local_pref: Some(120),
+            ..PathAttrs::default()
+        };
+        for c in [0xFDE8_0001u32, 0xFDE8_0002, 0xFDE8_0100] {
+            attrs.communities.insert(Community(c));
+        }
+        let nlri = (0..8u32).map(|i| net(&format!("10.{i}.0.0/16"))).collect();
+        Message::Update(UpdateMsg {
+            withdrawn: vec![net("192.0.2.0/24"), net("198.51.100.0/24")],
+            attrs: Some(attrs),
+            nlri,
+        })
+    }
+
+    /// An anti-entropy digest over 32 `(topic, id)` pairs.
+    pub fn gossip_digest() -> GossipFrame {
+        GossipFrame::Digest((0..32u16).map(|t| (t, u32::from(t) * 7 + 1)).collect())
+    }
+
+    /// A rumor push with a 64-byte payload.
+    pub fn gossip_rumor() -> GossipFrame {
+        GossipFrame::Rumor(Rumor {
+            topic: 5,
+            id: 421,
+            origin: 65007,
+            ttl: 4,
+            payload: (0..64u8).collect(),
+        })
+    }
+}
+
 /// A simple Markdown table builder for experiment output.
 #[derive(Debug, Clone)]
 pub struct Table {
@@ -140,7 +186,7 @@ pub fn summarize_campaign(table: &mut Table, label: &str, report: &dice_core::Ca
             .join(" ")
     };
     let perf = &report.perf;
-    let rows: [(&str, String); 11] = [
+    let rows: [(&str, String); 12] = [
         ("rounds", report.rounds.len().to_string()),
         ("wall", format!("{:.1}ms", report.wall_us as f64 / 1e3)),
         ("rounds/s", format!("{:.2}", report.rounds_per_sec())),
@@ -168,6 +214,17 @@ pub fn summarize_campaign(table: &mut Table, label: &str, report: &dice_core::Ca
                 perf.solver_cache_hit_rate() * 100.0,
                 perf.unary_memo_hits,
                 perf.covered_flips_skipped
+            ),
+        ),
+        (
+            "wire path",
+            format!(
+                "{} bytes, buf pool {} hits / {} misses, {} batches (max {} frames)",
+                perf.wire_bytes,
+                perf.buf_hits,
+                perf.buf_misses,
+                perf.delivered_batches,
+                perf.max_batch_occupancy
             ),
         ),
     ];

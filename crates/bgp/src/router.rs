@@ -165,16 +165,18 @@ impl BgpRouter {
     // ------------------------------------------------------------------
 
     fn send_message(&mut self, to: NodeId, msg: &Message, api: &mut NodeApi<'_>, quiet: bool) {
-        let bytes = wire::encode(msg);
+        // Zero-copy wire path: encode straight into a pool-leased buffer.
+        let mut buf = api.buf();
+        wire::encode_into(msg, buf.as_mut_vec());
         match msg {
             Message::Update(_) => self.stats.updates_tx += 1,
             Message::Notification(_) => self.stats.notifications_tx += 1,
             _ => {}
         }
         if quiet {
-            api.send_quiet(to, bytes);
+            api.send_quiet(to, buf);
         } else {
-            api.send(to, bytes);
+            api.send(to, buf);
         }
     }
 

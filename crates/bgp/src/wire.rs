@@ -204,130 +204,156 @@ fn encode_nlri_into(out: &mut Vec<u8>, nets: &[Ipv4Net]) {
     }
 }
 
-fn encode_attr(out: &mut Vec<u8>, fl: u8, code: u8, value: &[u8]) {
-    if value.len() > 255 {
+/// Write an attribute header for a value of `len` bytes; the value bytes
+/// themselves follow, appended by the caller. EXT_LEN is set iff the value
+/// does not fit in a one-byte length.
+fn encode_attr_header(out: &mut Vec<u8>, fl: u8, code: u8, len: usize) {
+    if len > 255 {
         out.push(fl | flags::EXT_LEN);
         out.push(code);
-        push_u16(out, value.len() as u16);
+        push_u16(out, len as u16);
     } else {
         out.push(fl & !flags::EXT_LEN);
         out.push(code);
-        out.push(value.len() as u8);
+        out.push(len as u8);
     }
+}
+
+fn encode_attr(out: &mut Vec<u8>, fl: u8, code: u8, value: &[u8]) {
+    encode_attr_header(out, fl, code, value.len());
     out.extend_from_slice(value);
 }
 
-/// Encode the path-attribute block (without the length prefix).
-pub fn encode_attrs(attrs: &PathAttrs) -> Vec<u8> {
-    let mut out = Vec::new();
+/// Encode the path-attribute block (without the length prefix) directly
+/// into `out`, appending. Variable-length attributes (AS_PATH, AGGREGATOR,
+/// COMMUNITY) have their value length computed analytically so the header
+/// can be written first and the value bytes streamed in place — no
+/// per-attribute scratch buffers.
+pub fn encode_attrs_into(attrs: &PathAttrs, out: &mut Vec<u8>) {
     // ORIGIN
-    encode_attr(
-        &mut out,
-        flags::TRANSITIVE,
-        code::ORIGIN,
-        &[attrs.origin as u8],
-    );
-    // AS_PATH
-    let mut ap = Vec::new();
+    encode_attr(out, flags::TRANSITIVE, code::ORIGIN, &[attrs.origin as u8]);
+    // AS_PATH: each segment is kind + count + 2 bytes per ASN.
+    let ap_len: usize = attrs
+        .as_path
+        .segments
+        .iter()
+        .map(|seg| 2 + 2 * seg.asns.len())
+        .sum();
+    encode_attr_header(out, flags::TRANSITIVE, code::AS_PATH, ap_len);
     for seg in &attrs.as_path.segments {
-        ap.push(seg.kind as u8);
-        ap.push(seg.asns.len() as u8);
+        out.push(seg.kind as u8);
+        out.push(seg.asns.len() as u8);
         for a in &seg.asns {
-            ap.extend_from_slice(&a.0.to_be_bytes());
+            push_u16(out, a.0);
         }
     }
-    encode_attr(&mut out, flags::TRANSITIVE, code::AS_PATH, &ap);
     // NEXT_HOP
     encode_attr(
-        &mut out,
+        out,
         flags::TRANSITIVE,
         code::NEXT_HOP,
         &attrs.next_hop.0.to_be_bytes(),
     );
     if let Some(med) = attrs.med {
-        encode_attr(&mut out, flags::OPTIONAL, code::MED, &med.to_be_bytes());
+        encode_attr(out, flags::OPTIONAL, code::MED, &med.to_be_bytes());
     }
     if let Some(lp) = attrs.local_pref {
-        encode_attr(
-            &mut out,
-            flags::TRANSITIVE,
-            code::LOCAL_PREF,
-            &lp.to_be_bytes(),
-        );
+        encode_attr(out, flags::TRANSITIVE, code::LOCAL_PREF, &lp.to_be_bytes());
     }
     if attrs.atomic_aggregate {
-        encode_attr(&mut out, flags::TRANSITIVE, code::ATOMIC_AGGREGATE, &[]);
+        encode_attr(out, flags::TRANSITIVE, code::ATOMIC_AGGREGATE, &[]);
     }
     if let Some((asn, ip)) = attrs.aggregator {
-        let mut v = Vec::with_capacity(6);
-        v.extend_from_slice(&asn.0.to_be_bytes());
-        v.extend_from_slice(&ip.0.to_be_bytes());
-        encode_attr(
-            &mut out,
+        encode_attr_header(
+            out,
             flags::OPTIONAL | flags::TRANSITIVE,
             code::AGGREGATOR,
-            &v,
+            6,
         );
+        push_u16(out, asn.0);
+        push_u32(out, ip.0);
     }
     if !attrs.communities.is_empty() {
-        let mut v = Vec::with_capacity(attrs.communities.len() * 4);
-        for c in &attrs.communities {
-            v.extend_from_slice(&c.0.to_be_bytes());
-        }
-        encode_attr(
-            &mut out,
+        encode_attr_header(
+            out,
             flags::OPTIONAL | flags::TRANSITIVE,
             code::COMMUNITY,
-            &v,
+            attrs.communities.len() * 4,
         );
+        for c in &attrs.communities {
+            push_u32(out, c.0);
+        }
     }
     for raw in &attrs.unknown {
-        encode_attr(&mut out, raw.flags, raw.code, &raw.value);
+        encode_attr(out, raw.flags, raw.code, &raw.value);
     }
+}
+
+/// Encode the path-attribute block (without the length prefix).
+pub fn encode_attrs(attrs: &PathAttrs) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_attrs_into(attrs, &mut out);
     out
 }
 
-/// Encode a full message with header.
-pub fn encode(msg: &Message) -> Vec<u8> {
-    let mut body = Vec::new();
+/// Encode a full message with header into `out`.
+///
+/// `out` is cleared first, so a dirty reused buffer is fine — this is the
+/// zero-copy entry point for pooled wire buffers. The whole datagram
+/// (header, body, path attributes, NLRI) is written in a single pass with
+/// no intermediate allocations; the message length, withdrawn-routes
+/// length, and total-path-attribute length are reserved as placeholders
+/// and back-patched once their section is written.
+pub fn encode_into(msg: &Message, out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(&[0xFF; MARKER_LEN]);
+    push_u16(out, 0); // total length, back-patched below
+    let ty_pos = out.len();
+    out.push(0); // type, patched below
     let ty = match msg {
         Message::Open(o) => {
-            body.push(o.version);
-            push_u16(&mut body, o.asn.0);
-            push_u16(&mut body, o.hold_time);
-            push_u32(&mut body, o.router_id.0);
-            body.push(o.opt_params.len() as u8);
-            body.extend_from_slice(&o.opt_params);
+            out.push(o.version);
+            push_u16(out, o.asn.0);
+            push_u16(out, o.hold_time);
+            push_u32(out, o.router_id.0);
+            out.push(o.opt_params.len() as u8);
+            out.extend_from_slice(&o.opt_params);
             MessageType::Open
         }
         Message::Update(u) => {
-            let mut wd = Vec::new();
-            encode_nlri_into(&mut wd, &u.withdrawn);
-            push_u16(&mut body, wd.len() as u16);
-            body.extend_from_slice(&wd);
-            let ab = match &u.attrs {
-                Some(a) => encode_attrs(a),
-                None => Vec::new(),
-            };
-            push_u16(&mut body, ab.len() as u16);
-            body.extend_from_slice(&ab);
-            encode_nlri_into(&mut body, &u.nlri);
+            let wd_pos = out.len();
+            push_u16(out, 0); // withdrawn length, back-patched
+            encode_nlri_into(out, &u.withdrawn);
+            let wd_len = (out.len() - wd_pos - 2) as u16;
+            out[wd_pos..wd_pos + 2].copy_from_slice(&wd_len.to_be_bytes());
+            let ab_pos = out.len();
+            push_u16(out, 0); // attr length, back-patched
+            if let Some(a) = &u.attrs {
+                encode_attrs_into(a, out);
+            }
+            let ab_len = (out.len() - ab_pos - 2) as u16;
+            out[ab_pos..ab_pos + 2].copy_from_slice(&ab_len.to_be_bytes());
+            encode_nlri_into(out, &u.nlri);
             MessageType::Update
         }
         Message::Notification(n) => {
-            body.push(n.code);
-            body.push(n.subcode);
-            body.extend_from_slice(&n.data);
+            out.push(n.code);
+            out.push(n.subcode);
+            out.extend_from_slice(&n.data);
             MessageType::Notification
         }
         Message::Keepalive => MessageType::Keepalive,
     };
-    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
-    out.extend_from_slice(&[0xFF; MARKER_LEN]);
-    push_u16(&mut out, (HEADER_LEN + body.len()) as u16);
-    out.push(ty as u8);
-    out.extend_from_slice(&body);
+    out[ty_pos] = ty as u8;
+    let total = out.len() as u16;
+    out[MARKER_LEN..MARKER_LEN + 2].copy_from_slice(&total.to_be_bytes());
     debug_assert!(out.len() <= MAX_MESSAGE_LEN, "encoded message too large");
+}
+
+/// Encode a full message with header.
+pub fn encode(msg: &Message) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_into(msg, &mut out);
     out
 }
 

@@ -169,6 +169,20 @@ pub struct PerfCounters {
     /// byte sets reused instead of recomputed — the queries of one path
     /// share their prefix constraints, so this dwarfs `solver_queries`).
     pub unary_memo_hits: u64,
+    /// Payload bytes sent over validation-clone channels (every
+    /// `Frame::Data` counted at `send_frame`, both modes).
+    pub wire_bytes: u64,
+    /// Payload-buffer acquisitions served by the netsim
+    /// [`BufPool`](dice_netsim::BufPool) free lists.
+    pub buf_hits: u64,
+    /// Payload-buffer acquisitions that had to allocate fresh (pool
+    /// empty, or the wire pool disabled).
+    pub buf_misses: u64,
+    /// Non-empty delivery batches processed (`batch_delivery` off still
+    /// counts each single-frame delivery as a batch of one).
+    pub delivered_batches: u64,
+    /// Largest number of frames coalesced into one delivery batch.
+    pub max_batch_occupancy: u64,
 }
 
 impl PerfCounters {
@@ -393,6 +407,24 @@ impl Campaign {
         self
     }
 
+    /// Enable/disable the netsim payload-buffer pool on validation
+    /// clones (default on). Reports are byte-identical either way — the
+    /// pool only recycles allocations; only the `buf_hits`/`buf_misses`
+    /// perf counters (zeroed by `normalized()`) observe the difference.
+    pub fn wire_pool(mut self, on: bool) -> Self {
+        self.cfg.template.wire_pool = on;
+        self
+    }
+
+    /// Enable/disable batched same-instant frame delivery on validation
+    /// clones (default on). The event schedule is identical in both
+    /// modes, so reports are byte-identical; only the batch-occupancy
+    /// perf counters observe the difference.
+    pub fn batch_delivery(mut self, on: bool) -> Self {
+        self.cfg.template.batch_delivery = on;
+        self
+    }
+
     /// Master seed for grammar and clone simulators.
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.template.seed = seed;
@@ -568,6 +600,11 @@ impl Campaign {
             );
             perf.pool_hits += pool_stats.hits;
             perf.pool_misses += pool_stats.misses;
+            perf.wire_bytes += pool_stats.wire.wire_bytes;
+            perf.buf_hits += pool_stats.wire.buf_hits;
+            perf.buf_misses += pool_stats.wire.buf_misses;
+            perf.delivered_batches += pool_stats.wire.batches;
+            perf.max_batch_occupancy = perf.max_batch_occupancy.max(pool_stats.wire.max_batch);
 
             // Phase 3: deterministic aggregation in round-ordinal order.
             for (task, done) in tasks.iter().zip(done) {
@@ -862,6 +899,23 @@ mod tests {
             "prefix constraints must hit the solver memo: {perf:?}"
         );
         assert!(perf.pool_hit_rate() > 0.0 && perf.pool_hit_rate() < 1.0);
+        assert!(
+            perf.wire_bytes > 0,
+            "clone traffic must be metered: {perf:?}"
+        );
+        assert!(
+            perf.buf_hits > 0,
+            "default wire_pool=on must recycle payload buffers: {perf:?}"
+        );
+        assert!(
+            perf.buf_misses > 0,
+            "cold pools allocate fresh at least once"
+        );
+        assert!(perf.delivered_batches > 0, "deliveries count as batches");
+        assert!(
+            perf.max_batch_occupancy >= 1,
+            "any delivery implies a batch of at least one"
+        );
 
         let n = report.normalized();
         assert_eq!(n.perf.snapshot_bytes, 0);
@@ -871,6 +925,11 @@ mod tests {
         assert_eq!(n.perf.solver_queries, 0);
         assert_eq!(n.perf.covered_flips_skipped, 0);
         assert_eq!(n.perf.unary_memo_hits, 0);
+        assert_eq!(n.perf.wire_bytes, 0);
+        assert_eq!(n.perf.buf_hits, 0);
+        assert_eq!(n.perf.buf_misses, 0);
+        assert_eq!(n.perf.delivered_batches, 0);
+        assert_eq!(n.perf.max_batch_occupancy, 0);
 
         // Disabling the refutation cache must not change any result
         // field; only the solver-query accounting may move.
@@ -888,6 +947,31 @@ mod tests {
             serde_json::to_string(&uncached.normalized()).unwrap(),
             serde_json::to_string(&report.normalized()).unwrap(),
             "refutation cache must not alter the report"
+        );
+    }
+
+    #[test]
+    fn solver_query_counters_are_consistent() {
+        // The refutation-cache report ties three counters together: each
+        // round's `solver_queries` counts negation queries *answered*
+        // (solver calls + cache hits), while the campaign perf block
+        // splits the same population by who answered. A "0% hit rate over
+        // N solves" report is only trustworthy if no query can fall into
+        // a third bucket — lock the identity in.
+        let mut sim = scenarios::healthy_line(3, 7);
+        sim.run_until(SimTime::from_nanos(12_000_000_000));
+        let report = quick(Campaign::new(&sim))
+            .executions(48)
+            .validate_top(6)
+            .run(&mut sim)
+            .expect("runs");
+        let answered: u64 = report.rounds.iter().map(|r| r.solver_queries).sum();
+        assert!(answered > 0, "campaign must answer some negation queries");
+        assert_eq!(
+            answered,
+            report.perf.solver_queries + report.perf.solver_cache_hits,
+            "every answered query is a solver call or a cache hit: {:?}",
+            report.perf
         );
     }
 

@@ -104,6 +104,13 @@ struct Shared<'e> {
     /// thread-local; only the final sums are shared).
     pool_hits: AtomicU64,
     pool_misses: AtomicU64,
+    /// Wire-path counters (bytes, buffer pool, delivery batching) drained
+    /// from each worker's clone pool on retirement.
+    wire_bytes: AtomicU64,
+    buf_hits: AtomicU64,
+    buf_misses: AtomicU64,
+    batches: AtomicU64,
+    max_batch: AtomicU64,
 }
 
 impl Shared<'_> {
@@ -258,6 +265,15 @@ impl Shared<'_> {
     fn retire_pool(&self, pool: &ClonePool) {
         self.pool_hits.fetch_add(pool.hits, Ordering::Relaxed);
         self.pool_misses.fetch_add(pool.misses, Ordering::Relaxed);
+        self.wire_bytes
+            .fetch_add(pool.wire.wire_bytes, Ordering::Relaxed);
+        self.buf_hits
+            .fetch_add(pool.wire.buf_hits, Ordering::Relaxed);
+        self.buf_misses
+            .fetch_add(pool.wire.buf_misses, Ordering::Relaxed);
+        self.batches.fetch_add(pool.wire.batches, Ordering::Relaxed);
+        self.max_batch
+            .fetch_max(pool.wire.max_batch, Ordering::Relaxed);
     }
 }
 
@@ -324,6 +340,11 @@ pub(crate) fn run_rounds(
         first_panic: Mutex::new(None),
         pool_hits: AtomicU64::new(0),
         pool_misses: AtomicU64::new(0),
+        wire_bytes: AtomicU64::new(0),
+        buf_hits: AtomicU64::new(0),
+        buf_misses: AtomicU64::new(0),
+        batches: AtomicU64::new(0),
+        max_batch: AtomicU64::new(0),
     };
     // Test-only fault injection: poison the open-batches lock before any
     // worker starts, proving campaign results never depend on pristine
@@ -375,6 +396,13 @@ pub(crate) fn run_rounds(
     let pool_stats = PoolStats {
         hits: shared.pool_hits.load(Ordering::Relaxed),
         misses: shared.pool_misses.load(Ordering::Relaxed),
+        wire: dice_netsim::WireStats {
+            wire_bytes: shared.wire_bytes.load(Ordering::Relaxed),
+            buf_hits: shared.buf_hits.load(Ordering::Relaxed),
+            buf_misses: shared.buf_misses.load(Ordering::Relaxed),
+            batches: shared.batches.load(Ordering::Relaxed),
+            max_batch: shared.max_batch.load(Ordering::Relaxed),
+        },
     };
     let slots = shared
         .slots

@@ -82,6 +82,14 @@ pub struct DiceConfig {
     /// outcomes are identical with the cache on or off; only solver time
     /// differs.
     pub solver_cache: bool,
+    /// Recycle payload buffers through the netsim
+    /// [`BufPool`](dice_netsim::BufPool) on validation clones. Reports
+    /// are byte-identical on or off; only allocation counts differ.
+    pub wire_pool: bool,
+    /// Coalesce same-instant frame deliveries into one batch on
+    /// validation clones. The event schedule is mode-invariant, so
+    /// reports are byte-identical on or off.
+    pub batch_delivery: bool,
 }
 
 impl Deserialize for DiceConfig {
@@ -117,6 +125,8 @@ impl Deserialize for DiceConfig {
             seed: field(v, "seed")?,
             pool_size: field_or(v, "pool_size", 1)?,
             solver_cache: field_or(v, "solver_cache", true)?,
+            wire_pool: field_or(v, "wire_pool", true)?,
+            batch_delivery: field_or(v, "batch_delivery", true)?,
         })
     }
 }
@@ -151,6 +161,8 @@ impl DiceConfig {
             seed: 0xD1CE,
             pool_size: 1,
             solver_cache: true,
+            wire_pool: true,
+            batch_delivery: true,
         }
     }
 }
@@ -337,6 +349,7 @@ pub(crate) fn validate_one(
     // `race-audit` feature, a no-op otherwise).
     crate::sync::audit_task_boundary("validate_one entry");
     let mut clone = pool.acquire(cfg.pool_size, shadow, topo, cfg.seed ^ (i as u64) << 16);
+    clone.set_wire_config(cfg.wire_pool, cfg.batch_delivery);
     if let Some(bytes) = input {
         clone.deliver_direct(cfg.inject_peer, cfg.explorer, bytes);
     }
@@ -727,11 +740,15 @@ mod tests {
         let json = serde_json::to_string(&cfg).unwrap();
         let stripped = json
             .replace(&format!(",\"pool_size\":{}", cfg.pool_size), "")
-            .replace(",\"solver_cache\":true", "");
-        assert_ne!(json, stripped, "both knobs were present and removed");
+            .replace(",\"solver_cache\":true", "")
+            .replace(",\"wire_pool\":true", "")
+            .replace(",\"batch_delivery\":true", "");
+        assert_ne!(json, stripped, "all knobs were present and removed");
         let back: DiceConfig = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back.pool_size, 1, "absent pool_size defaults to 1");
         assert!(back.solver_cache, "absent solver_cache defaults to on");
+        assert!(back.wire_pool, "absent wire_pool defaults to on");
+        assert!(back.batch_delivery, "absent batch_delivery defaults to on");
         assert_eq!(back.explorer, cfg.explorer);
         assert_eq!(back.concolic_executions, cfg.concolic_executions);
         // And the full round-trip still holds when the knobs are present.

@@ -22,7 +22,7 @@
 //! [`Simulator::from_shadow`]: dice_netsim::Simulator::from_shadow
 //! [`Simulator::reset_from_shadow`]: dice_netsim::Simulator::reset_from_shadow
 
-use dice_netsim::{ShadowSnapshot, Simulator, Topology};
+use dice_netsim::{ShadowSnapshot, Simulator, Topology, WireStats};
 
 /// A worker-local pool of reusable validation simulators.
 ///
@@ -37,6 +37,8 @@ pub(crate) struct ClonePool {
     pub(crate) hits: u64,
     /// Acquisitions that had to build a fresh simulator.
     pub(crate) misses: u64,
+    /// Wire-path counters drained from every released simulator.
+    pub(crate) wire: WireStats,
 }
 
 impl ClonePool {
@@ -66,8 +68,11 @@ impl ClonePool {
     }
 
     /// Return a simulator for reuse; dropped when the pool is full (or
-    /// pooling is disabled via `limit = 0`).
-    pub(crate) fn release(&mut self, limit: usize, sim: Simulator) {
+    /// pooling is disabled via `limit = 0`). The simulator's wire-path
+    /// counters are drained into the pool either way, so stats survive
+    /// even when the simulator itself does not.
+    pub(crate) fn release(&mut self, limit: usize, mut sim: Simulator) {
+        self.wire.absorb(sim.take_wire_stats());
         if self.free.len() < limit {
             self.free.push(sim);
         }
@@ -79,6 +84,7 @@ impl ClonePool {
 pub(crate) struct PoolStats {
     pub(crate) hits: u64,
     pub(crate) misses: u64,
+    pub(crate) wire: WireStats,
 }
 
 #[cfg(test)]

@@ -281,7 +281,9 @@ impl GossipNode {
             ttl,
             payload: stored.payload.clone(),
         });
-        api.send(peer, wire::encode(&frame));
+        let mut buf = api.buf();
+        wire::encode_into(&frame, buf.as_mut_vec());
+        api.send(peer, buf);
         self.mark_infected(peer, key);
     }
 
@@ -367,7 +369,9 @@ impl GossipNode {
         let cursor = self.digest_cursors.get(&peer).copied().unwrap_or((0, 0));
         let (entries, next) = digest_window(&self.store, cursor, MAX_DIGEST_ENTRIES as usize);
         self.digest_cursors.insert(peer, next);
-        api.send_quiet(peer, wire::encode(&GossipFrame::Digest(entries)));
+        let mut buf = api.buf();
+        wire::encode_into(&GossipFrame::Digest(entries), buf.as_mut_vec());
+        api.send_quiet(peer, buf);
     }
 }
 
@@ -476,7 +480,9 @@ impl Node for GossipNode {
                 }
                 self.sessions_up.insert(peer);
                 for topic in self.config.subscriptions.clone() {
-                    api.send_quiet(peer, wire::encode(&GossipFrame::Subscribe { topic }));
+                    let mut buf = api.buf();
+                    wire::encode_into(&GossipFrame::Subscribe { topic }, buf.as_mut_vec());
+                    api.send_quiet(peer, buf);
                 }
                 // Initial spread: push everything the peer is not known
                 // to have yet.

@@ -106,12 +106,15 @@ impl core::fmt::Display for DecodeError {
     }
 }
 
-/// Encode a frame to bytes.
-pub fn encode(frame: &GossipFrame) -> Vec<u8> {
+/// Encode a frame into `out`, clearing it first.
+///
+/// This is the zero-copy entry point: a dirty reused (pooled) buffer is
+/// fine, and the whole frame is written with no intermediate allocations.
+pub fn encode_into(frame: &GossipFrame, out: &mut Vec<u8>) {
+    out.clear();
     match frame {
         GossipFrame::Rumor(r) => {
             debug_assert!(r.payload.len() <= MAX_PAYLOAD);
-            let mut out = Vec::with_capacity(RUMOR_HEADER_LEN + r.payload.len());
             out.push(OP_RUMOR);
             out.extend_from_slice(&r.topic.to_be_bytes());
             out.extend_from_slice(&r.id.to_be_bytes());
@@ -119,26 +122,28 @@ pub fn encode(frame: &GossipFrame) -> Vec<u8> {
             out.push(r.ttl);
             out.push(r.payload.len() as u8);
             out.extend_from_slice(&r.payload);
-            out
         }
         GossipFrame::Digest(entries) => {
             debug_assert!(entries.len() <= MAX_DIGEST_ENTRIES as usize);
-            let mut out = Vec::with_capacity(2 + entries.len() * DIGEST_ENTRY_LEN);
             out.push(OP_DIGEST);
             out.push(entries.len() as u8);
             for (topic, id) in entries {
                 out.extend_from_slice(&topic.to_be_bytes());
                 out.extend_from_slice(&id.to_be_bytes());
             }
-            out
         }
         GossipFrame::Subscribe { topic } => {
-            let mut out = Vec::with_capacity(3);
             out.push(OP_SUBSCRIBE);
             out.extend_from_slice(&topic.to_be_bytes());
-            out
         }
     }
+}
+
+/// Encode a frame to bytes.
+pub fn encode(frame: &GossipFrame) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_into(frame, &mut out);
+    out
 }
 
 fn u16_at(bytes: &[u8], i: usize) -> u16 {

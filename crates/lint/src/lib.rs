@@ -14,8 +14,8 @@
 //!
 //! Line/token rules match the blanked code view directly; the semantic
 //! rules (`panic-freedom`, `alloc-hot-path`, `cfg-pairing`,
-//! `schema-drift`) query the workspace [item graph](graph) built from a
-//! spanned [token stream](lexer) over that same view.
+//! `schema-drift`) query the workspace item graph (the `graph` module)
+//! built from a spanned token stream (`lexer`) over that same view.
 //!
 //! | id | invariant |
 //! |---|---|

@@ -386,6 +386,13 @@ const POOLED_FNS: &[(&str, &str)] = &[
     ("core/src/explorer.rs", "validate_one"),
     ("core/src/pool.rs", "acquire"),
     ("core/src/pool.rs", "release"),
+    // Zero-copy wire path: the in-place encoders, the delivery batch
+    // loop, and the payload-buffer fast path must stay allocation-free
+    // per datagram (the buffer-miss slow path lives in callees).
+    ("bgp/src/wire.rs", "encode_into"),
+    ("gossip/src/wire.rs", "encode_into"),
+    ("netsim/src/sim.rs", "process_deliver"),
+    ("netsim/src/buf.rs", "acquire"),
 ];
 
 /// R6 — hot-path allocations (contract from PR 5): the pooled validation
@@ -842,6 +849,50 @@ mod tests {
         assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
         assert_eq!(report.violations[0].rule, "alloc-hot-path");
         assert_eq!(report.violations[0].line, 2);
+    }
+
+    #[test]
+    fn alloc_hot_path_guards_the_wire_path_roots() {
+        // The zero-copy roots: `encode_into` must stay allocation-free,
+        // while the `encode` convenience wrapper (not in the root set)
+        // may allocate its one output vector.
+        let src = "pub fn encode_into(msg: &Message, out: &mut Vec<u8>) {\n\
+                   let scratch = Vec::new();\n\
+                   drop(scratch);\n\
+                   }\n\
+                   pub fn encode(msg: &Message) -> Vec<u8> {\n\
+                   let mut out = Vec::new();\n\
+                   encode_into(msg, &mut out);\n\
+                   out\n\
+                   }\n";
+        let report = crate::scan_files(&[SourceFile {
+            path: "crates/bgp/src/wire.rs".into(),
+            content: src.into(),
+        }]);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert_eq!(report.violations[0].rule, "alloc-hot-path");
+        assert_eq!(report.violations[0].line, 2, "only encode_into is a root");
+
+        // The buffer-pool fast path: `acquire` in netsim's buf.rs is a
+        // root too (`Vec::with_capacity` on the miss path is allowed —
+        // only the listed constructors are hot-path regressions).
+        let pool_src = "impl BufPool {\n\
+                        pub fn acquire(&self) -> PooledBuf {\n\
+                        let fallback = Vec::with_capacity(64);\n\
+                        let spill = fallback.to_vec();\n\
+                        PooledBuf { vec: spill, home: None }\n\
+                        }\n\
+                        }\n";
+        let report = crate::scan_files(&[SourceFile {
+            path: "crates/netsim/src/buf.rs".into(),
+            content: pool_src.into(),
+        }]);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert!(
+            report.violations[0].message.contains("to_vec"),
+            "with_capacity passes, .to_vec() fires: {:?}",
+            report.violations
+        );
     }
 
     #[test]

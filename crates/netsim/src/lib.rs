@@ -58,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod buf;
 pub mod fault;
 pub mod link;
 pub mod node;
@@ -68,6 +69,7 @@ pub mod time;
 pub mod topology;
 pub mod trace;
 
+pub use buf::{BufPool, Payload, PooledBuf, WireStats};
 pub use fault::{FaultAction, FaultPlan};
 pub use link::{LatencyModel, LinkParams};
 pub use node::{DownReason, Effect, Node, NodeApi, NodeId, SessionEvent};

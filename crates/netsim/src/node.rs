@@ -9,6 +9,7 @@
 use core::any::Any;
 use serde::{Deserialize, Serialize};
 
+use crate::buf::{BufPool, Payload, PooledBuf};
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a node in a simulation. Dense, assigned by the topology.
@@ -54,9 +55,9 @@ pub enum SessionEvent {
 #[allow(missing_docs)]
 pub enum Effect {
     /// Send bytes over the session to a neighbor (counts as activity).
-    Send { to: NodeId, data: Vec<u8> },
+    Send { to: NodeId, data: Payload },
     /// Send bytes without bumping the quiescence clock (e.g. keepalives).
-    SendQuiet { to: NodeId, data: Vec<u8> },
+    SendQuiet { to: NodeId, data: Payload },
     /// Arm (or re-arm) the timer identified by `token`.
     SetTimer { delay: SimDuration, token: u64 },
     /// Cancel any pending timer with this token.
@@ -76,11 +77,22 @@ pub struct NodeApi<'a> {
     me: NodeId,
     now: SimTime,
     effects: &'a mut Vec<Effect>,
+    bufs: Option<&'a BufPool>,
 }
 
 impl<'a> NodeApi<'a> {
-    pub(crate) fn new(me: NodeId, now: SimTime, effects: &'a mut Vec<Effect>) -> Self {
-        NodeApi { me, now, effects }
+    pub(crate) fn new(
+        me: NodeId,
+        now: SimTime,
+        effects: &'a mut Vec<Effect>,
+        bufs: Option<&'a BufPool>,
+    ) -> Self {
+        NodeApi {
+            me,
+            now,
+            effects,
+            bufs,
+        }
     }
 
     /// This node's identity.
@@ -93,16 +105,35 @@ impl<'a> NodeApi<'a> {
         self.now
     }
 
+    /// Lease a payload buffer for zero-copy encoding: fill it via
+    /// [`PooledBuf::as_mut_vec`] (the codecs' `encode_into` entry points
+    /// take exactly that) and pass it straight to [`NodeApi::send`].
+    /// When payload pooling is disabled this hands out a detached buffer,
+    /// so call sites never need to branch on the knob.
+    pub fn buf(&self) -> PooledBuf {
+        match self.bufs {
+            Some(pool) => pool.acquire(),
+            None => PooledBuf::detached(),
+        }
+    }
+
     /// Send `data` to the neighbor `to` over the established session.
     /// Silently dropped by the simulator if the session is down.
-    pub fn send(&mut self, to: NodeId, data: Vec<u8>) {
-        self.effects.push(Effect::Send { to, data });
+    /// Accepts a plain `Vec<u8>` or a pooled buffer from [`NodeApi::buf`].
+    pub fn send(&mut self, to: NodeId, data: impl Into<Payload>) {
+        self.effects.push(Effect::Send {
+            to,
+            data: data.into(),
+        });
     }
 
     /// Like [`NodeApi::send`] but does not reset the quiescence clock.
     /// Use for periodic background traffic such as keepalives.
-    pub fn send_quiet(&mut self, to: NodeId, data: Vec<u8>) {
-        self.effects.push(Effect::SendQuiet { to, data });
+    pub fn send_quiet(&mut self, to: NodeId, data: impl Into<Payload>) {
+        self.effects.push(Effect::SendQuiet {
+            to,
+            data: data.into(),
+        });
     }
 
     /// Arm a timer. A later `set_timer` with the same token supersedes the
@@ -216,7 +247,7 @@ mod tests {
     #[test]
     fn api_records_effects_in_order() {
         let mut effects = Vec::new();
-        let mut api = NodeApi::new(NodeId(1), SimTime::ZERO, &mut effects);
+        let mut api = NodeApi::new(NodeId(1), SimTime::ZERO, &mut effects, None);
         api.send(NodeId(2), vec![1]);
         api.set_timer(SimDuration::from_secs(1), 7);
         api.cancel_timer(7);
@@ -247,15 +278,34 @@ mod tests {
     fn handler_echoes_through_api() {
         let mut effects = Vec::new();
         let mut node = Echo::default();
-        let mut api = NodeApi::new(NodeId(0), SimTime::ZERO, &mut effects);
+        let mut api = NodeApi::new(NodeId(0), SimTime::ZERO, &mut effects, None);
         node.on_message(NodeId(3), &[9, 9], &mut api);
         assert_eq!(node.seen, vec![9, 9]);
         match &effects[0] {
             Effect::Send { to, data } => {
                 assert_eq!(*to, NodeId(3));
-                assert_eq!(data, &vec![9, 9]);
+                assert_eq!(data.as_slice(), &[9, 9]);
             }
             other => panic!("unexpected effect {other:?}"),
         }
+    }
+
+    #[test]
+    fn pooled_send_flows_through_effects() {
+        let pool = crate::buf::BufPool::new();
+        let mut effects = Vec::new();
+        let mut api = NodeApi::new(NodeId(0), SimTime::ZERO, &mut effects, Some(&pool));
+        let mut b = api.buf();
+        b.as_mut_vec().extend_from_slice(&[4, 2]);
+        api.send(NodeId(1), b);
+        match &effects[0] {
+            Effect::Send { to, data } => {
+                assert_eq!(*to, NodeId(1));
+                assert_eq!(data.as_slice(), &[4, 2]);
+                assert!(matches!(data, crate::buf::Payload::Pooled(_)));
+            }
+            other => panic!("unexpected effect {other:?}"),
+        }
+        assert_eq!(pool.take_counts(), (0, 1), "first lease is a miss");
     }
 }

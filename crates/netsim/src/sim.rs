@@ -8,6 +8,7 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
+use crate::buf::{BufPool, Payload, WireStats};
 use crate::link::LinkParams;
 use crate::node::{DownReason, Effect, Node, NodeApi, NodeId, SessionEvent};
 use crate::rng::SimRng;
@@ -20,7 +21,7 @@ use crate::trace::{Trace, TraceKind};
 #[derive(Debug, Clone)]
 pub(crate) enum Frame {
     /// Application payload. `quiet` frames do not reset the quiescence clock.
-    Data { bytes: Vec<u8>, quiet: bool },
+    Data { bytes: Payload, quiet: bool },
     /// Chandy–Lamport snapshot marker.
     Marker(SnapshotId),
 }
@@ -156,6 +157,16 @@ pub struct SimConfig {
     pub reconnect_delay: Option<SimDuration>,
     /// Capacity of the bounded trace ring.
     pub trace_capacity: usize,
+    /// Recycle wire payload buffers through the simulator's [`BufPool`]
+    /// (`false` hands out detached buffers and skips recycling; observable
+    /// only in perf counters, never in simulation outcomes).
+    pub payload_pool: bool,
+    /// Merge runs of adjacent delivery events (same channel, same instant,
+    /// consecutive heap order — the shape a back-to-back send burst
+    /// produces) into one dispatch instead of one event per frame. The
+    /// merged run delivers the same frames in the same order as unbatched
+    /// processing, so outcomes are batching-invariant by construction.
+    pub batch_delivery: bool,
 }
 
 impl Default for SimConfig {
@@ -165,6 +176,8 @@ impl Default for SimConfig {
             session_setup_stagger: SimDuration::from_micros(500),
             reconnect_delay: Some(SimDuration::from_secs(5)),
             trace_capacity: 64 * 1024,
+            payload_pool: true,
+            batch_delivery: true,
         }
     }
 }
@@ -197,6 +210,8 @@ pub struct Simulator {
     next_snapshot: u32,
     config: SimConfig,
     effects_scratch: Vec<Effect>,
+    buf_pool: BufPool,
+    wire: WireStats,
 }
 
 impl Simulator {
@@ -245,7 +260,29 @@ impl Simulator {
             next_snapshot: 0,
             config,
             effects_scratch: Vec::new(),
+            buf_pool: BufPool::new(),
+            wire: WireStats::default(),
         }
+    }
+
+    /// Toggle the wire-path perf knobs (payload pooling, batched delivery)
+    /// on an existing simulator — used by clone pools right after
+    /// [`Simulator::reset_from_shadow`], before any event is processed.
+    /// Neither knob affects simulation outcomes, only perf counters.
+    pub fn set_wire_config(&mut self, payload_pool: bool, batch_delivery: bool) {
+        self.config.payload_pool = payload_pool;
+        self.config.batch_delivery = batch_delivery;
+    }
+
+    /// Drain this simulator's wire-path counters (bytes sent, buffer-pool
+    /// hits/misses, delivery batching), resetting them to zero.
+    pub fn take_wire_stats(&mut self) -> WireStats {
+        let mut out = self.wire;
+        self.wire = WireStats::default();
+        let (hits, misses) = self.buf_pool.take_counts();
+        out.buf_hits = hits;
+        out.buf_misses = misses;
+        out
     }
 
     fn skey(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
@@ -357,7 +394,34 @@ impl Simulator {
         self.now = q.at;
         match q.ev {
             Ev::Start(n) => self.run_start(n),
-            Ev::Deliver { src, dst, epoch } => self.process_deliver(src, dst, epoch),
+            Ev::Deliver { src, dst, epoch } => {
+                // Batched delivery: a burst sent back-to-back on one
+                // channel schedules a run of delivery events that are
+                // adjacent in the heap (same instant, consecutive seq).
+                // Merging exactly that run — and nothing more — amortizes
+                // heap pops and dispatch while preserving the event
+                // schedule bit-for-bit: no other event can order between
+                // adjacent entries, and events scheduled by the handlers
+                // get fresh (larger) seq numbers, so they run after the
+                // merged run in both modes.
+                let mut budget: u64 = 1;
+                if self.config.batch_delivery {
+                    while let Some(Reverse(next)) = self.queue.peek() {
+                        let same_run = next.at == q.at
+                            && matches!(
+                                next.ev,
+                                Ev::Deliver { src: s, dst: d, epoch: e }
+                                    if s == src && d == dst && e == epoch
+                            );
+                        if !same_run {
+                            break;
+                        }
+                        self.queue.pop();
+                        budget += 1;
+                    }
+                }
+                self.process_deliver(src, dst, epoch, budget);
+            }
             Ev::Timer { node, token, gen } => self.process_timer(node, token, gen),
             Ev::SessionUp { a, b } => self.establish_session(a, b),
         }
@@ -432,35 +496,66 @@ impl Simulator {
         self.with_node(n, |node, api| node.on_timer(token, api));
     }
 
-    fn process_deliver(&mut self, src: NodeId, dst: NodeId, epoch: u64) {
-        let ch = self.channels.get_mut(&(src, dst)).expect("unknown channel");
-        if ch.epoch != epoch {
-            return; // stale delivery after a session reset
-        }
-        let Some(flight) = ch.queue.pop_front() else {
-            return;
-        };
-        debug_assert_eq!(flight.deliver_at, self.now, "FIFO delivery out of order");
-        match flight.frame {
-            Frame::Data { bytes, quiet } => {
-                self.snapshot_observe_data(src, dst, &bytes);
-                if self.nodes[dst.index()].crashed.is_some() {
-                    return;
-                }
-                if !quiet {
-                    self.last_activity = self.now;
-                }
-                self.trace.push(
-                    self.now,
-                    TraceKind::Delivered {
-                        src,
-                        dst,
-                        bytes: bytes.len(),
-                    },
-                );
-                self.with_node(dst, |node, api| node.on_message(src, &bytes, api));
+    /// Deliver up to `budget` frames on `src -> dst` that have matured at
+    /// the current instant.
+    ///
+    /// `budget` is the number of delivery events merged into this call by
+    /// [`Simulator::step`] (1 with `batch_delivery` off). Frames and
+    /// delivery events are 1:1 within an epoch, so delivering one matured
+    /// frame per merged event reproduces the unbatched execution exactly —
+    /// same frames, same order, same handler invocations — while paying
+    /// one dispatch for the whole run.
+    ///
+    /// The channel is re-fetched and its epoch re-checked every iteration:
+    /// a handler may reset the session mid-batch, which clears the queue
+    /// and must stop the drain (the remaining merged events would have
+    /// been stale no-ops unbatched). Frames stay queued until their turn
+    /// so a teardown can still discard them (and snapshots never observe
+    /// them).
+    fn process_deliver(&mut self, src: NodeId, dst: NodeId, epoch: u64, budget: u64) {
+        let mut delivered: u64 = 0;
+        while delivered < budget {
+            let ch = self.channels.get_mut(&(src, dst)).expect("unknown channel");
+            if ch.epoch != epoch {
+                break; // stale delivery after a session reset
             }
-            Frame::Marker(id) => self.snapshot_on_marker(id, src, dst),
+            match ch.queue.front() {
+                Some(front) if front.deliver_at == self.now => {}
+                _ => break, // nothing matured (queue cleared by a teardown)
+            }
+            let flight = ch.queue.pop_front().expect("front vanished");
+            match flight.frame {
+                Frame::Data { bytes, quiet } => {
+                    self.snapshot_observe_data(src, dst, bytes.as_slice());
+                    if self.nodes[dst.index()].crashed.is_none() {
+                        if !quiet {
+                            self.last_activity = self.now;
+                        }
+                        self.trace.push(
+                            self.now,
+                            TraceKind::Delivered {
+                                src,
+                                dst,
+                                bytes: bytes.len(),
+                            },
+                        );
+                        self.with_node(dst, |node, api| {
+                            node.on_message(src, bytes.as_slice(), api)
+                        });
+                    }
+                    if self.config.payload_pool {
+                        self.buf_pool.recycle(bytes);
+                    }
+                }
+                Frame::Marker(id) => self.snapshot_on_marker(id, src, dst),
+            }
+            delivered += 1;
+        }
+        if delivered > 0 {
+            self.wire.batches += 1;
+            if delivered > self.wire.max_batch {
+                self.wire.max_batch = delivered;
+            }
         }
     }
 
@@ -478,7 +573,8 @@ impl Simulator {
         let mut effects = std::mem::take(&mut self.effects_scratch);
         effects.clear();
         {
-            let mut api = NodeApi::new(n, self.now, &mut effects);
+            let bufs = self.config.payload_pool.then_some(&self.buf_pool);
+            let mut api = NodeApi::new(n, self.now, &mut effects, bufs);
             f(node.as_mut(), &mut api);
         }
         self.nodes[n.index()].node = NodeState::Owned(node);
@@ -545,9 +641,14 @@ impl Simulator {
             .map(|e| &e.params)
     }
 
-    fn channel_send(&mut self, src: NodeId, dst: NodeId, bytes: Vec<u8>, quiet: bool) {
+    fn channel_send(&mut self, src: NodeId, dst: NodeId, bytes: Payload, quiet: bool) {
         if !self.session_up(src, dst) {
-            return; // session down: transport rejects the write, data is lost
+            // Session down: transport rejects the write, data is lost (the
+            // storage still goes back to the pool).
+            if self.config.payload_pool {
+                self.buf_pool.recycle(bytes);
+            }
+            return;
         }
         self.send_frame(src, dst, Frame::Data { bytes, quiet });
     }
@@ -557,6 +658,9 @@ impl Simulator {
             Frame::Data { bytes, .. } => bytes.len(),
             Frame::Marker(_) => 32,
         };
+        if matches!(&frame, Frame::Data { .. }) {
+            self.wire.wire_bytes += size as u64;
+        }
         let quietness = matches!(&frame, Frame::Data { quiet: true, .. } | Frame::Marker(_));
         let params = self
             .link_params(src, dst)
@@ -568,8 +672,9 @@ impl Simulator {
             .expect("missing link rng");
         let delay = params.delay_for(size, rng);
         let ch = self.channels.get_mut(&(src, dst)).expect("unknown channel");
-        // Reliable in-order channel: arrivals are monotone.
-        let arrival = (self.now + delay).max(ch.last_arrival + SimDuration::from_nanos(1));
+        // Reliable in-order channel: arrivals are monotone (non-strictly —
+        // frames sharing an instant coalesce into one delivery batch).
+        let arrival = (self.now + delay).max(ch.last_arrival);
         ch.last_arrival = arrival;
         ch.queue.push_back(Flight {
             deliver_at: arrival,
@@ -911,7 +1016,7 @@ impl Simulator {
                 .queue
                 .iter()
                 .filter_map(|f| match &f.frame {
-                    Frame::Data { bytes, .. } => Some(bytes.clone()),
+                    Frame::Data { bytes, .. } => Some(bytes.as_slice().to_vec()),
                     Frame::Marker(_) => None,
                 })
                 .collect();
@@ -1033,7 +1138,7 @@ impl Simulator {
                         src,
                         dst,
                         Frame::Data {
-                            bytes,
+                            bytes: Payload::Heap(bytes),
                             quiet: false,
                         },
                     );

@@ -500,6 +500,66 @@ fn clone_pooling_is_byte_identical_to_fresh_clones() {
 }
 
 #[test]
+fn wire_knobs_are_byte_identical_across_the_whole_matrix() {
+    // The zero-copy wire path adds two knobs to validation clones: the
+    // payload-buffer pool and batched same-instant delivery. Both are
+    // pure allocation/scheduling optimizations — the event schedule and
+    // every delivered byte are identical in all four combinations — so a
+    // mixed three-kind federation must produce byte-identical normalized
+    // reports across the full {wire_pool} x {batch_delivery} x
+    // {pair_workers} matrix. Only the (normalized-away) perf counters may
+    // observe the difference.
+    let run = |wire_pool: bool, batch: bool, pair_workers: usize| {
+        let mut sim = three_kind_system(46);
+        sim.run_until(SimTime::from_nanos(12_000_000_000));
+        let report = Campaign::with_catalog(&sim, mixed_catalog())
+            .executions(96)
+            .validate_top(5)
+            .horizon(SimDuration::from_secs(30))
+            .workers(2)
+            .pair_workers(pair_workers)
+            .wire_pool(wire_pool)
+            .batch_delivery(batch)
+            .run(&mut sim)
+            .expect("three-kind campaign runs");
+        assert!(
+            report.perf.wire_bytes > 0,
+            "validation clones must move wire bytes: {:?}",
+            report.perf
+        );
+        assert!(
+            report.perf.delivered_batches > 0,
+            "deliveries are counted as batches in both modes: {:?}",
+            report.perf
+        );
+        if wire_pool {
+            assert!(
+                report.perf.buf_hits > 0,
+                "wire pool on must recycle payload buffers: {:?}",
+                report.perf
+            );
+        } else {
+            assert_eq!(
+                (report.perf.buf_hits, report.perf.buf_misses),
+                (0, 0),
+                "wire pool off never touches the buffer shelf"
+            );
+        }
+        serde_json::to_string(&report.normalized()).unwrap()
+    };
+    let base = run(true, true, 1);
+    assert_eq!(run(false, true, 1), base, "wire pool off differs");
+    assert_eq!(run(true, false, 1), base, "batching off differs");
+    assert_eq!(run(false, false, 1), base, "both knobs off differs");
+    assert_eq!(run(true, true, 4), base, "default knobs parallel differs");
+    assert_eq!(run(false, false, 4), base, "knobs off parallel differs");
+    assert!(
+        base.contains("\"buf_hits\":0") && base.contains("\"wire_bytes\":0"),
+        "normalized() must zero the wire counters"
+    );
+}
+
+#[test]
 fn buggy_campaign_matches_sequential_detection() {
     // Same determinism property on a system that actually faults.
     let mut sim = scenarios::buggy_parser_scenario(7);

@@ -1,10 +1,13 @@
-//! Property-based tests of the BGP wire codec: encode/decode inversion on
-//! arbitrary valid messages, and decoder totality on arbitrary bytes.
+//! Property-based tests of the wire codecs: encode/decode inversion on
+//! arbitrary valid messages, decoder totality on arbitrary bytes, and the
+//! zero-copy contract — `encode_into` a dirty reused buffer is
+//! byte-identical to a fresh `encode`, for both protocols.
 
 use dice_system::bgp::{
     decode, encode, AsPath, AsPathSegment, Asn, Community, Ipv4Addr, Ipv4Net, Message,
     NotificationMsg, OpenMsg, Origin, PathAttrs, RouterId, SegmentKind, UpdateMsg,
 };
+use dice_system::gossip::{GossipFrame, Rumor, MAX_DIGEST_ENTRIES, MAX_PAYLOAD, MAX_TTL};
 use proptest::prelude::*;
 
 fn arb_prefix() -> impl Strategy<Value = Ipv4Net> {
@@ -66,6 +69,61 @@ fn arb_update() -> impl Strategy<Value = UpdateMsg> {
         })
 }
 
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        arb_update().prop_map(Message::Update),
+        (any::<u16>(), prop_oneof![Just(0u16), 3u16..], any::<u32>()).prop_map(
+            |(asn, hold, id)| Message::Open(OpenMsg {
+                version: 4,
+                asn: Asn(asn),
+                hold_time: hold,
+                router_id: RouterId(id),
+                opt_params: vec![],
+            })
+        ),
+        (
+            any::<u8>(),
+            any::<u8>(),
+            prop::collection::vec(any::<u8>(), 0..32)
+        )
+            .prop_map(
+                |(code, subcode, data)| Message::Notification(NotificationMsg {
+                    code,
+                    subcode,
+                    data
+                })
+            ),
+        Just(Message::Keepalive),
+    ]
+}
+
+fn arb_gossip_frame() -> impl Strategy<Value = GossipFrame> {
+    prop_oneof![
+        (
+            any::<u16>(),
+            any::<u32>(),
+            any::<u16>(),
+            0u8..=MAX_TTL,
+            prop::collection::vec(any::<u8>(), 0..=MAX_PAYLOAD),
+        )
+            .prop_map(
+                |(topic, id, origin, ttl, payload)| GossipFrame::Rumor(Rumor {
+                    topic,
+                    id,
+                    origin,
+                    ttl,
+                    payload,
+                })
+            ),
+        prop::collection::vec(
+            (any::<u16>(), any::<u32>()),
+            0..=MAX_DIGEST_ENTRIES as usize
+        )
+        .prop_map(GossipFrame::Digest),
+        any::<u16>().prop_map(|topic| GossipFrame::Subscribe { topic }),
+    ]
+}
+
 proptest! {
     #[test]
     fn update_roundtrip(upd in arb_update()) {
@@ -112,6 +170,44 @@ proptest! {
         let pos = pos_seed % bytes.len();
         bytes[pos] = val;
         let _ = decode(&bytes);
+    }
+
+    /// Zero-copy contract (BGP): `encode_into` a dirty reused buffer is
+    /// byte-identical to a fresh `encode`, and decodes back to the same
+    /// message. The buffer is pre-filled with garbage of arbitrary length
+    /// to model a pooled buffer carrying a previous datagram's bytes.
+    #[test]
+    fn bgp_encode_into_matches_encode_on_dirty_buffers(
+        msg in arb_message(),
+        garbage in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let fresh = encode(&msg);
+        let mut reused = garbage;
+        dice_system::bgp::wire::encode_into(&msg, &mut reused);
+        prop_assert_eq!(&reused, &fresh, "reused buffer must match fresh encode");
+        let (decoded, used) = decode(&reused).expect("self-encoded message decodes");
+        prop_assert_eq!(used, reused.len());
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// Zero-copy contract (gossip): same as above for the datagram codec.
+    #[test]
+    fn gossip_encode_into_matches_encode_on_dirty_buffers(
+        frame in arb_gossip_frame(),
+        garbage in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let fresh = dice_system::gossip::encode(&frame);
+        let mut reused = garbage;
+        dice_system::gossip::wire::encode_into(&frame, &mut reused);
+        prop_assert_eq!(&reused, &fresh, "reused buffer must match fresh encode");
+        let decoded = dice_system::gossip::decode(&reused).expect("self-encoded frame decodes");
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// The gossip decoder is total: arbitrary bytes never panic.
+    #[test]
+    fn gossip_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = dice_system::gossip::decode(&bytes);
     }
 
     /// Prefix canonicalization: parse/display roundtrip.
