@@ -28,7 +28,7 @@ fn snapshot_of(n: usize) -> (dice_netsim::ShadowSnapshot, dice_netsim::Topology)
         SimDuration::from_secs(5),
         SimTime::from_nanos(300_000_000_000),
     );
-    let (shadow, _) = take_instant_snapshot(&sim);
+    let (shadow, _) = take_instant_snapshot(&mut sim);
     let topo = sim.topology().clone();
     (shadow, topo)
 }

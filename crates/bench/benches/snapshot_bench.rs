@@ -43,7 +43,7 @@ fn bench_shadow_instantiate(c: &mut Criterion) {
             SimDuration::from_secs(5),
             SimTime::from_nanos(300_000_000_000),
         );
-        let (shadow, _) = take_instant_snapshot(&sim);
+        let (shadow, _) = take_instant_snapshot(&mut sim);
         let topo = sim.topology().clone();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| black_box(Simulator::from_shadow(&shadow, &topo, 3)));

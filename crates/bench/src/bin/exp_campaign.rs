@@ -27,12 +27,16 @@
 //!   serde deserialization path).
 //! * `--smoke` — tiny budgets for CI: fewer executions/validations, sweep
 //!   {1, 2} only. Keeps the perf trajectory file cheap to regenerate.
+//! * `--repeat N` — rerun the C1a campaign `N` times on fresh identical
+//!   systems and append a `rounds/s min/median/max of N` row to its table.
 //! * `--json PATH` — archive the raw rows as JSON.
 //!
 //! Prints Markdown tables; the JSON output is committed as
 //! `BENCH_campaign.json` by CI to start the perf trajectory.
 
-use dice_bench::{detection_rows, maybe_write_json, summarize_campaign, Table};
+use dice_bench::{
+    detection_rows, maybe_write_json, parse_repeat, spread_rows, summarize_campaign, Table,
+};
 use dice_core::{scenarios, Campaign, CampaignConfig, CampaignReport};
 use dice_netsim::{NodeId, SimDuration, SimTime, Simulator};
 
@@ -55,12 +59,14 @@ fn parse_options() -> Options {
                 }));
             }
             "--smoke" => opts.smoke = true,
-            "--json" => {
-                // Handled by maybe_write_json; skip its path argument.
+            "--json" | "--repeat" => {
+                // Handled by maybe_write_json / parse_repeat; skip the
+                // value argument.
                 args.next();
             }
             other => panic!(
-                "unknown flag {other:?}; supported: --config <file.json>, --smoke, --json <path>"
+                "unknown flag {other:?}; supported: --config <file.json>, --smoke, \
+                 --repeat <n>, --json <path>"
             ),
         }
     }
@@ -114,18 +120,22 @@ fn main() {
     };
 
     // C1a: continuous testing cost on the healthy Figure 1 federation,
-    // at the configured round-level parallelism.
+    // at the configured round-level parallelism. `--repeat N` reruns it on
+    // fresh identical systems; the median damps scheduler noise.
+    let repeat = parse_repeat();
     let demo = run_demo(&demo_cfg);
+    let mut samples = vec![demo.rounds_per_sec()];
+    for _ in 1..repeat {
+        samples.push(run_demo(&demo_cfg).rounds_per_sec());
+    }
 
     let mut t1 = Table::new(
         "C1a — campaign over the 27-router demo (healthy)",
         &["campaign", "metric", "value"],
     );
-    summarize_campaign(
-        &mut t1,
-        &format!("demo27 (pair_workers={})", demo_cfg.pair_workers.max(1)),
-        &demo,
-    );
+    let demo_label = format!("demo27 (pair_workers={})", demo_cfg.pair_workers.max(1));
+    summarize_campaign(&mut t1, &demo_label, &demo);
+    spread_rows(&mut t1, &demo_label, &samples);
     t1.print();
 
     let mut t2 = Table::new(

@@ -17,11 +17,15 @@
 //! * `--smoke` — tiny budgets for CI (smaller mesh, fewer executions;
 //!   G1b's exploration budget stays at full size — below ~64 executions
 //!   the concolic search does not reach the seeded digest bug).
+//! * `--repeat N` — rerun the G1a campaign `N` times on fresh identical
+//!   meshes and append a `rounds/s min/median/max of N` row to its table.
 //! * `--json PATH` — archive the raw rows as JSON (CI uploads this as the
 //!   `BENCH_gossip` artifact; `BENCH_gossip.json` is the committed
 //!   trajectory file).
 
-use dice_bench::{detection_rows, maybe_write_json, summarize_campaign, Table};
+use dice_bench::{
+    detection_rows, maybe_write_json, parse_repeat, spread_rows, summarize_campaign, Table,
+};
 use dice_core::{scenarios, Campaign, CampaignReport, FaultClass};
 use dice_netsim::{SimDuration, SimTime, Simulator};
 
@@ -31,11 +35,14 @@ fn parse_smoke() -> bool {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
-            "--json" => {
-                // Handled by maybe_write_json; skip its path argument.
+            "--json" | "--repeat" => {
+                // Handled by maybe_write_json / parse_repeat; skip the
+                // value argument.
                 args.next();
             }
-            other => panic!("unknown flag {other:?}; supported: --smoke, --json <path>"),
+            other => {
+                panic!("unknown flag {other:?}; supported: --smoke, --repeat <n>, --json <path>")
+            }
         }
     }
     smoke
@@ -68,23 +75,34 @@ fn main() {
     let executions = if smoke { 24 } else { 64 };
     let validate_top = if smoke { 4 } else { 8 };
 
-    // G1a: continuous-testing cost on a healthy gossip mesh.
-    let mut mesh = scenarios::gossip_mesh(mesh_size, 19);
-    quiesce(&mut mesh);
-    let healthy = Campaign::new(&mesh)
-        .executions(executions)
-        .validate_top(validate_top)
-        .horizon(SimDuration::from_secs(30))
-        .workers(2)
-        .pair_workers(2)
-        .run(&mut mesh)
-        .expect("gossip mesh campaign runs");
+    // G1a: continuous-testing cost on a healthy gossip mesh. `--repeat N`
+    // reruns it on fresh identical meshes; the median damps scheduler
+    // noise (gossip reruns historically swing ±20% on the CI box).
+    let run_mesh = || {
+        let mut mesh = scenarios::gossip_mesh(mesh_size, 19);
+        quiesce(&mut mesh);
+        Campaign::new(&mesh)
+            .executions(executions)
+            .validate_top(validate_top)
+            .horizon(SimDuration::from_secs(30))
+            .workers(2)
+            .pair_workers(2)
+            .run(&mut mesh)
+            .expect("gossip mesh campaign runs")
+    };
+    let repeat = parse_repeat();
+    let healthy = run_mesh();
+    let mut samples = vec![healthy.rounds_per_sec()];
+    for _ in 1..repeat {
+        samples.push(run_mesh().rounds_per_sec());
+    }
 
     let mut t1 = Table::new(
         &format!("G1a — campaign over a healthy {mesh_size}-node gossip mesh"),
         &["campaign", "metric", "value"],
     );
     summarize_campaign(&mut t1, "gossip-mesh", &healthy);
+    spread_rows(&mut t1, "gossip-mesh", &samples);
     t1.print();
     assert!(
         healthy.faults.is_empty(),

@@ -105,7 +105,7 @@ fn main() {
             SimDuration::from_secs(5),
             SimTime::from_nanos(300_000_000_000),
         );
-        let (shadow, _) = take_instant_snapshot(&sim);
+        let (shadow, _) = take_instant_snapshot(&mut sim);
         let topo = sim.topology().clone();
         let n_clones = 32;
         // dice-lint: allow(determinism-zone): benchmark binary reports wall time by design
@@ -140,7 +140,7 @@ fn main() {
         );
         let (_, cl) = take_consistent_snapshot(&mut sim, NodeId(0), SimDuration::from_secs(30))
             .expect("snapshot");
-        let (_, inst) = take_instant_snapshot(&sim);
+        let (_, inst) = take_instant_snapshot(&mut sim);
         t4.row(vec![
             name.into(),
             cl.wall_micros.to_string(),

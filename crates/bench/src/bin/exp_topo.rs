@@ -1,0 +1,209 @@
+//! **T1 — topology-size scale curves**: campaign throughput and snapshot
+//! cost on internet-like topologies from 100 to 5000 nodes — the scale
+//! the delta-snapshot refactor unlocks.
+//!
+//! For each size `n` the binary generates a seeded [`Topology::
+//! internet_like`] graph (tier-1 clique, preferential-attachment
+//! provider edges, lateral peering thinned as `8/n` so degree stays
+//! constant-ish across sizes), builds the full Gao–Rexford BGP system
+//! with a bounded originator set (4 prefixes — `n` originators would mean
+//! `n²` RIB entries and convergence that dwarfs the campaign being
+//! measured), converges it, and runs the same small campaign twice:
+//!
+//! * **delta on** (the default): phase-1 checkpoints re-capture only the
+//!   nodes dirtied since the previous Chandy–Lamport cut; untouched
+//!   slots share their `Arc` with the prior shadow. The binary asserts
+//!   the steady-state recapture rate stays ≪ `n` — the acceptance
+//!   criterion for delta snapshots at scale.
+//! * **delta off**: every cut re-captures all `n` nodes, giving the
+//!   monolithic snapshot-bytes baseline the curve is measured against.
+//!
+//! Flags:
+//!
+//! * `--smoke` — the 1k-node point only, with a wall-clock ceiling (CI
+//!   regression gate for the scale path).
+//! * `--json PATH` — archive the raw rows as JSON (`BENCH_topology.json`
+//!   is the committed trajectory file).
+
+use dice_bench::{fmt_nanos, maybe_write_json, summarize_campaign, Table};
+use dice_core::{scenarios, Campaign, CampaignReport};
+use dice_netsim::{InternetParams, NodeId, SimDuration, SimRng, SimTime, Simulator, Topology};
+
+/// Prefixes originated regardless of topology size (see module docs).
+const ORIGINATORS: usize = 4;
+
+fn parse_smoke() -> bool {
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--json" => {
+                // Handled by maybe_write_json; skip its path argument.
+                args.next();
+            }
+            other => panic!("unknown flag {other:?}; supported: --smoke, --json <path>"),
+        }
+    }
+    smoke
+}
+
+/// A seeded internet-like topology with the lateral peering probability
+/// scaled down as `8/n`, keeping expected peer degree roughly constant so
+/// the curve measures size, not densification.
+fn internet(n: usize) -> Topology {
+    let params = InternetParams {
+        peering_prob: (8.0 / n as f64).min(0.15),
+        ..InternetParams::default()
+    };
+    let mut rng = SimRng::seed_from_u64(0xD1CE_0000 + n as u64);
+    Topology::internet_like(n, &params, &mut rng)
+}
+
+struct SizePoint {
+    n: usize,
+    edges: usize,
+    build_ms: f64,
+    converge_ms: f64,
+    delta: CampaignReport,
+    full: CampaignReport,
+}
+
+fn campaign(live: &mut Simulator, delta: bool) -> CampaignReport {
+    Campaign::new(live)
+        .explorers([NodeId(0)])
+        .max_peers_per_explorer(2)
+        .rounds(3)
+        .executions(16)
+        .validate_top(4)
+        .horizon(SimDuration::from_secs(30))
+        .workers(2)
+        .pair_workers(2)
+        .delta_snapshots(delta)
+        .run(live)
+        .expect("topology campaign runs")
+}
+
+fn measure(n: usize) -> SizePoint {
+    // dice-lint: allow(determinism-zone): bench bin measures host wall time
+    let t0 = std::time::Instant::now();
+    let topo = internet(n);
+    let edges = topo.edges().len();
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // dice-lint: allow(determinism-zone): bench bin measures host wall time
+    let t1 = std::time::Instant::now();
+    let mut live = scenarios::build_system_with_originators(&topo, ORIGINATORS, 17);
+    live.run_until_quiet(
+        SimDuration::from_secs(5),
+        SimTime::from_nanos(600_000_000_000),
+    );
+    let converge_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    // Delta first (the production default), then the monolithic baseline
+    // on the same — still quiescent — live system.
+    let delta = campaign(&mut live, true);
+    let full = campaign(&mut live, false);
+
+    // Acceptance: with one explorer and `rounds(3)` the campaign takes 3
+    // cuts; the first captures all `n` nodes cold, so the steady-state
+    // recapture rate is what the remaining cuts averaged. "≪ n" here
+    // means under n/8 per cut — on a quiescent federation the real
+    // number is near zero (only nodes touched by snapshot bookkeeping).
+    let cuts = 3u64;
+    let total = delta.perf.nodes_recaptured;
+    assert!(
+        total >= n as u64,
+        "first cut must capture the whole {n}-node system, got {total}"
+    );
+    let steady = (total - n as u64) / (cuts - 1);
+    assert!(
+        steady * 8 < n as u64,
+        "steady-state recapture {steady}/cut is not ≪ {n} nodes"
+    );
+    // The baseline, by contrast, pays the full system on every cut.
+    assert_eq!(
+        full.perf.nodes_recaptured,
+        cuts * n as u64,
+        "delta-off must recapture everything each cut"
+    );
+
+    SizePoint {
+        n,
+        edges,
+        build_ms,
+        converge_ms,
+        delta,
+        full,
+    }
+}
+
+fn main() {
+    let smoke = parse_smoke();
+    let sizes: &[usize] = if smoke { &[1000] } else { &[100, 1000, 5000] };
+
+    // dice-lint: allow(determinism-zone): bench bin measures host wall time
+    let wall = std::time::Instant::now();
+
+    let mut t1 = Table::new(
+        "T1 — scale curves on internet-like topologies (3 cuts, 4 originated prefixes)",
+        &[
+            "nodes",
+            "edges",
+            "build",
+            "converge",
+            "rounds/s",
+            "full snapshot bytes",
+            "delta bytes",
+            "recaptured (total of 3 cuts)",
+        ],
+    );
+    let mut t2 = Table::new(
+        "T1b — per-size campaign detail (delta snapshots on)",
+        &["campaign", "metric", "value"],
+    );
+
+    let points: Vec<SizePoint> = sizes.iter().map(|&n| measure(n)).collect();
+    for p in &points {
+        t1.row(vec![
+            p.n.to_string(),
+            p.edges.to_string(),
+            format!("{:.1}ms", p.build_ms),
+            format!("{:.1}ms", p.converge_ms),
+            format!("{:.2}", p.delta.rounds_per_sec()),
+            p.full.perf.snapshot_bytes.to_string(),
+            p.delta.perf.snapshot_delta_bytes.to_string(),
+            p.delta.perf.nodes_recaptured.to_string(),
+        ]);
+        summarize_campaign(&mut t2, &format!("internet-{}", p.n), &p.delta);
+        assert!(
+            p.delta.faults.is_empty(),
+            "healthy internet-{} campaign must stay clean: {:?}",
+            p.n,
+            p.delta.faults
+        );
+    }
+    t1.print();
+    t2.print();
+
+    let wall_s = wall.elapsed().as_secs_f64();
+    let mut t3 = Table::new("T1c — harness", &["metric", "value"]);
+    t3.row(vec!["sizes".into(), format!("{sizes:?}")]);
+    t3.row(vec![
+        "sim time (delta runs)".into(),
+        fmt_nanos(points.iter().map(|p| p.delta.sim_nanos).sum()),
+    ]);
+    t3.row(vec!["total wall".into(), format!("{wall_s:.1}s")]);
+    t3.print();
+
+    // CI regression gate: the 1k-node smoke must stay comfortably inside
+    // a CI-minute — delta capture is what keeps it there.
+    if smoke {
+        assert!(
+            wall_s < 120.0,
+            "1k-node smoke took {wall_s:.1}s, over the 120s ceiling"
+        );
+    }
+
+    maybe_write_json(&[&t1, &t2, &t3]);
+}

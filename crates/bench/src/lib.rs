@@ -14,6 +14,7 @@
 //! | `exp_snapshot_consistency` | A1 — consistent vs uncoordinated snapshots |
 //! | `exp_campaign` | C1 — federation-scale campaign throughput and detection latency |
 //! | `exp_gossip` | G1 — gossip pub/sub and mixed-protocol campaigns |
+//! | `exp_topo` | T1 — rounds/s and snapshot-bytes curves vs topology size |
 //!
 //! Criterion micro-benches (`snapshot_bench`, `handler_bench`,
 //! `solver_bench`) cover T4 (instrumentation and snapshot tax).
@@ -186,7 +187,7 @@ pub fn summarize_campaign(table: &mut Table, label: &str, report: &dice_core::Ca
             .join(" ")
     };
     let perf = &report.perf;
-    let rows: [(&str, String); 12] = [
+    let rows: [(&str, String); 13] = [
         ("rounds", report.rounds.len().to_string()),
         ("wall", format!("{:.1}ms", report.wall_us as f64 / 1e3)),
         ("rounds/s", format!("{:.2}", report.rounds_per_sec())),
@@ -227,10 +228,66 @@ pub fn summarize_campaign(table: &mut Table, label: &str, report: &dice_core::Ca
                 perf.max_batch_occupancy
             ),
         ),
+        (
+            "delta snapshots",
+            format!(
+                "{} delta bytes, {} nodes recaptured, {} churn events",
+                perf.snapshot_delta_bytes, perf.nodes_recaptured, perf.churn_events
+            ),
+        ),
     ];
     for (metric, value) in rows {
         table.row(vec![label.into(), metric.into(), value]);
     }
+}
+
+/// Read `--repeat N` from argv (default 1). Experiment binaries rerun
+/// their primary campaign `N` times on fresh identical systems and report
+/// the spread via [`spread_rows`], damping scheduler noise in the
+/// committed trajectory files.
+pub fn parse_repeat() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--repeat" {
+            let n = args
+                .next()
+                .unwrap_or_else(|| panic!("--repeat needs a count"));
+            return n
+                .parse::<usize>()
+                .unwrap_or_else(|e| panic!("bad --repeat {n}: {e}"))
+                .max(1);
+        }
+    }
+    1
+}
+
+/// `(min, median, max)` of a sample set; the median of an even count is
+/// the mean of the two middle samples. Panics on an empty slice.
+pub fn min_median_max(samples: &[f64]) -> (f64, f64, f64) {
+    assert!(!samples.is_empty(), "no samples");
+    let mut s = samples.to_vec();
+    s.sort_by(f64::total_cmp);
+    let median = if s.len() % 2 == 1 {
+        s[s.len() / 2]
+    } else {
+        (s[s.len() / 2 - 1] + s[s.len() / 2]) / 2.0
+    };
+    (s[0], median, s[s.len() - 1])
+}
+
+/// Append a `rounds/s min/median/max of N` row to a
+/// `[campaign, metric, value]`-shaped table when more than one sample was
+/// collected (`--repeat 1`, the default, leaves the table unchanged).
+pub fn spread_rows(table: &mut Table, label: &str, rounds_per_sec: &[f64]) {
+    if rounds_per_sec.len() < 2 {
+        return;
+    }
+    let (min, median, max) = min_median_max(rounds_per_sec);
+    table.row(vec![
+        label.into(),
+        format!("rounds/s min/median/max of {}", rounds_per_sec.len()),
+        format!("{min:.2} / {median:.2} / {max:.2}"),
+    ]);
 }
 
 /// Append one `first <class> detection` row per detected fault class to a
@@ -294,6 +351,22 @@ mod tests {
         let j = t.to_json();
         assert_eq!(j["title"], "J");
         assert_eq!(j["rows"][0]["k"], "v");
+    }
+
+    #[test]
+    fn min_median_max_handles_odd_and_even_counts() {
+        assert_eq!(min_median_max(&[3.0, 1.0, 2.0]), (1.0, 2.0, 3.0));
+        assert_eq!(min_median_max(&[4.0, 1.0, 3.0, 2.0]), (1.0, 2.5, 4.0));
+        assert_eq!(min_median_max(&[5.0]), (5.0, 5.0, 5.0));
+    }
+
+    #[test]
+    fn spread_rows_noop_below_two_samples() {
+        let mut t = Table::new("S", &["campaign", "metric", "value"]);
+        spread_rows(&mut t, "x", &[1.0]);
+        assert!(!t.render().contains("min/median/max"));
+        spread_rows(&mut t, "x", &[2.0, 1.0, 4.0]);
+        assert!(t.render().contains("1.00 / 2.00 / 4.00"));
     }
 
     #[test]

@@ -183,6 +183,19 @@ pub struct PerfCounters {
     pub delivered_batches: u64,
     /// Largest number of frames coalesced into one delivery batch.
     pub max_batch_occupancy: u64,
+    /// Bytes actually re-captured by the live system's consistent
+    /// snapshots (dirty nodes re-cloned). With delta snapshots on this is
+    /// the *incremental* footprint — usually far below
+    /// [`PerfCounters::snapshot_bytes`], which counts the full shadow.
+    pub snapshot_delta_bytes: u64,
+    /// Node checkpoints re-cloned by the live system's consistent
+    /// snapshots (dirty since the previous cut). With delta snapshots on,
+    /// steady-state sweeps re-capture only the nodes that actually
+    /// changed.
+    pub nodes_recaptured: u64,
+    /// Dynamics-schedule actions (partition legs, heals, node churn)
+    /// applied to the live system during the campaign.
+    pub churn_events: u64,
 }
 
 impl PerfCounters {
@@ -425,6 +438,28 @@ impl Campaign {
         self
     }
 
+    /// Enable/disable delta snapshots on the **live** system (default
+    /// on): consistent cuts re-capture only nodes dirtied since the
+    /// previous cut and share every other checkpoint `Arc` with the prior
+    /// shadow. A cached checkpoint of an unmutated node is
+    /// state-identical to a fresh clone, so reports are byte-identical
+    /// either way; only the `nodes_recaptured` / `snapshot_delta_bytes`
+    /// perf counters observe the difference.
+    pub fn delta_snapshots(mut self, on: bool) -> Self {
+        self.cfg.template.delta_snapshots = on;
+        self
+    }
+
+    /// Install a deterministic dynamics schedule (partition/heal windows,
+    /// node churn). The spec is expanded once from the campaign seed and
+    /// applied to the live system at the quiescent point before each
+    /// sweep's snapshots — never mid-cut, and never on validation clones.
+    /// An empty spec is byte-identical to no schedule at all.
+    pub fn schedule(mut self, spec: dice_netsim::ScheduleSpec) -> Self {
+        self.cfg.template.schedule = Some(spec);
+        self
+    }
+
     /// Master seed for grammar and clone simulators.
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.template.seed = seed;
@@ -511,6 +546,24 @@ impl Campaign {
         let pair_workers = self.cfg.pair_workers.max(1);
         let pool_workers = pair_workers.max(self.cfg.template.workers.max(1));
 
+        // Delta snapshots on the live system: scope the counters to this
+        // campaign by draining whatever a previous run left behind.
+        live.set_delta_snapshots(self.cfg.template.delta_snapshots);
+        let _ = live.take_snapshot_stats();
+        // Expand the dynamics schedule once, deterministically from the
+        // campaign seed and the live clock at campaign start. Actions are
+        // applied at the quiescent point before each sweep's snapshots
+        // (never mid-cut: an in-band fault firing during a Chandy–Lamport
+        // pass would abort the snapshot).
+        let mut schedule = match &self.cfg.template.schedule {
+            Some(spec) if !spec.is_empty() => {
+                let mut rng =
+                    dice_netsim::SimRng::seed_from_u64(self.cfg.template.seed).split(0x5C4ED);
+                spec.expand(&topo, live.now(), &mut rng)
+            }
+            _ => dice_netsim::Schedule::default(),
+        };
+
         #[derive(Default)]
         struct Accum {
             kind: String,
@@ -544,12 +597,19 @@ impl Campaign {
         // the snapshot schedule (and every snapshot's content) is the
         // same as if all sweeps were snapshotted up front.
         for _sweep in 0..self.cfg.rounds.max(1) {
+            // Dynamics due by now (partitions opening/healing, churn)
+            // fire between sweeps, while no cut is in flight.
+            schedule.apply_due(live);
             // Phase 1: snapshots, sequential against the live system.
             let mut tasks: Vec<RoundTask> = Vec::new();
             for (explorer, peers) in &plan {
                 let (shadow, snap_metrics) =
                     take_consistent_snapshot(live, *explorer, self.cfg.template.snapshot_deadline)?;
                 perf.snapshot_bytes += snap_metrics.bytes as u64;
+                let snap_stats = live.take_snapshot_stats();
+                perf.snapshot_delta_bytes += snap_stats.delta_bytes;
+                perf.nodes_recaptured += snap_stats.nodes_recaptured;
+                perf.churn_events += snap_stats.churn_events;
                 let shadow = shadow.into_shared();
                 // The flip baseline is a function of the shared snapshot;
                 // compute it once per explorer.
@@ -916,6 +976,19 @@ mod tests {
             perf.max_batch_occupancy >= 1,
             "any delivery implies a batch of at least one"
         );
+        assert!(
+            perf.nodes_recaptured > 0,
+            "consistent cuts must capture node checkpoints: {perf:?}"
+        );
+        assert!(
+            perf.snapshot_delta_bytes > 0,
+            "captured checkpoints have a byte footprint: {perf:?}"
+        );
+        assert!(
+            perf.snapshot_delta_bytes <= perf.snapshot_bytes,
+            "the incremental footprint never exceeds the full shadow: {perf:?}"
+        );
+        assert_eq!(perf.churn_events, 0, "no schedule configured");
 
         let n = report.normalized();
         assert_eq!(n.perf.snapshot_bytes, 0);
@@ -930,6 +1003,9 @@ mod tests {
         assert_eq!(n.perf.buf_misses, 0);
         assert_eq!(n.perf.delivered_batches, 0);
         assert_eq!(n.perf.max_batch_occupancy, 0);
+        assert_eq!(n.perf.snapshot_delta_bytes, 0);
+        assert_eq!(n.perf.nodes_recaptured, 0);
+        assert_eq!(n.perf.churn_events, 0);
 
         // Disabling the refutation cache must not change any result
         // field; only the solver-query accounting may move.
@@ -947,6 +1023,121 @@ mod tests {
             serde_json::to_string(&uncached.normalized()).unwrap(),
             serde_json::to_string(&report.normalized()).unwrap(),
             "refutation cache must not alter the report"
+        );
+    }
+
+    #[test]
+    fn delta_snapshots_shrink_recapture_without_changing_reports() {
+        // Multi-sweep campaign on a quiescent system: with delta
+        // snapshots on, later sweeps serve unmutated nodes from the
+        // checkpoint cache instead of re-cloning them, and the report is
+        // byte-identical to the full-recapture run.
+        let run = |delta: bool| {
+            let mut sim = scenarios::healthy_line(3, 5);
+            sim.run_until(SimTime::from_nanos(12_000_000_000));
+            quick(Campaign::new(&sim))
+                .rounds(3)
+                .executions(8)
+                .validate_top(2)
+                .delta_snapshots(delta)
+                .run(&mut sim)
+                .expect("runs")
+        };
+        let on = run(true);
+        let off = run(false);
+        assert!(
+            on.perf.nodes_recaptured < off.perf.nodes_recaptured,
+            "delta cuts must re-capture fewer nodes: {} vs {}",
+            on.perf.nodes_recaptured,
+            off.perf.nodes_recaptured
+        );
+        assert!(on.perf.snapshot_delta_bytes < off.perf.snapshot_delta_bytes);
+        assert_eq!(
+            serde_json::to_string(&on.normalized()).unwrap(),
+            serde_json::to_string(&off.normalized()).unwrap(),
+            "delta snapshots must not alter the report"
+        );
+    }
+
+    #[test]
+    fn internet_scale_steady_state_recaptures_far_fewer_nodes_than_the_system() {
+        // The T1 acceptance criterion, at test-suite size: on a quiescent
+        // internet-like topology the first cut captures everything cold,
+        // and every later cut re-captures only nodes actually dirtied —
+        // far fewer than the node count (`nodes_recaptured` ≪ n).
+        use dice_netsim::{InternetParams, SimRng, Topology};
+        let n = 120usize;
+        let params = InternetParams {
+            peering_prob: 8.0 / n as f64,
+            ..InternetParams::default()
+        };
+        let mut rng = SimRng::seed_from_u64(0xD1CE);
+        let topo = Topology::internet_like(n, &params, &mut rng);
+        let mut sim = scenarios::build_system_with_originators(&topo, 4, 17);
+        sim.run_until_quiet(
+            SimDuration::from_secs(5),
+            SimTime::from_nanos(600_000_000_000),
+        );
+        let cuts = 3u64;
+        let report = quick(Campaign::new(&sim))
+            .explorers([NodeId(0)])
+            .max_peers_per_explorer(1)
+            .rounds(cuts as usize)
+            .executions(8)
+            .validate_top(2)
+            .run(&mut sim)
+            .expect("internet campaign runs");
+        let total = report.perf.nodes_recaptured;
+        assert!(
+            total >= n as u64,
+            "first cut must capture the whole system: {total}"
+        );
+        let steady = (total - n as u64) / (cuts - 1);
+        assert!(
+            steady * 8 < n as u64,
+            "steady-state recapture must be ≪ {n} nodes/cut, got {steady}"
+        );
+    }
+
+    #[test]
+    fn dynamics_schedule_is_deterministic_and_counted() {
+        // A churn schedule (node leaves, later rejoins) applied at the
+        // quiescent points between sweeps: the victim is drawn from
+        // `SimRng`, so two identical runs replay the same dynamics and
+        // produce byte-identical normalized reports.
+        use dice_netsim::ScheduleSpec;
+        let run = || {
+            let mut sim = scenarios::healthy_line(4, 9);
+            sim.run_until(SimTime::from_nanos(12_000_000_000));
+            let spec = ScheduleSpec {
+                churn: 1,
+                churn_len: SimDuration::from_millis(1),
+                window: SimDuration::ZERO,
+                protect_first: 2, // never churn the swept pair (0, 1)
+                ..ScheduleSpec::default()
+            };
+            quick(Campaign::new(&sim))
+                .explorers([NodeId(0)])
+                .max_peers_per_explorer(1)
+                .rounds(2)
+                .executions(8)
+                .validate_top(2)
+                .schedule(spec)
+                .run(&mut sim)
+                .expect("campaign survives churn")
+        };
+        let a = run();
+        assert_eq!(
+            a.perf.churn_events, 2,
+            "crash before sweep 1, restart before sweep 2: {:?}",
+            a.perf
+        );
+        let b = run();
+        assert_eq!(b.perf.churn_events, a.perf.churn_events);
+        assert_eq!(
+            serde_json::to_string(&a.normalized()).unwrap(),
+            serde_json::to_string(&b.normalized()).unwrap(),
+            "schedules replay deterministically from the campaign seed"
         );
     }
 

@@ -90,6 +90,18 @@ pub struct DiceConfig {
     /// validation clones. The event schedule is mode-invariant, so
     /// reports are byte-identical on or off.
     pub batch_delivery: bool,
+    /// Serve consistent-snapshot node checkpoints from the per-node
+    /// delta cache (nodes untouched since the previous cut share their
+    /// `Arc` with the prior shadow). A cached checkpoint of an unmutated
+    /// node is state-identical to a fresh clone, so reports are
+    /// byte-identical on or off; only the `nodes_recaptured` /
+    /// `snapshot_delta_bytes` perf counters observe the difference.
+    pub delta_snapshots: bool,
+    /// Deterministic dynamics schedule (partition/heal windows, node
+    /// churn) applied to the **live** system at the quiescent point
+    /// before each sweep's snapshots. `None` (the default) and an empty
+    /// spec are byte-identical to no schedule at all.
+    pub schedule: Option<dice_netsim::ScheduleSpec>,
 }
 
 impl Deserialize for DiceConfig {
@@ -127,6 +139,8 @@ impl Deserialize for DiceConfig {
             solver_cache: field_or(v, "solver_cache", true)?,
             wire_pool: field_or(v, "wire_pool", true)?,
             batch_delivery: field_or(v, "batch_delivery", true)?,
+            delta_snapshots: field_or(v, "delta_snapshots", true)?,
+            schedule: field_or(v, "schedule", None)?,
         })
     }
 }
@@ -163,6 +177,8 @@ impl DiceConfig {
             solver_cache: true,
             wire_pool: true,
             batch_delivery: true,
+            delta_snapshots: true,
+            schedule: None,
         }
     }
 }
@@ -350,6 +366,7 @@ pub(crate) fn validate_one(
     crate::sync::audit_task_boundary("validate_one entry");
     let mut clone = pool.acquire(cfg.pool_size, shadow, topo, cfg.seed ^ (i as u64) << 16);
     clone.set_wire_config(cfg.wire_pool, cfg.batch_delivery);
+    clone.set_delta_snapshots(cfg.delta_snapshots);
     if let Some(bytes) = input {
         clone.deliver_direct(cfg.inject_peer, cfg.explorer, bytes);
     }
@@ -742,13 +759,20 @@ mod tests {
             .replace(&format!(",\"pool_size\":{}", cfg.pool_size), "")
             .replace(",\"solver_cache\":true", "")
             .replace(",\"wire_pool\":true", "")
-            .replace(",\"batch_delivery\":true", "");
+            .replace(",\"batch_delivery\":true", "")
+            .replace(",\"delta_snapshots\":true", "")
+            .replace(",\"schedule\":null", "");
         assert_ne!(json, stripped, "all knobs were present and removed");
         let back: DiceConfig = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back.pool_size, 1, "absent pool_size defaults to 1");
         assert!(back.solver_cache, "absent solver_cache defaults to on");
         assert!(back.wire_pool, "absent wire_pool defaults to on");
         assert!(back.batch_delivery, "absent batch_delivery defaults to on");
+        assert!(
+            back.delta_snapshots,
+            "absent delta_snapshots defaults to on"
+        );
+        assert!(back.schedule.is_none(), "absent schedule defaults to none");
         assert_eq!(back.explorer, cfg.explorer);
         assert_eq!(back.concolic_executions, cfg.concolic_executions);
         // And the full round-trip still holds when the knobs are present.

@@ -91,7 +91,7 @@ pub(crate) struct PoolStats {
 mod tests {
     use super::*;
     use crate::scenarios;
-    use dice_netsim::SimTime;
+    use dice_netsim::{NodeId, SimDuration, SimTime};
 
     #[test]
     fn pool_reuses_up_to_limit_and_respects_zero() {
@@ -114,5 +114,68 @@ mod tests {
         off.release(0, c);
         let _d = off.acquire(0, &shadow, &topo, 4);
         assert_eq!((off.hits, off.misses), (0, 2));
+    }
+
+    #[test]
+    fn pooled_reset_matches_fresh_clone_against_a_delta_chain() {
+        // A pooled simulator rebound (`reset_from_shadow`) to the newest
+        // link of a delta-snapshot chain — taken after a node left
+        // (crashed) and rejoined on the live system — must match a fresh
+        // `from_shadow` clone state-for-state.
+        let mut live = scenarios::healthy_line(4, 11);
+        live.run_until(SimTime::from_nanos(12_000_000_000));
+        let (snap1, _) = crate::snapshot::take_consistent_snapshot(
+            &mut live,
+            NodeId(0),
+            SimDuration::from_secs(5),
+        )
+        .expect("first cut");
+
+        // Churn node 3: leave, rejoin, re-converge, then cut again. The
+        // second cut extends the delta chain started by the first.
+        live.inject_node_crash(NodeId(3));
+        live.run_until(live.now() + SimDuration::from_secs(2));
+        live.inject_node_restart(NodeId(3));
+        live.run_until(live.now() + SimDuration::from_secs(10));
+        let (snap2, _) = crate::snapshot::take_consistent_snapshot(
+            &mut live,
+            NodeId(0),
+            SimDuration::from_secs(5),
+        )
+        .expect("post-churn cut");
+        let topo = live.topology().clone();
+
+        let drive = |sim: &mut Simulator| {
+            sim.run_until(sim.now() + SimDuration::from_secs(5));
+        };
+        let mut fresh = Simulator::from_shadow(&snap2, &topo, 7);
+        drive(&mut fresh);
+
+        let mut pool = ClonePool::new();
+        let warm = pool.acquire(1, &snap1, &topo, 3);
+        pool.release(1, warm);
+        let mut pooled = pool.acquire(1, &snap2, &topo, 7);
+        assert_eq!(pool.hits, 1, "second acquisition must reuse the clone");
+        drive(&mut pooled);
+
+        assert_eq!(fresh.now(), pooled.now());
+        assert_eq!(fresh.trace().stats(), pooled.trace().stats());
+        for i in 0..4u32 {
+            let a = crate::bgp_sut::as_bgp(fresh.node(NodeId(i))).expect("bgp node");
+            let b = crate::bgp_sut::as_bgp(pooled.node(NodeId(i))).expect("bgp node");
+            assert_eq!(
+                a.loc_rib().total_flips(),
+                b.loc_rib().total_flips(),
+                "node {i} flip history diverges"
+            );
+            for j in 0..4u32 {
+                let p = scenarios::prefix_of(j);
+                assert_eq!(
+                    a.loc_rib().best(&p).is_some(),
+                    b.loc_rib().best(&p).is_some(),
+                    "node {i} best route for prefix {j} diverges"
+                );
+            }
+        }
     }
 }

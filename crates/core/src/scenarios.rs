@@ -10,14 +10,18 @@ use dice_bgp::{
 use dice_gossip::{GossipConfig, GossipNode, TopicId};
 use dice_netsim::{LinkParams, NodeId, SimDuration, Simulator, Topology};
 
-/// The ASN hosted on simulator node `i` (`AS65000 + i`).
+/// The ASN hosted on simulator node `i` (`AS65000 + i`, wrapping in u16
+/// space so 1k–10k-node topologies stay buildable; ASNs repeat past
+/// ~65535 nodes, which BGP tolerates since sessions are keyed by NodeId).
 pub fn asn_of(i: u32) -> Asn {
-    Asn(65000 + i as u16)
+    Asn(65000u16.wrapping_add(i as u16))
 }
 
-/// The prefix originated by node `i` in generated systems: `10.<i>.0.0/16`.
+/// The prefix originated by node `i` in generated systems: `10.<i>.0.0/16`
+/// for `i < 256`, wrapping through the address space beyond that (distinct
+/// up to 65536 originators, which covers every supported topology size).
 pub fn prefix_of(i: u32) -> Ipv4Net {
-    Ipv4Net::new(0x0A00_0000 | (i << 16), 16)
+    Ipv4Net::new(0x0A00_0000u32.wrapping_add(i.wrapping_mul(0x1_0000)), 16)
 }
 
 fn base_config(i: u32) -> RouterConfig {
@@ -28,9 +32,21 @@ fn base_config(i: u32) -> RouterConfig {
 /// [`prefix_of`] prefix and applies Gao–Rexford import/export policies
 /// derived from the edge relationships (Unlabeled edges get accept-all).
 pub fn build_system(topo: &Topology, seed: u64) -> Simulator {
+    build_system_with_originators(topo, topo.len(), seed)
+}
+
+/// [`build_system`] with only the first `originators` nodes originating a
+/// prefix. Bounds total routing state on 1k–10k-node internet topologies,
+/// where `n` originators would mean `n²` RIB entries and convergence that
+/// dwarfs the campaign being measured. Every node still runs full
+/// Gao–Rexford policies and propagates the originated prefixes.
+pub fn build_system_with_originators(topo: &Topology, originators: usize, seed: u64) -> Simulator {
     let mut sim = Simulator::new(topo.clone(), seed);
     for n in topo.node_ids() {
-        let mut cfg = base_config(n.0).with_network(prefix_of(n.0));
+        let mut cfg = base_config(n.0);
+        if (n.0 as usize) < originators {
+            cfg = cfg.with_network(prefix_of(n.0));
+        }
         for m in topo.neighbors(n) {
             let role = topo.relationship(n, m).expect("adjacent");
             let import = gao_rexford::import_policy(asn_of(n.0), role);

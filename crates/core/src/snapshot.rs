@@ -66,7 +66,7 @@ pub fn take_consistent_snapshot(
 /// Uncoordinated alternative for the consistency ablation: clone everything
 /// instantly with no marker protocol. Cheap but not causally consistent
 /// when messages are in flight.
-pub fn take_instant_snapshot(live: &Simulator) -> (ShadowSnapshot, SnapshotMetrics) {
+pub fn take_instant_snapshot(live: &mut Simulator) -> (ShadowSnapshot, SnapshotMetrics) {
     // dice-lint: allow(determinism-zone): snapshot wall cost metric; zeroed by normalized()
     let wall_start = std::time::Instant::now();
     let shadow = live.instant_snapshot();
@@ -154,7 +154,7 @@ mod tests {
     fn instant_snapshot_has_zero_sim_cost() {
         let mut sim = bgp_sim();
         sim.run_until(SimTime::from_nanos(5_000_000_000));
-        let (shadow, metrics) = take_instant_snapshot(&sim);
+        let (shadow, metrics) = take_instant_snapshot(&mut sim);
         assert_eq!(metrics.sim_duration_nanos, 0);
         assert_eq!(shadow.node_count(), 3);
     }

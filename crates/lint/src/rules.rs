@@ -393,6 +393,11 @@ const POOLED_FNS: &[(&str, &str)] = &[
     ("gossip/src/wire.rs", "encode_into"),
     ("netsim/src/sim.rs", "process_deliver"),
     ("netsim/src/buf.rs", "acquire"),
+    // Delta-capture path: `checkpoint_node` runs once per node per cut;
+    // clean nodes must be served by an `Arc::clone` of the cached
+    // checkpoint (path syntax — a `.clone()` method call here would be a
+    // deep node copy and fires this rule).
+    ("netsim/src/sim.rs", "checkpoint_node"),
 ];
 
 /// R6 — hot-path allocations (contract from PR 5): the pooled validation
@@ -893,6 +898,39 @@ mod tests {
             "with_capacity passes, .to_vec() fires: {:?}",
             report.violations
         );
+    }
+
+    #[test]
+    fn alloc_hot_path_guards_the_delta_capture_root() {
+        // `checkpoint_node` serves clean nodes from the checkpoint cache
+        // via `Arc::clone` (path syntax, refcount bump — not in the
+        // alloc list); a `.clone()` method call there is a deep per-node
+        // copy and must fire.
+        let ok = "impl Simulator {\n\
+                  fn checkpoint_node(&mut self, n: NodeId) -> Option<Arc<dyn Node>> {\n\
+                  let cached = self.cache[n.index()].as_ref()?;\n\
+                  Some(std::sync::Arc::clone(cached))\n\
+                  }\n\
+                  }\n";
+        let report = crate::scan_files(&[SourceFile {
+            path: "crates/netsim/src/sim.rs".into(),
+            content: ok.into(),
+        }]);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+
+        let deep = "impl Simulator {\n\
+                    fn checkpoint_node(&mut self, n: NodeId) -> Option<Arc<dyn Node>> {\n\
+                    let cached = self.cache[n.index()].as_ref()?;\n\
+                    Some(cached.clone())\n\
+                    }\n\
+                    }\n";
+        let report = crate::scan_files(&[SourceFile {
+            path: "crates/netsim/src/sim.rs".into(),
+            content: deep.into(),
+        }]);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert_eq!(report.violations[0].rule, "alloc-hot-path");
+        assert_eq!(report.violations[0].line, 4);
     }
 
     #[test]

@@ -47,6 +47,21 @@ fn determinism_zone_fires_on_wall_clock_read() {
 }
 
 #[test]
+fn determinism_zone_covers_the_schedule_module() {
+    // The dynamics-schedule subsystem is in scope for R2: an ambient-RNG
+    // draw fires at its exact line, while the `SimRng`-seeded expansion
+    // path in the same file is clean.
+    let report = scan_one(
+        "crates/netsim/src/schedule.rs",
+        include_str!("fixtures/schedule_determinism.fixture"),
+    );
+    assert_eq!(
+        report.violations.iter().map(triple).collect::<Vec<_>>(),
+        vec![("determinism-zone", "crates/netsim/src/schedule.rs", 5)]
+    );
+}
+
+#[test]
 fn unordered_iter_fires_on_hashmap_iteration() {
     let report = scan_one(
         "crates/core/src/campaign.rs",

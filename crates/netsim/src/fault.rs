@@ -10,7 +10,7 @@ use crate::sim::Simulator;
 use crate::time::SimTime;
 
 /// A fault to inject.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum FaultAction {
     /// Reset the session between two adjacent nodes (auto-reconnect applies).
     SessionReset(NodeId, NodeId),
@@ -60,7 +60,7 @@ impl FaultPlan {
             if *t > sim.now() {
                 break;
             }
-            match action.clone() {
+            match *action {
                 FaultAction::SessionReset(a, b) => sim.inject_session_reset(a, b),
                 FaultAction::LinkDown(a, b) => sim.inject_link_down(a, b),
                 FaultAction::LinkUp(a, b) => sim.inject_link_up(a, b),

@@ -63,6 +63,7 @@ pub mod fault;
 pub mod link;
 pub mod node;
 pub mod rng;
+pub mod schedule;
 pub mod sim;
 pub mod snapshot;
 pub mod time;
@@ -74,7 +75,8 @@ pub use fault::{FaultAction, FaultPlan};
 pub use link::{LatencyModel, LinkParams};
 pub use node::{DownReason, Effect, Node, NodeApi, NodeId, SessionEvent};
 pub use rng::SimRng;
-pub use sim::{QuietOutcome, SimConfig, Simulator};
+pub use schedule::{Schedule, ScheduleSpec};
+pub use sim::{QuietOutcome, SimConfig, Simulator, SnapshotStats};
 pub use snapshot::{ShadowSnapshot, SnapshotId, SnapshotProgress};
 pub use time::{SimDuration, SimTime};
 pub use topology::{EdgeSpec, InternetParams, NeighborRole, Relationship, Topology};

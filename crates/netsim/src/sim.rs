@@ -9,6 +9,7 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
 use crate::buf::{BufPool, Payload, WireStats};
+use crate::fault::FaultAction;
 use crate::link::LinkParams;
 use crate::node::{DownReason, Effect, Node, NodeApi, NodeId, SessionEvent};
 use crate::rng::SimRng;
@@ -125,6 +126,8 @@ enum Ev {
         a: NodeId,
         b: NodeId,
     },
+    /// A dynamics-schedule action (partition, heal, churn) firing in-band.
+    Fault(FaultAction),
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -167,6 +170,12 @@ pub struct SimConfig {
     /// merged run delivers the same frames in the same order as unbatched
     /// processing, so outcomes are batching-invariant by construction.
     pub batch_delivery: bool,
+    /// Serve checkpoints of nodes untouched since their last capture from a
+    /// cached `Arc` instead of re-cloning them (delta snapshots). A cached
+    /// checkpoint of an unmutated node is state-identical to a fresh
+    /// `clone_node`, so the knob is observable only in perf counters
+    /// ([`SnapshotStats`]), never in simulation outcomes.
+    pub delta_snapshots: bool,
 }
 
 impl Default for SimConfig {
@@ -178,7 +187,34 @@ impl Default for SimConfig {
             trace_capacity: 64 * 1024,
             payload_pool: true,
             batch_delivery: true,
+            delta_snapshots: true,
         }
+    }
+}
+
+/// Drainable counters for the delta-snapshot capture path and the dynamics
+/// schedule, in the same take-and-zero style as [`WireStats`]
+/// (see [`Simulator::take_snapshot_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Bytes of node state actually captured by checkpoints (dirty or
+    /// never-captured nodes; cache-served checkpoints contribute nothing).
+    pub delta_bytes: u64,
+    /// Nodes actually re-captured by checkpoints (cache misses).
+    pub nodes_recaptured: u64,
+    /// Nodes whose checkpoint was served from the delta cache.
+    pub nodes_cached: u64,
+    /// Dynamics-schedule actions applied (partitions, heals, joins, leaves).
+    pub churn_events: u64,
+}
+
+impl SnapshotStats {
+    /// Fold another drained sample into this one.
+    pub fn absorb(&mut self, other: SnapshotStats) {
+        self.delta_bytes += other.delta_bytes;
+        self.nodes_recaptured += other.nodes_recaptured;
+        self.nodes_cached += other.nodes_cached;
+        self.churn_events += other.churn_events;
     }
 }
 
@@ -212,6 +248,14 @@ pub struct Simulator {
     effects_scratch: Vec<Effect>,
     buf_pool: BufPool,
     wire: WireStats,
+    /// Per-node dirty bits: set on first CoW materialization, message
+    /// delivery, or any other mutable access since the node's last
+    /// checkpoint; cleared when a checkpoint re-captures the node.
+    dirty: Vec<bool>,
+    /// Last checkpoint per node; a clean node's checkpoint is served from
+    /// here, sharing the `Arc` with the previous shadow (the delta chain).
+    ckpt_cache: Vec<Option<std::sync::Arc<dyn Node>>>,
+    snap_stats: SnapshotStats,
 }
 
 impl Simulator {
@@ -235,13 +279,14 @@ impl Simulator {
             link_rngs.insert((e.a, e.b), rng.split(label));
             link_rngs.insert((e.b, e.a), rng.split(label ^ 0xFFFF_FFFF));
         }
-        let nodes = (0..topo.len())
+        let nodes: Vec<NodeSlot> = (0..topo.len())
             .map(|_| NodeSlot {
                 node: NodeState::Empty,
                 crashed: None,
                 timer_gen: BTreeMap::new(),
             })
             .collect();
+        let n = nodes.len();
         Simulator {
             now: SimTime::ZERO,
             queue: BinaryHeap::new(),
@@ -262,6 +307,9 @@ impl Simulator {
             effects_scratch: Vec::new(),
             buf_pool: BufPool::new(),
             wire: WireStats::default(),
+            dirty: vec![false; n],
+            ckpt_cache: vec![None; n],
+            snap_stats: SnapshotStats::default(),
         }
     }
 
@@ -285,6 +333,51 @@ impl Simulator {
         out
     }
 
+    /// Toggle delta snapshots on an existing simulator (clone pools apply
+    /// this right after [`Simulator::reset_from_shadow`], exactly like
+    /// [`Simulator::set_wire_config`]). Turning the knob off drops the
+    /// checkpoint cache; outcomes are unaffected either way.
+    pub fn set_delta_snapshots(&mut self, on: bool) {
+        self.config.delta_snapshots = on;
+        if !on {
+            for c in &mut self.ckpt_cache {
+                *c = None;
+            }
+        }
+    }
+
+    /// Drain this simulator's snapshot-delta and dynamics-schedule counters,
+    /// resetting them to zero.
+    pub fn take_snapshot_stats(&mut self) -> SnapshotStats {
+        let out = self.snap_stats;
+        self.snap_stats = SnapshotStats::default();
+        out
+    }
+
+    /// Schedule a dynamics action to fire *inside* the event loop at
+    /// absolute time `t` (clamped to now). Unlike
+    /// [`crate::fault::FaultPlan::apply_due`], which the caller must pump,
+    /// actions scheduled here fire during any `run_*` call — this is how
+    /// [`crate::schedule::Schedule::install`] expresses churn and partition
+    /// windows as ordinary simulation events.
+    pub fn schedule_fault(&mut self, t: SimTime, action: FaultAction) {
+        let at = t.max(self.now);
+        self.schedule(at, Ev::Fault(action));
+    }
+
+    /// Apply one dynamics action immediately, counting it in
+    /// [`SnapshotStats::churn_events`].
+    pub(crate) fn apply_fault_now(&mut self, action: FaultAction) {
+        self.snap_stats.churn_events += 1;
+        match action {
+            FaultAction::SessionReset(a, b) => self.inject_session_reset(a, b),
+            FaultAction::LinkDown(a, b) => self.inject_link_down(a, b),
+            FaultAction::LinkUp(a, b) => self.inject_link_up(a, b),
+            FaultAction::NodeCrash(n) => self.inject_node_crash(n),
+            FaultAction::NodeRestart(n) => self.inject_node_restart(n),
+        }
+    }
+
     fn skey(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
         if a <= b {
             (a, b)
@@ -297,6 +390,7 @@ impl Simulator {
     pub fn set_node(&mut self, id: NodeId, node: Box<dyn Node>) {
         assert!(!self.started, "cannot install nodes after start");
         self.nodes[id.index()].node = NodeState::Owned(node);
+        self.dirty[id.index()] = true;
     }
 
     /// The topology being simulated.
@@ -328,6 +422,7 @@ impl Simulator {
     pub fn node_mut(&mut self, id: NodeId) -> &mut dyn Node {
         let slot = &mut self.nodes[id.index()];
         slot.node.materialize();
+        self.dirty[id.index()] = true;
         match &mut slot.node {
             NodeState::Owned(b) => b.as_mut(),
             _ => panic!("node not installed or currently executing"),
@@ -424,6 +519,7 @@ impl Simulator {
             }
             Ev::Timer { node, token, gen } => self.process_timer(node, token, gen),
             Ev::SessionUp { a, b } => self.establish_session(a, b),
+            Ev::Fault(action) => self.apply_fault_now(action),
         }
         true
     }
@@ -570,6 +666,9 @@ impl Simulator {
             Some(node) => node,
             None => return,
         };
+        // Dirty from the moment the handler can mutate: the first CoW
+        // materialization and every subsequent delivery land here.
+        self.dirty[n.index()] = true;
         let mut effects = std::mem::take(&mut self.effects_scratch);
         effects.clear();
         {
@@ -634,11 +733,7 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn link_params(&self, a: NodeId, b: NodeId) -> Option<&LinkParams> {
-        self.topo
-            .edges()
-            .iter()
-            .find(|e| (e.a == a && e.b == b) || (e.a == b && e.b == a))
-            .map(|e| &e.params)
+        self.topo.edge_between(a, b).map(|e| &e.params)
     }
 
     fn channel_send(&mut self, src: NodeId, dst: NodeId, bytes: Payload, quiet: bool) {
@@ -774,6 +869,8 @@ impl Simulator {
             return;
         }
         self.nodes[n.index()].crashed = Some(reason.clone());
+        self.dirty[n.index()] = true;
+        self.ckpt_cache[n.index()] = None;
         self.trace
             .push(self.now, TraceKind::NodeCrashed { node: n, reason });
         let peers: Vec<NodeId> = self.topo.neighbors(n);
@@ -830,6 +927,10 @@ impl Simulator {
             crashed: None,
             timer_gen: BTreeMap::new(),
         };
+        // The rejoined node is a brand-new state: any cached checkpoint is
+        // stale and the next cut must re-capture it.
+        self.dirty[n.index()] = true;
+        self.ckpt_cache[n.index()] = None;
         self.with_node(n, |node, api| node.on_start(api));
         let peers = self.topo.neighbors(n);
         for (i, m) in peers.into_iter().enumerate() {
@@ -866,6 +967,29 @@ impl Simulator {
     // ------------------------------------------------------------------
     // Snapshots
     // ------------------------------------------------------------------
+
+    /// The delta-capture path: checkpoint node `n`, serving clean nodes
+    /// from the cached `Arc` of their previous capture. A cache hit shares
+    /// the node state with the prior shadow (the delta chain); a miss
+    /// re-clones, refreshes the cache, and clears the dirty bit. With
+    /// `delta_snapshots` off every call is a plain re-capture.
+    fn checkpoint_node(&mut self, n: NodeId) -> Option<std::sync::Arc<dyn Node>> {
+        let idx = n.index();
+        if self.config.delta_snapshots && !self.dirty[idx] {
+            if let Some(cached) = &self.ckpt_cache[idx] {
+                self.snap_stats.nodes_cached += 1;
+                return Some(std::sync::Arc::clone(cached));
+            }
+        }
+        let arc = self.nodes[idx].node.checkpoint()?;
+        self.snap_stats.nodes_recaptured += 1;
+        self.snap_stats.delta_bytes += arc.state_size() as u64;
+        if self.config.delta_snapshots {
+            self.ckpt_cache[idx] = Some(std::sync::Arc::clone(&arc));
+            self.dirty[idx] = false;
+        }
+        Some(arc)
+    }
 
     /// Initiate a Chandy–Lamport consistent snapshot from `initiator`.
     /// Markers flow through the same FIFO channels as data; poll with
@@ -904,10 +1028,7 @@ impl Simulator {
 
         // Record the initiator immediately and emit markers on its outgoing
         // channels.
-        let init_clone = self.nodes[initiator.index()]
-            .node
-            .checkpoint()
-            .expect("initiator missing");
+        let init_clone = self.checkpoint_node(initiator).expect("initiator missing");
         st.record_node(initiator, init_clone);
         let outgoing: Vec<NodeId> = st.outgoing_of(initiator);
         self.snapshots.insert(id, st);
@@ -927,15 +1048,18 @@ impl Simulator {
     }
 
     fn snapshot_on_marker(&mut self, id: SnapshotId, src: NodeId, dst: NodeId) {
-        let Some(st) = self.snapshots.get_mut(&id) else {
-            return;
+        let first_marker = match self.snapshots.get(&id) {
+            Some(st) if !st.is_terminal() => !st.is_marked(dst),
+            _ => return,
         };
-        if st.is_terminal() {
-            return;
-        }
-        let first_marker = !st.is_marked(dst);
         if first_marker {
-            let clone = match self.nodes[dst.index()].node.checkpoint() {
+            // Capture before re-borrowing the snapshot table: the delta
+            // path needs `&mut self` for its cache and counters.
+            let clone = self.checkpoint_node(dst);
+            let Some(st) = self.snapshots.get_mut(&id) else {
+                return;
+            };
+            let clone = match clone {
                 Some(n) => n,
                 None => {
                     st.fail(format!("node {dst} unavailable at marker"));
@@ -1000,12 +1124,13 @@ impl Simulator {
     /// God-mode snapshot: clone every node and channel instantly, with no
     /// marker protocol. Used (a) as the per-input cloning primitive once a
     /// consistent snapshot exists and (b) as the *uncoordinated* baseline in
-    /// the snapshot-consistency ablation.
-    pub fn instant_snapshot(&self) -> ShadowSnapshot {
+    /// the snapshot-consistency ablation. With delta snapshots on, nodes
+    /// untouched since the previous capture share their `Arc` with it.
+    pub fn instant_snapshot(&mut self) -> ShadowSnapshot {
         let mut nodes = BTreeMap::new();
-        for (i, slot) in self.nodes.iter().enumerate() {
-            if slot.crashed.is_none() {
-                if let Some(n) = slot.node.checkpoint() {
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].crashed.is_none() {
+                if let Some(n) = self.checkpoint_node(NodeId(i as u32)) {
                     nodes.insert(NodeId(i as u32), n);
                 }
             }
@@ -1098,6 +1223,13 @@ impl Simulator {
             slot.crashed = None;
             slot.timer_gen.clear();
         }
+        for d in &mut self.dirty {
+            *d = false;
+        }
+        for c in &mut self.ckpt_cache {
+            *c = None;
+        }
+        self.snap_stats = SnapshotStats::default();
         self.started = true;
         self.bind_shadow(shadow);
     }
@@ -1112,6 +1244,11 @@ impl Simulator {
         self.started = true;
         for (id, node) in shadow.nodes() {
             self.nodes[id.index()].node = NodeState::Shared(std::sync::Arc::clone(node));
+            // The shadow's Arc *is* this node's latest checkpoint: seed the
+            // delta cache so a cut taken before the clone touches the node
+            // re-shares it instead of re-cloning.
+            self.ckpt_cache[id.index()] = Some(std::sync::Arc::clone(node));
+            self.dirty[id.index()] = false;
         }
         for slot in self.nodes.iter_mut() {
             if !slot.node.is_installed() {
@@ -1464,6 +1601,152 @@ mod tests {
             .downcast_ref::<Pinger>()
             .unwrap();
         assert_eq!(s1.got.len(), baseline[1], "snapshot itself unaffected");
+    }
+
+    fn line_sim(n: usize, seed: u64) -> Simulator {
+        let topo = Topology::line(n, LinkParams::fixed(SimDuration::from_millis(5)));
+        let mut sim = Simulator::new(topo, seed);
+        sim.set_node(NodeId(0), Box::new(Pinger::new(true)));
+        for i in 1..n {
+            sim.set_node(NodeId(i as u32), Box::new(Pinger::new(false)));
+        }
+        sim.start();
+        sim
+    }
+
+    #[test]
+    fn delta_snapshot_recaptures_only_dirtied_nodes() {
+        // Steady state: successive cuts re-clone only nodes touched since
+        // the previous cut; everything else shares its Arc with the prior
+        // shadow (the delta chain). This is the scale unlock: at 1k+ nodes
+        // a campaign round touches a handful of nodes, not all of them.
+        let mut sim = line_sim(8, 11);
+        sim.run_until_quiet(
+            SimDuration::from_millis(200),
+            SimTime::from_nanos(30_000_000_000),
+        );
+        let first = sim.instant_snapshot();
+        let s1 = sim.take_snapshot_stats();
+        assert_eq!(s1.nodes_recaptured, 8, "first cut captures everything");
+        assert!(s1.delta_bytes > 0 || first.node_count() == 8);
+
+        // Touch exactly one node (payload 9 >= max_rounds, so no replies).
+        sim.deliver_direct(NodeId(2), NodeId(3), &[9]);
+        let second = sim.instant_snapshot();
+        let s2 = sim.take_snapshot_stats();
+        assert_eq!(
+            s2.nodes_recaptured, 1,
+            "steady-state cut re-captures only the dirtied node"
+        );
+        assert_eq!(s2.nodes_cached, 7);
+        for i in 0..8u32 {
+            let shared = std::sync::Arc::ptr_eq(
+                first.nodes().get(&NodeId(i)).unwrap(),
+                second.nodes().get(&NodeId(i)).unwrap(),
+            );
+            assert_eq!(shared, i != 3, "node {i} delta-chain sharing is wrong");
+        }
+
+        // Knob off: every cut is a full re-capture again.
+        sim.set_delta_snapshots(false);
+        let _third = sim.instant_snapshot();
+        let s3 = sim.take_snapshot_stats();
+        assert_eq!(s3.nodes_recaptured, 8);
+        assert_eq!(s3.nodes_cached, 0);
+    }
+
+    #[test]
+    fn delta_snapshots_do_not_change_outcomes() {
+        // A cached checkpoint of an unmutated node is state-identical to a
+        // fresh clone: runs with the knob on and off must produce the same
+        // shadows and the same downstream behavior.
+        let run = |delta: bool| {
+            let mut sim = line_sim(4, 23);
+            sim.set_delta_snapshots(delta);
+            sim.run_until(SimTime::from_nanos(2_000_000_000));
+            let _warm = sim.instant_snapshot();
+            sim.deliver_direct(NodeId(0), NodeId(1), &[0]);
+            sim.run_until(SimTime::from_nanos(4_000_000_000));
+            let shadow = sim.instant_snapshot();
+            let topo = sim.topology().clone();
+            let mut clone = Simulator::from_shadow(&shadow, &topo, 5);
+            clone.deliver_direct(NodeId(1), NodeId(2), &[1]);
+            clone.run_until(clone.now() + SimDuration::from_secs(5));
+            let states: Vec<_> = (0..4u32)
+                .map(|i| {
+                    let p = clone
+                        .node(NodeId(i))
+                        .as_any()
+                        .downcast_ref::<Pinger>()
+                        .unwrap();
+                    (p.sent, p.got.clone())
+                })
+                .collect();
+            (clone.now(), clone.trace().stats(), states)
+        };
+        assert_eq!(run(true), run(false), "delta knob must be outcome-neutral");
+    }
+
+    #[test]
+    fn reset_from_shadow_rebinds_against_a_delta_chain_after_churn() {
+        // Regression: a pooled simulator rebound against the latest link of
+        // a delta-snapshot chain — including a node that left (crashed) and
+        // rejoined between cuts — matches a fresh `from_shadow` clone
+        // state-for-state.
+        let mut live = line_sim(4, 31);
+        live.run_until(SimTime::from_nanos(1_000_000_000));
+        let chain0 = live.instant_snapshot();
+
+        // Churn node 2: leave, rejoin, then more traffic.
+        live.inject_node_crash(NodeId(2));
+        live.run_until(SimTime::from_nanos(2_000_000_000));
+        live.inject_node_restart(NodeId(2));
+        live.run_until(SimTime::from_nanos(4_000_000_000));
+        live.deliver_direct(NodeId(1), NodeId(2), &[0]);
+        live.run_until(SimTime::from_nanos(6_000_000_000));
+        let chain1 = live.instant_snapshot();
+        // The chain shares untouched nodes and re-captures the churned one.
+        assert!(std::sync::Arc::ptr_eq(
+            chain0.nodes().get(&NodeId(0)).unwrap(),
+            chain1.nodes().get(&NodeId(0)).unwrap(),
+        ));
+        assert!(!std::sync::Arc::ptr_eq(
+            chain0.nodes().get(&NodeId(2)).unwrap(),
+            chain1.nodes().get(&NodeId(2)).unwrap(),
+        ));
+        let topo = live.topology().clone();
+
+        let drive = |sim: &mut Simulator| {
+            sim.deliver_direct(NodeId(0), NodeId(1), &[0]);
+            sim.run_until(sim.now() + SimDuration::from_secs(5));
+        };
+
+        let mut fresh = Simulator::from_shadow(&chain1, &topo, 7);
+        drive(&mut fresh);
+
+        let mut pooled = Simulator::from_shadow(&chain0, &topo, 99);
+        pooled.deliver_direct(NodeId(1), NodeId(0), &[2]);
+        pooled.run_until(pooled.now() + SimDuration::from_secs(1));
+        let _ = pooled.instant_snapshot(); // warm the pooled sim's own cache
+        pooled.reset_from_shadow(&chain1, 7);
+        drive(&mut pooled);
+
+        assert_eq!(fresh.now(), pooled.now());
+        assert_eq!(fresh.trace().stats(), pooled.trace().stats());
+        for i in 0..4 {
+            let a = fresh
+                .node(NodeId(i))
+                .as_any()
+                .downcast_ref::<Pinger>()
+                .unwrap();
+            let b = pooled
+                .node(NodeId(i))
+                .as_any()
+                .downcast_ref::<Pinger>()
+                .unwrap();
+            assert_eq!(a.sent, b.sent, "node {i} sent counters diverge");
+            assert_eq!(a.got, b.got, "node {i} receive logs diverge");
+        }
     }
 
     #[test]

@@ -37,10 +37,18 @@ pub struct EdgeSpec {
 }
 
 /// A static topology: node count plus an edge list.
+///
+/// An adjacency index (edge indices per node, in insertion order) backs all
+/// neighborhood queries, so `neighbors`/`are_adjacent`/`degree`/
+/// `relationship` cost O(degree) instead of O(edges) — the difference
+/// between seconds and hours when generating and simulating the 1k–10k-node
+/// Internet-like graphs the scale experiments use.
 #[derive(Debug, Clone, Default)]
 pub struct Topology {
     nodes: usize,
     edges: Vec<EdgeSpec>,
+    /// Per-node indices into `edges`, in edge insertion order.
+    adj: Vec<Vec<u32>>,
 }
 
 impl Topology {
@@ -49,6 +57,7 @@ impl Topology {
         Topology {
             nodes: n,
             edges: Vec::new(),
+            adj: vec![Vec::new(); n],
         }
     }
 
@@ -81,54 +90,68 @@ impl Topology {
         );
         assert_ne!(a, b, "self loops are not allowed");
         assert!(!self.are_adjacent(a, b), "duplicate edge {a}-{b}");
+        let idx = self.edges.len() as u32;
         self.edges.push(EdgeSpec { a, b, params, rel });
+        self.adj[a.index()].push(idx);
+        self.adj[b.index()].push(idx);
     }
 
     /// Whether `a` and `b` share an edge.
     pub fn are_adjacent(&self, a: NodeId, b: NodeId) -> bool {
-        self.edges
+        self.edge_between(a, b).is_some()
+    }
+
+    /// The edge connecting `a` and `b` (either orientation), if any.
+    pub fn edge_between(&self, a: NodeId, b: NodeId) -> Option<&EdgeSpec> {
+        // Scan the sparser endpoint's incidence list.
+        let (n, m) = if self.adj[a.index()].len() <= self.adj[b.index()].len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.adj[n.index()]
             .iter()
-            .any(|e| (e.a == a && e.b == b) || (e.a == b && e.b == a))
+            .map(|&i| &self.edges[i as usize])
+            .find(|e| (e.a == n && e.b == m) || (e.a == m && e.b == n))
     }
 
     /// Neighbors of `n`, in deterministic (insertion) order.
     pub fn neighbors(&self, n: NodeId) -> Vec<NodeId> {
-        let mut out = Vec::new();
-        for e in &self.edges {
-            if e.a == n {
-                out.push(e.b);
-            } else if e.b == n {
-                out.push(e.a);
-            }
-        }
-        out
+        self.adj[n.index()]
+            .iter()
+            .map(|&i| {
+                let e = &self.edges[i as usize];
+                if e.a == n {
+                    e.b
+                } else {
+                    e.a
+                }
+            })
+            .collect()
     }
 
     /// The relationship of `n` toward neighbor `m`, from `n`'s point of view.
     /// Returns `None` when not adjacent.
     pub fn relationship(&self, n: NodeId, m: NodeId) -> Option<NeighborRole> {
-        for e in &self.edges {
-            if e.a == n && e.b == m {
-                return Some(match e.rel {
-                    Relationship::ProviderCustomer => NeighborRole::Customer,
-                    Relationship::PeerPeer => NeighborRole::Peer,
-                    Relationship::Unlabeled => NeighborRole::Unlabeled,
-                });
+        let e = self.edge_between(n, m)?;
+        Some(if e.a == n {
+            match e.rel {
+                Relationship::ProviderCustomer => NeighborRole::Customer,
+                Relationship::PeerPeer => NeighborRole::Peer,
+                Relationship::Unlabeled => NeighborRole::Unlabeled,
             }
-            if e.a == m && e.b == n {
-                return Some(match e.rel {
-                    Relationship::ProviderCustomer => NeighborRole::Provider,
-                    Relationship::PeerPeer => NeighborRole::Peer,
-                    Relationship::Unlabeled => NeighborRole::Unlabeled,
-                });
+        } else {
+            match e.rel {
+                Relationship::ProviderCustomer => NeighborRole::Provider,
+                Relationship::PeerPeer => NeighborRole::Peer,
+                Relationship::Unlabeled => NeighborRole::Unlabeled,
             }
-        }
-        None
+        })
     }
 
     /// Degree of node `n`.
     pub fn degree(&self, n: NodeId) -> usize {
-        self.neighbors(n).len()
+        self.adj[n.index()].len()
     }
 
     /// Whether the topology is connected (ignoring direction).

@@ -560,6 +560,92 @@ fn wire_knobs_are_byte_identical_across_the_whole_matrix() {
 }
 
 #[test]
+fn delta_and_schedule_knobs_are_byte_identical_across_the_whole_matrix() {
+    // Delta snapshots serve unmutated node checkpoints from a per-node
+    // cache (state-identical to fresh clones), and an *empty* dynamics
+    // schedule expands to zero actions — so a mixed three-kind federation
+    // must produce byte-identical normalized reports across the full
+    // {delta_snapshots} x {schedule off/empty} x {pair_workers} matrix.
+    // Only the (normalized-away) perf counters may observe the delta knob.
+    use dice_system::netsim::ScheduleSpec;
+    let run = |delta: bool, schedule: bool, pair_workers: usize| {
+        let mut sim = three_kind_system(47);
+        sim.run_until(SimTime::from_nanos(12_000_000_000));
+        let mut campaign = Campaign::with_catalog(&sim, mixed_catalog())
+            .executions(96)
+            .validate_top(5)
+            .horizon(SimDuration::from_secs(30))
+            .workers(2)
+            .pair_workers(pair_workers)
+            .delta_snapshots(delta);
+        if schedule {
+            campaign = campaign.schedule(ScheduleSpec::default());
+        }
+        let report = campaign.run(&mut sim).expect("three-kind campaign runs");
+        assert!(
+            report.perf.nodes_recaptured > 0,
+            "cuts capture checkpoints in both modes: {:?}",
+            report.perf
+        );
+        assert_eq!(
+            report.perf.churn_events, 0,
+            "an empty schedule applies no dynamics"
+        );
+        serde_json::to_string(&report.normalized()).unwrap()
+    };
+    let base = run(true, false, 1);
+    assert_eq!(run(false, false, 1), base, "delta off differs");
+    assert_eq!(run(true, true, 1), base, "empty schedule differs");
+    assert_eq!(run(false, true, 1), base, "delta off + schedule differs");
+    assert_eq!(run(true, false, 4), base, "delta parallel differs");
+    assert_eq!(run(false, false, 4), base, "delta off parallel differs");
+    assert_eq!(run(true, true, 4), base, "schedule parallel differs");
+    assert_eq!(run(false, true, 4), base, "off/on parallel differs");
+    assert!(
+        base.contains("\"nodes_recaptured\":0") && base.contains("\"churn_events\":0"),
+        "normalized() must zero the delta counters"
+    );
+}
+
+#[test]
+fn real_dynamics_schedule_replays_deterministically() {
+    // A *non-empty* schedule changes what the campaign observes (nodes
+    // leave and rejoin between sweeps) — but it must do so
+    // deterministically: same seed, same spec, same normalized bytes.
+    use dice_system::netsim::ScheduleSpec;
+    let run = || {
+        let mut sim = three_kind_system(48);
+        sim.run_until(SimTime::from_nanos(12_000_000_000));
+        let spec = ScheduleSpec {
+            partitions: 1,
+            partition_len: SimDuration::from_millis(1),
+            window: SimDuration::ZERO,
+            ..ScheduleSpec::default()
+        };
+        let report = Campaign::with_catalog(&sim, mixed_catalog())
+            .executions(16)
+            .validate_top(3)
+            .horizon(SimDuration::from_secs(30))
+            .rounds(2)
+            .schedule(spec)
+            .run(&mut sim)
+            .expect("campaign survives a partition window");
+        (
+            report.perf.churn_events,
+            serde_json::to_string(&report.normalized()).unwrap(),
+        )
+    };
+    let (events_a, json_a) = run();
+    assert!(
+        events_a >= 1,
+        "the partition leg must fire before the first sweep"
+    );
+    let (events_b, json_b) = run();
+    assert_eq!(events_a, events_b);
+    assert_eq!(json_a, json_b, "dynamics must replay from the seed");
+}
+
+#[test]
 fn buggy_campaign_matches_sequential_detection() {
     // Same determinism property on a system that actually faults.
     let mut sim = scenarios::buggy_parser_scenario(7);
