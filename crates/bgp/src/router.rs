@@ -455,6 +455,17 @@ impl Node for BgpRouter {
                     opt_params: vec![],
                 });
                 self.send_message(peer, &open, api, false);
+                // RFC 4271 arms the hold timer on entering OpenSent. Without
+                // it, a lost OPEN leaves both peers deadlocked in OpenSent
+                // with nothing scheduled to retry; with it, hold expiry
+                // tears the half-open session down and the transport's
+                // auto-reconnect drives a fresh OPEN exchange.
+                if self.config.hold_time > 0 {
+                    api.set_timer(
+                        SimDuration::from_secs(self.config.hold_time as u64),
+                        timer::token(peer.0, timer::HOLD),
+                    );
+                }
             }
             SessionEvent::Down(reason) => {
                 api.trace("session", format!("down with {peer}: {reason:?}"));
@@ -871,6 +882,90 @@ mod tests {
         sim.inject_link_down(NodeId(0), NodeId(1));
         sim.run_until(SimTime::from_nanos(6_000_000_000));
         assert!(router(&sim, 1).loc_rib().best(&net("10.0.0.0/8")).is_none());
+    }
+
+    #[test]
+    fn hold_timer_survives_blackhole_and_reestablishes_on_heal() {
+        // Channel-fidelity survival: converge reliably, then blackhole the
+        // link (drop = 1.0, keepalives included). The hold timer must tear
+        // the session down through the NOTIFICATION + deferred-reset path,
+        // and once the channel heals, auto-reconnect must re-establish and
+        // re-advertise — no operator intervention.
+        let mut cfg0 = simple_config(0, &[1]).with_network(net("10.0.0.0/8"));
+        let mut cfg1 = simple_config(1, &[0]).with_network(net("20.0.0.0/8"));
+        cfg0.hold_time = 9;
+        cfg1.hold_time = 9;
+        let mut sim = build_sim(2, &[(0, 1)], vec![cfg0, cfg1]);
+        sim.run_until(SimTime::from_nanos(5_000_000_000));
+        assert_eq!(
+            router(&sim, 0).session_state(NodeId(1)),
+            SessionState::Established
+        );
+        assert!(router(&sim, 0).loc_rib().best(&net("20.0.0.0/8")).is_some());
+
+        sim.set_link_faults(dice_netsim::LinkFaults {
+            drop: 1.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            reorder_window: dice_netsim::SimDuration::ZERO,
+            burst: None,
+        });
+        sim.set_unreliable_links(true);
+        sim.run_until(SimTime::from_nanos(30_000_000_000));
+        assert_ne!(
+            router(&sim, 0).session_state(NodeId(1)),
+            SessionState::Established,
+            "hold timer must expire under total loss"
+        );
+        assert!(
+            router(&sim, 0).loc_rib().best(&net("20.0.0.0/8")).is_none(),
+            "learned routes flushed on reset"
+        );
+
+        sim.set_unreliable_links(false);
+        sim.run_until(SimTime::from_nanos(60_000_000_000));
+        assert_eq!(
+            router(&sim, 0).session_state(NodeId(1)),
+            SessionState::Established,
+            "auto-reconnect must re-establish after the channel heals"
+        );
+        assert!(
+            router(&sim, 0).loc_rib().best(&net("20.0.0.0/8")).is_some(),
+            "routes re-advertised after re-establishment"
+        );
+        assert!(router(&sim, 1).loc_rib().best(&net("10.0.0.0/8")).is_some());
+    }
+
+    #[test]
+    fn keepalives_ride_out_moderate_loss() {
+        // 10% independent drop: enough keepalives get through each hold
+        // window that the session stays up and converged state persists.
+        let mut cfg0 = simple_config(0, &[1]).with_network(net("10.0.0.0/8"));
+        let mut cfg1 = simple_config(1, &[0]).with_network(net("20.0.0.0/8"));
+        cfg0.hold_time = 9;
+        cfg1.hold_time = 9;
+        let mut sim = build_sim(2, &[(0, 1)], vec![cfg0, cfg1]);
+        sim.run_until(SimTime::from_nanos(5_000_000_000));
+        sim.set_link_faults(dice_netsim::LinkFaults {
+            drop: 0.1,
+            duplicate: 0.0,
+            reorder: 0.0,
+            reorder_window: dice_netsim::SimDuration::ZERO,
+            burst: None,
+        });
+        sim.set_unreliable_links(true);
+        sim.run_until(SimTime::from_nanos(65_000_000_000));
+        for (me, peer, prefix) in [(0, 1, "20.0.0.0/8"), (1, 0, "10.0.0.0/8")] {
+            assert_eq!(
+                router(&sim, me).session_state(NodeId(peer)),
+                SessionState::Established,
+                "router {me} session must ride out 10% loss"
+            );
+            assert!(
+                router(&sim, me).loc_rib().best(&net(prefix)).is_some(),
+                "router {me} keeps its learned route"
+            );
+        }
     }
 
     #[test]

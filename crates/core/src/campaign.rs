@@ -196,6 +196,18 @@ pub struct PerfCounters {
     /// Dynamics-schedule actions (partition legs, heals, node churn)
     /// applied to the live system during the campaign.
     pub churn_events: u64,
+    /// Data frames dropped by the channel-fidelity layer on validation
+    /// clones (zero unless `unreliable_links` is on).
+    pub frames_dropped: u64,
+    /// Data frames duplicated by the channel-fidelity layer.
+    pub frames_duplicated: u64,
+    /// Data frames delivered out of FIFO order by the channel-fidelity
+    /// layer's bounded reordering window.
+    pub frames_reordered: u64,
+    /// Link-level retransmissions modeled by the latency layer (loss as
+    /// retransmission *delay* on the reliable transport, counted in both
+    /// modes).
+    pub link_retransmits: u64,
 }
 
 impl PerfCounters {
@@ -460,6 +472,29 @@ impl Campaign {
         self
     }
 
+    /// Subject validation clones to the per-link channel-fidelity layer
+    /// (default off): probabilistic drop, duplication, bounded reordering
+    /// and burst loss per the configured [`link_faults`] profile. Never
+    /// applied to the live system — only the isolated clones replay under
+    /// fire. Fault sampling flows from per-link splits of a dedicated
+    /// seeded stream, so reports stay byte-identical per seed across
+    /// `pair_workers` values.
+    ///
+    /// [`link_faults`]: Campaign::link_faults
+    pub fn unreliable_links(mut self, on: bool) -> Self {
+        self.cfg.template.unreliable_links = on;
+        self
+    }
+
+    /// Set the fault profile used when [`unreliable_links`] is on
+    /// (default: the netsim 5% lossy profile).
+    ///
+    /// [`unreliable_links`]: Campaign::unreliable_links
+    pub fn link_faults(mut self, faults: dice_netsim::LinkFaults) -> Self {
+        self.cfg.template.link_faults = Some(faults);
+        self
+    }
+
     /// Master seed for grammar and clone simulators.
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.template.seed = seed;
@@ -665,6 +700,10 @@ impl Campaign {
             perf.buf_misses += pool_stats.wire.buf_misses;
             perf.delivered_batches += pool_stats.wire.batches;
             perf.max_batch_occupancy = perf.max_batch_occupancy.max(pool_stats.wire.max_batch);
+            perf.frames_dropped += pool_stats.wire.frames_dropped;
+            perf.frames_duplicated += pool_stats.wire.frames_duplicated;
+            perf.frames_reordered += pool_stats.wire.frames_reordered;
+            perf.link_retransmits += pool_stats.wire.link_retransmits;
 
             // Phase 3: deterministic aggregation in round-ordinal order.
             for (task, done) in tasks.iter().zip(done) {
@@ -813,6 +852,46 @@ mod tests {
         assert!(det.round >= 1);
         assert!(det.input_ordinal >= 1);
         assert_eq!(det.explorer, NodeId(1));
+    }
+
+    #[test]
+    fn unreliable_links_keep_detection_and_meter_faults() {
+        // Validation clones replay under 5% loss: the seeded bug class
+        // must still be detected (the injected input bypasses the
+        // channel layer; only the surrounding dynamics degrade), the
+        // fault counters must populate, and the normalized report must
+        // stay byte-identical across pair_workers per seed.
+        let run = |pair_workers: usize| {
+            let mut sim = scenarios::buggy_parser_scenario(7);
+            sim.run_until(SimTime::from_nanos(10_000_000_000));
+            quick(Campaign::new(&sim))
+                .explorers([NodeId(1)])
+                .executions(160)
+                .validate_top(16)
+                .pair_workers(pair_workers)
+                .unreliable_links(true)
+                .link_faults(dice_netsim::LinkFaults::lossy(0.05))
+                .run(&mut sim)
+                .expect("lossy campaign runs")
+        };
+        let report = run(1);
+        assert!(
+            report.classes().contains(&FaultClass::ProgrammingError),
+            "seeded bug must survive 5% loss: {:?}",
+            report.classes()
+        );
+        assert!(
+            report.perf.frames_dropped > 0,
+            "5% loss must drop frames: {:?}",
+            report.perf
+        );
+        let n = report.normalized();
+        assert_eq!(n.perf.frames_dropped, 0, "fault counters normalize away");
+        assert_eq!(
+            serde_json::to_string(&run(3).normalized()).unwrap(),
+            serde_json::to_string(&n).unwrap(),
+            "fault sampling must be schedule-independent"
+        );
     }
 
     #[test]
@@ -989,6 +1068,9 @@ mod tests {
             "the incremental footprint never exceeds the full shadow: {perf:?}"
         );
         assert_eq!(perf.churn_events, 0, "no schedule configured");
+        assert_eq!(perf.frames_dropped, 0, "reliable channels drop nothing");
+        assert_eq!(perf.frames_duplicated, 0);
+        assert_eq!(perf.frames_reordered, 0);
 
         let n = report.normalized();
         assert_eq!(n.perf.snapshot_bytes, 0);
@@ -1006,6 +1088,10 @@ mod tests {
         assert_eq!(n.perf.snapshot_delta_bytes, 0);
         assert_eq!(n.perf.nodes_recaptured, 0);
         assert_eq!(n.perf.churn_events, 0);
+        assert_eq!(n.perf.frames_dropped, 0);
+        assert_eq!(n.perf.frames_duplicated, 0);
+        assert_eq!(n.perf.frames_reordered, 0);
+        assert_eq!(n.perf.link_retransmits, 0);
 
         // Disabling the refutation cache must not change any result
         // field; only the solver-query accounting may move.

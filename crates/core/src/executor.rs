@@ -111,6 +111,11 @@ struct Shared<'e> {
     buf_misses: AtomicU64,
     batches: AtomicU64,
     max_batch: AtomicU64,
+    /// Channel-fidelity counters from unreliable-link validation runs.
+    frames_dropped: AtomicU64,
+    frames_duplicated: AtomicU64,
+    frames_reordered: AtomicU64,
+    link_retransmits: AtomicU64,
 }
 
 impl Shared<'_> {
@@ -274,6 +279,14 @@ impl Shared<'_> {
         self.batches.fetch_add(pool.wire.batches, Ordering::Relaxed);
         self.max_batch
             .fetch_max(pool.wire.max_batch, Ordering::Relaxed);
+        self.frames_dropped
+            .fetch_add(pool.wire.frames_dropped, Ordering::Relaxed);
+        self.frames_duplicated
+            .fetch_add(pool.wire.frames_duplicated, Ordering::Relaxed);
+        self.frames_reordered
+            .fetch_add(pool.wire.frames_reordered, Ordering::Relaxed);
+        self.link_retransmits
+            .fetch_add(pool.wire.link_retransmits, Ordering::Relaxed);
     }
 }
 
@@ -345,6 +358,10 @@ pub(crate) fn run_rounds(
         buf_misses: AtomicU64::new(0),
         batches: AtomicU64::new(0),
         max_batch: AtomicU64::new(0),
+        frames_dropped: AtomicU64::new(0),
+        frames_duplicated: AtomicU64::new(0),
+        frames_reordered: AtomicU64::new(0),
+        link_retransmits: AtomicU64::new(0),
     };
     // Test-only fault injection: poison the open-batches lock before any
     // worker starts, proving campaign results never depend on pristine
@@ -402,6 +419,10 @@ pub(crate) fn run_rounds(
             buf_misses: shared.buf_misses.load(Ordering::Relaxed),
             batches: shared.batches.load(Ordering::Relaxed),
             max_batch: shared.max_batch.load(Ordering::Relaxed),
+            frames_dropped: shared.frames_dropped.load(Ordering::Relaxed),
+            frames_duplicated: shared.frames_duplicated.load(Ordering::Relaxed),
+            frames_reordered: shared.frames_reordered.load(Ordering::Relaxed),
+            link_retransmits: shared.link_retransmits.load(Ordering::Relaxed),
         },
     };
     let slots = shared

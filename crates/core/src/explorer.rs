@@ -102,6 +102,15 @@ pub struct DiceConfig {
     /// before each sweep's snapshots. `None` (the default) and an empty
     /// spec are byte-identical to no schedule at all.
     pub schedule: Option<dice_netsim::ScheduleSpec>,
+    /// Subject validation clones to the per-link channel-fidelity layer
+    /// (probabilistic drop/duplication/reordering/burst loss per
+    /// [`DiceConfig::link_faults`]). Off by default: clones then replay
+    /// over the reliable channels the snapshot was taken on.
+    pub unreliable_links: bool,
+    /// Fault profile applied when [`DiceConfig::unreliable_links`] is on.
+    /// `None` uses the netsim default ([`dice_netsim::LinkFaults`]'s 5%
+    /// lossy profile).
+    pub link_faults: Option<dice_netsim::LinkFaults>,
 }
 
 impl Deserialize for DiceConfig {
@@ -141,6 +150,8 @@ impl Deserialize for DiceConfig {
             batch_delivery: field_or(v, "batch_delivery", true)?,
             delta_snapshots: field_or(v, "delta_snapshots", true)?,
             schedule: field_or(v, "schedule", None)?,
+            unreliable_links: field_or(v, "unreliable_links", false)?,
+            link_faults: field_or(v, "link_faults", None)?,
         })
     }
 }
@@ -179,6 +190,8 @@ impl DiceConfig {
             batch_delivery: true,
             delta_snapshots: true,
             schedule: None,
+            unreliable_links: false,
+            link_faults: None,
         }
     }
 }
@@ -367,6 +380,10 @@ pub(crate) fn validate_one(
     let mut clone = pool.acquire(cfg.pool_size, shadow, topo, cfg.seed ^ (i as u64) << 16);
     clone.set_wire_config(cfg.wire_pool, cfg.batch_delivery);
     clone.set_delta_snapshots(cfg.delta_snapshots);
+    if let Some(faults) = cfg.link_faults {
+        clone.set_link_faults(faults);
+    }
+    clone.set_unreliable_links(cfg.unreliable_links);
     if let Some(bytes) = input {
         clone.deliver_direct(cfg.inject_peer, cfg.explorer, bytes);
     }
@@ -761,7 +778,9 @@ mod tests {
             .replace(",\"wire_pool\":true", "")
             .replace(",\"batch_delivery\":true", "")
             .replace(",\"delta_snapshots\":true", "")
-            .replace(",\"schedule\":null", "");
+            .replace(",\"schedule\":null", "")
+            .replace(",\"unreliable_links\":false", "")
+            .replace(",\"link_faults\":null", "");
         assert_ne!(json, stripped, "all knobs were present and removed");
         let back: DiceConfig = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back.pool_size, 1, "absent pool_size defaults to 1");
@@ -773,6 +792,11 @@ mod tests {
             "absent delta_snapshots defaults to on"
         );
         assert!(back.schedule.is_none(), "absent schedule defaults to none");
+        assert!(
+            !back.unreliable_links,
+            "absent unreliable_links defaults to off"
+        );
+        assert!(back.link_faults.is_none(), "absent link_faults defaults");
         assert_eq!(back.explorer, cfg.explorer);
         assert_eq!(back.concolic_executions, cfg.concolic_executions);
         // And the full round-trip still holds when the knobs are present.

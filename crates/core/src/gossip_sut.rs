@@ -19,9 +19,9 @@
 use dice_bgp::{Asn, Ipv4Net};
 use dice_concolic::{ConcolicCtx, ConcolicProgram, RunStatus, SiteId, SymBool};
 use dice_gossip::{
-    encode, GossipConfig, GossipFrame, GossipNode, Rumor, TopicId, BUG_COUNT_THRESHOLD,
-    DIGEST_ENTRY_LEN, MAX_DIGEST_ENTRIES, MAX_PAYLOAD, MAX_TTL, OP_DIGEST, OP_RUMOR, OP_SUBSCRIBE,
-    RUMOR_HEADER_LEN,
+    encode, GossipConfig, GossipFrame, GossipNode, Rumor, TopicId, ACK_KIND_RUMOR,
+    ACK_KIND_SUBSCRIBE, ACK_LEN, BUG_COUNT_THRESHOLD, DIGEST_ENTRY_LEN, MAX_DIGEST_ENTRIES,
+    MAX_PAYLOAD, MAX_TTL, OP_ACK, OP_DIGEST, OP_RUMOR, OP_SUBSCRIBE, RUMOR_HEADER_LEN,
 };
 use dice_netsim::{Node, NodeId, SimRng};
 
@@ -45,6 +45,8 @@ pub mod sites {
     pub const DIGEST_LEN_EXACT: u32 = 209;
     pub const DIGEST_ENTRY_KNOWN: u32 = 210;
     pub const BUG_DIGEST_COUNT: u32 = 211;
+    pub const OP_IS_ACK: u32 = 212;
+    pub const ACK_KIND_VALID: u32 = 213;
 }
 
 /// The probe registered by
@@ -90,10 +92,10 @@ pub fn minimal_seed(config: &GossipConfig) -> Vec<u8> {
     }))
 }
 
-/// Deterministic seed corpus for `grammar_seeds >= 1`: one valid digest
-/// and one subscribe, then `n` valid rumors over the node's interests —
-/// every opcode is represented, so exploration starts with all three
-/// dispatch arms covered. The digest frame leads the corpus on purpose:
+/// Deterministic seed corpus for `grammar_seeds >= 1`: one valid digest,
+/// one subscribe and one ack, then `n` valid rumors over the node's
+/// interests — every opcode is represented, so exploration starts with all
+/// four dispatch arms covered. The digest frame leads the corpus on purpose:
 /// seeds run FIFO, so its count byte is negated within the first
 /// generation of flips and the seeded overflow bug (count >= threshold)
 /// is reachable well inside the default execution budget — no rumor seed
@@ -132,9 +134,14 @@ pub fn seed_corpus(config: &GossipConfig, n: usize, seed: u64) -> Vec<Vec<u8>> {
         .take(3)
         .map(|&t| (t, rng.next_u32() & 0xFFFF))
         .collect();
-    let mut seeds = Vec::with_capacity(n + 2);
+    let mut seeds = Vec::with_capacity(n + 3);
     seeds.push(encode(&GossipFrame::Digest(digest)));
     seeds.push(encode(&GossipFrame::Subscribe { topic: topics[0] }));
+    seeds.push(encode(&GossipFrame::Ack {
+        kind: ACK_KIND_RUMOR,
+        topic: topics[0],
+        id: 1,
+    }));
     seeds.extend(rumors);
     seeds
 }
@@ -293,6 +300,25 @@ fn run_gossip_frame(h: &mut SymbolicGossipHandler, ctx: &mut ConcolicCtx) -> Run
         return RunStatus::Ok;
     }
 
+    // ---- ACK arm -----------------------------------------------------
+    let is_ack = ctx.eq_const(op, OP_ACK as u64);
+    if br(ctx, sites::OP_IS_ACK, is_ack) {
+        if total != ACK_LEN {
+            return RunStatus::Rejected("ack-length".into());
+        }
+        let kind = ctx.read_u8(1);
+        let is_rumor_ack = ctx.eq_const(kind, ACK_KIND_RUMOR as u64);
+        let is_sub_ack = ctx.eq_const(kind, ACK_KIND_SUBSCRIBE as u64);
+        let kind_ok = ctx.bor(is_rumor_ack, is_sub_ack);
+        if !br(ctx, sites::ACK_KIND_VALID, kind_ok) {
+            return RunStatus::Rejected("ack-kind".into());
+        }
+        let _topic = ctx.read_u16_be(2);
+        let _id = ctx.read_u32_be(4);
+        h.accepted += 1;
+        return RunStatus::Ok;
+    }
+
     RunStatus::Rejected("unknown-opcode".into())
 }
 
@@ -415,11 +441,12 @@ mod tests {
     fn grammar_seed_counts_cover_all_opcodes() {
         let g = GossipNode::new(config());
         let plan = g.exploration_plan(NodeId(2), 4, 7).unwrap();
-        assert_eq!(plan.seeds.len(), 6, "4 rumors + digest + subscribe");
+        assert_eq!(plan.seeds.len(), 7, "4 rumors + digest + subscribe + ack");
         let ops: std::collections::BTreeSet<u8> = plan.seeds.iter().map(|s| s[0]).collect();
         assert!(ops.contains(&OP_RUMOR));
         assert!(ops.contains(&OP_DIGEST));
         assert!(ops.contains(&OP_SUBSCRIBE));
+        assert!(ops.contains(&OP_ACK));
         // Every generated seed is valid-by-construction for the twin.
         for s in &plan.seeds {
             assert_eq!(run_concrete(config(), s), RunStatus::Ok, "seed {s:?}");
@@ -435,10 +462,17 @@ mod tests {
             minimal_seed(&config()),
             encode(&GossipFrame::Digest(vec![(1, 5), (9, 2)])),
             encode(&GossipFrame::Subscribe { topic: 4 }),
+            encode(&GossipFrame::Ack {
+                kind: ACK_KIND_SUBSCRIBE,
+                topic: 4,
+                id: 0,
+            }),
             vec![OP_RUMOR, 0, 1, 0, 0, 0, 1, 0, 9, 20, 0], // ttl 20 > MAX_TTL
             vec![OP_DIGEST, 3, 0, 0],                      // truncated digest
             vec![0x44, 1, 2],                              // unknown opcode
             vec![OP_SUBSCRIBE, 1, 2, 3],                   // trailing bytes
+            vec![OP_ACK, 7, 0, 1, 0, 0, 0, 2],             // bad ack kind
+            vec![OP_ACK, 0, 0, 1],                         // truncated ack
         ];
         for bytes in cases {
             let twin = run_concrete(config(), &bytes);

@@ -327,6 +327,20 @@ pub fn buggy_gossip_scenario(n: usize, seed: u64) -> Simulator {
 /// Set `buggy_gossip` to seed the digest-count defect on gossip node 2
 /// (the bridge node).
 pub fn mixed_bgp_gossip(seed: u64, buggy_gossip: bool) -> Simulator {
+    mixed_federation(seed, buggy_gossip, false)
+}
+
+/// **Nemesis federation**: [`mixed_bgp_gossip`] with *both* seeded defect
+/// classes armed — BGP router 1 (the bridge-side router) runs the
+/// attribute-length parser defect and gossip node 2 (the bridge node) the
+/// digest-count overflow. One campaign over this system must surface both
+/// fault classes; the `exp_faults` nemesis bench sweeps it under link loss
+/// and dynamics schedules.
+pub fn nemesis_federation(seed: u64) -> Simulator {
+    mixed_federation(seed, true, true)
+}
+
+fn mixed_federation(seed: u64, buggy_gossip: bool, buggy_bgp: bool) -> Simulator {
     let mut topo = Topology::with_nodes(5);
     let lp = || LinkParams::fixed(SimDuration::from_millis(5));
     topo.add_edge(
@@ -364,12 +378,15 @@ pub fn mixed_bgp_gossip(seed: u64, buggy_gossip: bool) -> Simulator {
     // BGP side: 0 and 1 peer with each other only.
     for i in 0..2u32 {
         let peer = 1 - i;
-        let cfg = base_config(i).with_network(prefix_of(i)).with_neighbor(
+        let mut cfg = base_config(i).with_network(prefix_of(i)).with_neighbor(
             NodeId(peer),
             asn_of(peer),
             "all",
             "all",
         );
+        if buggy_bgp && i == 1 {
+            cfg.bugs.attr_overflow_crash = true;
+        }
         sim.set_node(NodeId(i), Box::new(BgpRouter::new(cfg)));
     }
 

@@ -45,7 +45,7 @@ pub mod wire;
 
 pub use node::{GossipBugs, GossipConfig, GossipNode};
 pub use wire::{
-    decode, encode, DecodeError, GossipFrame, Rumor, TopicId, BUG_COUNT_THRESHOLD,
-    DIGEST_ENTRY_LEN, MAX_DIGEST_ENTRIES, MAX_PAYLOAD, MAX_TTL, OP_DIGEST, OP_RUMOR, OP_SUBSCRIBE,
-    RUMOR_HEADER_LEN,
+    decode, encode, DecodeError, GossipFrame, Rumor, TopicId, ACK_KIND_RUMOR, ACK_KIND_SUBSCRIBE,
+    ACK_LEN, BUG_COUNT_THRESHOLD, DIGEST_ENTRY_LEN, MAX_DIGEST_ENTRIES, MAX_PAYLOAD, MAX_TTL,
+    OP_ACK, OP_DIGEST, OP_RUMOR, OP_SUBSCRIBE, RUMOR_HEADER_LEN,
 };

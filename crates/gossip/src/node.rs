@@ -15,6 +15,12 @@
 //!   lifetime expired from the payload store (and prunes the per-peer
 //!   infection bookkeeping); the compact `seen` set is retained as the
 //!   duplicate-suppression memory.
+//! * **Ack and retransmit** — rumor pushes and subscribes are acknowledged
+//!   with a quiet [`GossipFrame::Ack`]; unacked sends are retransmitted
+//!   with exponential backoff up to [`GossipConfig::retry_budget`] times.
+//!   On budget exhaustion the peer is *un-marked* as infected so the
+//!   anti-entropy digest exchange remains the repair backstop on lossy
+//!   channels (see `dice_netsim::LinkFaults`).
 //!
 //! The node is a deterministic state machine (peer iteration in config
 //! order, no randomness), so shadow-snapshot clones replay identically —
@@ -34,6 +40,8 @@ use crate::wire::{
 const TOKEN_ANTI_ENTROPY: u64 = 1;
 /// Timer token: periodic TTL garbage collection.
 const TOKEN_GC: u64 = 2;
+/// Timer token: periodic retransmit sweep over unacked sends.
+const TOKEN_RETRANSMIT: u64 = 3;
 
 /// How many missing rumors a digest response pushes back at most.
 const DIGEST_PUSH_CAP: usize = 16;
@@ -74,6 +82,12 @@ pub struct GossipConfig {
     pub gc_period: SimDuration,
     /// How long a rumor's payload is retained after first sight.
     pub rumor_lifetime: SimDuration,
+    /// Base timeout before an unacked send is retransmitted (doubled per
+    /// attempt); also the retransmit sweep period.
+    pub retransmit_timeout: SimDuration,
+    /// Retransmissions attempted per unacked send before giving up and
+    /// leaving repair to anti-entropy.
+    pub retry_budget: u32,
     /// Seeded defects.
     pub bugs: GossipBugs,
 }
@@ -93,6 +107,8 @@ impl GossipConfig {
             anti_entropy_period: SimDuration::from_secs(2),
             gc_period: SimDuration::from_secs(10),
             rumor_lifetime: SimDuration::from_secs(120),
+            retransmit_timeout: SimDuration::from_millis(800),
+            retry_budget: 3,
             bugs: GossipBugs::default(),
         }
     }
@@ -134,6 +150,17 @@ struct StoredRumor {
     expires: SimTime,
 }
 
+/// Retransmit state of one unacked send. Keyed in [`GossipNode::pending`]
+/// by `(peer, ack kind, topic, id)` — the same tuple an incoming
+/// [`GossipFrame::Ack`] clears.
+#[derive(Debug, Clone, Copy)]
+struct PendingSend {
+    /// When the next retransmit sweep may resend this entry.
+    deadline: SimTime,
+    /// Retransmissions already performed (0 = only the original send).
+    attempts: u32,
+}
+
 /// The epidemic pub/sub node. See the module docs for the protocol.
 #[derive(Debug, Clone)]
 pub struct GossipNode {
@@ -150,6 +177,11 @@ pub struct GossipNode {
     peer_subs: BTreeMap<NodeId, BTreeSet<TopicId>>,
     /// Per-peer rotating anti-entropy digest cursor (see `send_digest`).
     digest_cursors: BTreeMap<NodeId, (TopicId, u32)>,
+    /// Unacked sends awaiting ack or retransmit, keyed
+    /// `(peer, ack kind, topic, id)`.
+    pending: BTreeMap<(NodeId, u8, TopicId, u32), PendingSend>,
+    /// Total retransmissions performed (observability).
+    retransmits: u64,
     /// Highest rumor id seen per topic, with its claimed origin — the
     /// "best route" analogue exposed through the SUT seam.
     best: BTreeMap<TopicId, (u32, u16)>,
@@ -172,6 +204,8 @@ impl GossipNode {
             sessions_up: BTreeSet::new(),
             peer_subs: BTreeMap::new(),
             digest_cursors: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            retransmits: 0,
             best: BTreeMap::new(),
             delivered: BTreeMap::new(),
             duplicates: BTreeMap::new(),
@@ -222,6 +256,16 @@ impl GossipNode {
     /// Peers with an established session.
     pub fn established_peers(&self) -> usize {
         self.sessions_up.len()
+    }
+
+    /// Sends currently awaiting an ack.
+    pub fn pending_sends(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total retransmissions performed so far.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
     }
 
     fn is_subscribed(&self, topic: TopicId) -> bool {
@@ -285,6 +329,98 @@ impl GossipNode {
         wire::encode_into(&frame, buf.as_mut_vec());
         api.send(peer, buf);
         self.mark_infected(peer, key);
+        self.track_unacked(peer, wire::ACK_KIND_RUMOR, key.0, key.1, api.now());
+    }
+
+    /// Register (or refresh) retransmit state for a just-sent frame.
+    /// Re-sends of an entry already in flight keep its attempt count so
+    /// the retry budget bounds total network effort per (peer, frame).
+    fn track_unacked(&mut self, peer: NodeId, kind: u8, topic: TopicId, id: u32, now: SimTime) {
+        let key = (peer, kind, topic, id);
+        let attempts = self.pending.get(&key).map(|p| p.attempts).unwrap_or(0);
+        self.pending.insert(
+            key,
+            PendingSend {
+                deadline: now + self.config.retransmit_timeout,
+                attempts,
+            },
+        );
+    }
+
+    /// Acknowledge a received retransmittable frame as quiet traffic.
+    fn send_ack(&mut self, peer: NodeId, kind: u8, topic: TopicId, id: u32, api: &mut NodeApi<'_>) {
+        let mut buf = api.buf();
+        wire::encode_into(&GossipFrame::Ack { kind, topic, id }, buf.as_mut_vec());
+        api.send_quiet(peer, buf);
+    }
+
+    /// One retransmit sweep: resend every due unacked entry, or give up
+    /// once its retry budget is spent. Exhausted rumor entries un-mark the
+    /// peer's infection state so the periodic digest exchange repairs the
+    /// gap (digest responses only push rumors the peer is *not* marked as
+    /// having — a stale mark would suppress that repair forever).
+    fn sweep_retransmits(&mut self, api: &mut NodeApi<'_>) {
+        let now = api.now();
+        let due: Vec<((NodeId, u8, TopicId, u32), u32)> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(k, p)| (*k, p.attempts))
+            .collect();
+        for ((peer, kind, topic, id), attempts) in due {
+            let key = (peer, kind, topic, id);
+            if attempts >= self.config.retry_budget {
+                self.pending.remove(&key);
+                if kind == wire::ACK_KIND_RUMOR {
+                    if let Some(inf) = self.infected.get_mut(&peer) {
+                        inf.remove(&(topic, id));
+                    }
+                    api.trace(
+                        "gossip-retry-exhausted",
+                        format!("topic {topic} id {id:#x} to {peer}"),
+                    );
+                }
+                continue;
+            }
+            if !self.sessions_up.contains(&peer) {
+                continue;
+            }
+            let frame = match kind {
+                wire::ACK_KIND_RUMOR => {
+                    let Some(stored) = self.store.get(&(topic, id)) else {
+                        // GC'd while unacked: the payload is gone, so stop
+                        // retrying; the seen-set still suppresses echoes.
+                        self.pending.remove(&key);
+                        continue;
+                    };
+                    GossipFrame::Rumor(Rumor {
+                        topic,
+                        id,
+                        origin: stored.origin,
+                        ttl: stored.ttl.saturating_sub(1),
+                        payload: stored.payload.clone(),
+                    })
+                }
+                _ => GossipFrame::Subscribe { topic },
+            };
+            let mut buf = api.buf();
+            wire::encode_into(&frame, buf.as_mut_vec());
+            if kind == wire::ACK_KIND_RUMOR {
+                // Non-quiet: unrepaired data holds off quiescence so lossy
+                // runs are not declared converged while rumors are missing.
+                api.send(peer, buf);
+            } else {
+                api.send_quiet(peer, buf);
+            }
+            self.retransmits += 1;
+            let backoff_shift = (attempts + 1).min(6);
+            let p = self.pending.get_mut(&key).expect("due entry still pending");
+            p.attempts = attempts + 1;
+            p.deadline = now
+                + SimDuration::from_nanos(
+                    self.config.retransmit_timeout.as_nanos() << backoff_shift,
+                );
+        }
     }
 
     /// Rumor mongering: forward a fresh rumor to up to `fanout` peers not
@@ -328,6 +464,8 @@ impl GossipNode {
     }
 
     fn handle_rumor(&mut self, from: NodeId, rumor: Rumor, api: &mut NodeApi<'_>) {
+        // Ack even duplicates: the previous ack may have been lost.
+        self.send_ack(from, wire::ACK_KIND_RUMOR, rumor.topic, rumor.id, api);
         self.mark_infected(from, (rumor.topic, rumor.id));
         if self.admit(&rumor, api.now()) {
             api.trace(
@@ -401,6 +539,7 @@ impl Node for GossipNode {
         self.publish_initial(api.now());
         api.set_timer(self.config.anti_entropy_period, TOKEN_ANTI_ENTROPY);
         api.set_timer(self.config.gc_period, TOKEN_GC);
+        api.set_timer(self.config.retransmit_timeout, TOKEN_RETRANSMIT);
     }
 
     fn on_message(&mut self, from: NodeId, data: &[u8], api: &mut NodeApi<'_>) {
@@ -422,6 +561,14 @@ impl Node for GossipNode {
             Ok(GossipFrame::Digest(entries)) => self.handle_digest(from, entries, api),
             Ok(GossipFrame::Subscribe { topic }) => {
                 self.peer_subs.entry(from).or_default().insert(topic);
+                self.send_ack(from, wire::ACK_KIND_SUBSCRIBE, topic, 0, api);
+            }
+            Ok(GossipFrame::Ack { kind, topic, id }) => {
+                self.pending.remove(&(from, kind, topic, id));
+                if kind == wire::ACK_KIND_RUMOR {
+                    // Positive knowledge: the peer now has the rumor.
+                    self.mark_infected(from, (topic, id));
+                }
             }
             Err(e) => {
                 // Conforming nodes drop malformed frames (datagram
@@ -468,6 +615,10 @@ impl Node for GossipNode {
                 }
                 api.set_timer(self.config.gc_period, TOKEN_GC);
             }
+            TOKEN_RETRANSMIT => {
+                self.sweep_retransmits(api);
+                api.set_timer(self.config.retransmit_timeout, TOKEN_RETRANSMIT);
+            }
             _ => {}
         }
     }
@@ -483,6 +634,7 @@ impl Node for GossipNode {
                     let mut buf = api.buf();
                     wire::encode_into(&GossipFrame::Subscribe { topic }, buf.as_mut_vec());
                     api.send_quiet(peer, buf);
+                    self.track_unacked(peer, wire::ACK_KIND_SUBSCRIBE, topic, 0, api.now());
                 }
                 // Initial spread: push everything the peer is not known
                 // to have yet.
@@ -499,6 +651,23 @@ impl Node for GossipNode {
             }
             SessionEvent::Down(_) => {
                 self.sessions_up.remove(&peer);
+                // In-flight data died with the session: forget unacked
+                // sends, and un-mark rumors so the re-up initial spread
+                // (and anti-entropy) pushes them again.
+                let dead: Vec<(NodeId, u8, TopicId, u32)> = self
+                    .pending
+                    .keys()
+                    .filter(|(p, _, _, _)| *p == peer)
+                    .copied()
+                    .collect();
+                for key in dead {
+                    self.pending.remove(&key);
+                    if key.1 == wire::ACK_KIND_RUMOR {
+                        if let Some(inf) = self.infected.get_mut(&peer) {
+                            inf.remove(&(key.2, key.3));
+                        }
+                    }
+                }
             }
         }
     }
@@ -530,13 +699,27 @@ impl Node for GossipNode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dice_netsim::{LinkParams, QuietOutcome, SimTime, Simulator, Topology};
+    use dice_netsim::{LinkFaults, LinkParams, QuietOutcome, SimTime, Simulator, Topology};
 
     /// A full mesh of `n` gossip nodes; node `i` publishes topic `i` and
     /// subscribes to every topic.
     fn mesh(n: usize, seed: u64, buggy: Option<usize>) -> Simulator {
+        mesh_with_faults(n, seed, buggy, None)
+    }
+
+    /// Like [`mesh`], optionally with unreliable links.
+    fn mesh_with_faults(
+        n: usize,
+        seed: u64,
+        buggy: Option<usize>,
+        faults: Option<LinkFaults>,
+    ) -> Simulator {
         let topo = Topology::full_mesh(n, LinkParams::fixed(SimDuration::from_millis(5)));
         let mut sim = Simulator::new(topo.clone(), seed);
+        if let Some(f) = faults {
+            sim.set_link_faults(f);
+            sim.set_unreliable_links(true);
+        }
         for i in topo.node_ids() {
             let mut cfg = GossipConfig::new(61000 + i.0 as u16).publish(i.0 as u16);
             for j in topo.node_ids() {
@@ -720,6 +903,99 @@ mod tests {
         let (window, next) = digest_window(&small, (9, 9), wire::MAX_DIGEST_ENTRIES as usize);
         assert_eq!(window.len(), 4);
         assert_eq!(next, (9, 9), "cursor stable when everything fits");
+    }
+
+    #[test]
+    fn gossip_converges_on_lossy_links() {
+        // 40% independent drop: the ack/retransmit path plus anti-entropy
+        // must still disseminate every rumor to every node.
+        let faults = LinkFaults {
+            drop: 0.4,
+            duplicate: 0.1,
+            reorder: 0.2,
+            reorder_window: SimDuration::from_millis(10),
+            burst: None,
+        };
+        let mut sim = mesh_with_faults(4, 11, None, Some(faults));
+        let out = sim.run_until_quiet(
+            SimDuration::from_secs(8),
+            SimTime::from_nanos(180_000_000_000),
+        );
+        assert_eq!(out, QuietOutcome::Quiescent, "lossy gossip must converge");
+        let mut total_retransmits = 0;
+        for i in 0..4 {
+            let g = gossip(&sim, i);
+            assert_eq!(g.seen_count(), 8, "node {i} missed rumors under loss");
+            assert_eq!(g.delivered_total(), 8, "node {i} delivery count");
+            total_retransmits += g.retransmits();
+        }
+        assert!(
+            total_retransmits > 0,
+            "40% loss must force at least one retransmission"
+        );
+    }
+
+    #[test]
+    fn lossy_gossip_replays_byte_identically() {
+        let faults = LinkFaults::lossy(0.25);
+        let run = |seed| {
+            let mut sim = mesh_with_faults(3, seed, None, Some(faults));
+            sim.run_until(SimTime::from_nanos(20_000_000_000));
+            (0..3)
+                .map(|i| {
+                    let g = gossip(&sim, i);
+                    (g.seen_count(), g.delivered_total(), g.retransmits())
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(21), run(21), "same seed must replay identically");
+    }
+
+    #[test]
+    fn acks_clear_pending_on_reliable_links() {
+        let mut sim = mesh(3, 13, None);
+        let out = sim.run_until_quiet(
+            SimDuration::from_secs(5),
+            SimTime::from_nanos(60_000_000_000),
+        );
+        assert_eq!(out, QuietOutcome::Quiescent);
+        for i in 0..3 {
+            let g = gossip(&sim, i);
+            assert_eq!(g.pending_sends(), 0, "node {i} has stale pending sends");
+            assert_eq!(g.retransmits(), 0, "no loss, no retransmits");
+        }
+    }
+
+    #[test]
+    fn retry_exhaustion_unmarks_infection_for_anti_entropy() {
+        // Sever the channel entirely (drop = 1.0): every push and every
+        // retransmit is lost, so after the budget is spent the sender must
+        // have *no* stale infection marks for its peer — that bookkeeping
+        // is what lets anti-entropy repair once the channel heals.
+        let faults = LinkFaults {
+            drop: 1.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            reorder_window: SimDuration::ZERO,
+            burst: None,
+        };
+        let mut sim = mesh_with_faults(2, 17, None, Some(faults));
+        sim.run_until(SimTime::from_nanos(60_000_000_000));
+        for i in 0..2 {
+            let g = gossip(&sim, i);
+            assert_eq!(g.pending_sends(), 0, "budget spent, pending drained");
+            assert!(g.retransmits() >= 1, "retransmits were attempted");
+            let marked: usize = g.infected.values().map(|s| s.len()).sum();
+            assert_eq!(marked, 0, "exhausted sends must un-mark infection");
+        }
+        // Heal the channel: anti-entropy digests now advertise the stored
+        // rumors and the repair push delivers them.
+        sim.set_unreliable_links(false);
+        sim.run_until(SimTime::from_nanos(120_000_000_000));
+        for i in 0..2 {
+            let g = gossip(&sim, i);
+            assert_eq!(g.seen_count(), 4, "node {i} repaired after heal");
+        }
     }
 
     #[test]

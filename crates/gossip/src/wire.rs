@@ -1,4 +1,4 @@
-//! The gossip wire format: three fixed-layout frames.
+//! The gossip wire format: four fixed-layout frames.
 //!
 //! Deliberately *not* BGP-shaped — the point of this protocol is to prove
 //! the DiCE runtime generalizes, so the message grammar, the framing and
@@ -8,6 +8,7 @@
 //! RUMOR      [op=0x01][topic:u16][id:u32][origin:u16][ttl:u8][plen:u8][payload...]
 //! DIGEST     [op=0x02][count:u8][count x (topic:u16, id:u32)]
 //! SUBSCRIBE  [op=0x03][topic:u16]
+//! ACK        [op=0x04][kind:u8][topic:u16][id:u32]
 //! ```
 //!
 //! All multi-byte integers are big-endian. Every frame is length-exact:
@@ -20,6 +21,15 @@ pub const OP_RUMOR: u8 = 0x01;
 pub const OP_DIGEST: u8 = 0x02;
 /// Opcode of a [`Subscribe`](GossipFrame::Subscribe) frame.
 pub const OP_SUBSCRIBE: u8 = 0x03;
+/// Opcode of an [`Ack`](GossipFrame::Ack) frame.
+pub const OP_ACK: u8 = 0x04;
+
+/// Exact length of an ACK frame.
+pub const ACK_LEN: usize = 8;
+/// [`GossipFrame::Ack`] kind acknowledging a RUMOR.
+pub const ACK_KIND_RUMOR: u8 = 0;
+/// [`GossipFrame::Ack`] kind acknowledging a SUBSCRIBE (`id` is zero).
+pub const ACK_KIND_SUBSCRIBE: u8 = 1;
 
 /// Fixed header length of a RUMOR frame (payload follows).
 pub const RUMOR_HEADER_LEN: usize = 11;
@@ -69,6 +79,17 @@ pub enum GossipFrame {
         /// The topic being subscribed to.
         topic: TopicId,
     },
+    /// Acknowledge receipt of a retransmittable frame (RUMOR or
+    /// SUBSCRIBE), so the sender can clear its retransmit state. ACKs are
+    /// never themselves acknowledged.
+    Ack {
+        /// [`ACK_KIND_RUMOR`] or [`ACK_KIND_SUBSCRIBE`].
+        kind: u8,
+        /// Topic of the acknowledged frame.
+        topic: TopicId,
+        /// Rumor id being acknowledged; zero for subscribe acks.
+        id: u32,
+    },
 }
 
 /// Why a frame failed to decode.
@@ -88,6 +109,8 @@ pub enum DecodeError {
     PayloadTooLong(u8),
     /// Digest entry count above [`MAX_DIGEST_ENTRIES`].
     DigestTooLong(u8),
+    /// Ack kind byte is neither rumor nor subscribe.
+    BadAckKind(u8),
 }
 
 impl core::fmt::Display for DecodeError {
@@ -102,6 +125,7 @@ impl core::fmt::Display for DecodeError {
             DecodeError::DigestTooLong(n) => {
                 write!(f, "digest count {n} above {MAX_DIGEST_ENTRIES}")
             }
+            DecodeError::BadAckKind(k) => write!(f, "unknown ack kind {k}"),
         }
     }
 }
@@ -135,6 +159,13 @@ pub fn encode_into(frame: &GossipFrame, out: &mut Vec<u8>) {
         GossipFrame::Subscribe { topic } => {
             out.push(OP_SUBSCRIBE);
             out.extend_from_slice(&topic.to_be_bytes());
+        }
+        GossipFrame::Ack { kind, topic, id } => {
+            debug_assert!(matches!(*kind, ACK_KIND_RUMOR | ACK_KIND_SUBSCRIBE));
+            out.push(OP_ACK);
+            out.push(*kind);
+            out.extend_from_slice(&topic.to_be_bytes());
+            out.extend_from_slice(&id.to_be_bytes());
         }
     }
 }
@@ -218,6 +249,22 @@ pub fn decode(bytes: &[u8]) -> Result<GossipFrame, DecodeError> {
                 topic: u16_at(bytes, 1),
             })
         }
+        OP_ACK => {
+            match bytes.len().cmp(&ACK_LEN) {
+                core::cmp::Ordering::Less => return Err(DecodeError::Truncated),
+                core::cmp::Ordering::Greater => return Err(DecodeError::TrailingBytes),
+                core::cmp::Ordering::Equal => {}
+            }
+            let kind = bytes[1];
+            if !matches!(kind, ACK_KIND_RUMOR | ACK_KIND_SUBSCRIBE) {
+                return Err(DecodeError::BadAckKind(kind));
+            }
+            Ok(GossipFrame::Ack {
+                kind,
+                topic: u16_at(bytes, 2),
+                id: u32_at(bytes, 4),
+            })
+        }
         other => Err(DecodeError::UnknownOpcode(other)),
     }
 }
@@ -256,6 +303,40 @@ mod tests {
     fn subscribe_roundtrip() {
         let f = GossipFrame::Subscribe { topic: 0xBEEF };
         assert_eq!(decode(&encode(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn ack_roundtrip() {
+        let f = GossipFrame::Ack {
+            kind: ACK_KIND_RUMOR,
+            topic: 7,
+            id: 0x00070003,
+        };
+        let bytes = encode(&f);
+        assert_eq!(bytes.len(), ACK_LEN);
+        assert_eq!(decode(&bytes).unwrap(), f);
+        let f = GossipFrame::Ack {
+            kind: ACK_KIND_SUBSCRIBE,
+            topic: 0xBEEF,
+            id: 0,
+        };
+        assert_eq!(decode(&encode(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn ack_rejects_bad_kind_and_wrong_length() {
+        let mut bytes = encode(&GossipFrame::Ack {
+            kind: ACK_KIND_RUMOR,
+            topic: 1,
+            id: 2,
+        });
+        bytes[1] = 9;
+        assert_eq!(decode(&bytes), Err(DecodeError::BadAckKind(9)));
+        bytes[1] = ACK_KIND_RUMOR;
+        bytes.push(0);
+        assert_eq!(decode(&bytes), Err(DecodeError::TrailingBytes));
+        bytes.truncate(ACK_LEN - 1);
+        assert_eq!(decode(&bytes), Err(DecodeError::Truncated));
     }
 
     #[test]

@@ -62,6 +62,21 @@ fn determinism_zone_covers_the_schedule_module() {
 }
 
 #[test]
+fn determinism_zone_covers_the_channel_fidelity_module() {
+    // The link-fault layer is in scope for R2: an ambient-RNG draw in a
+    // sampling helper fires at its exact line, while the per-link
+    // `SimRng`-stream path in the same file is clean.
+    let report = scan_one(
+        "crates/netsim/src/faults.rs",
+        include_str!("fixtures/faults_determinism.fixture"),
+    );
+    assert_eq!(
+        report.violations.iter().map(triple).collect::<Vec<_>>(),
+        vec![("determinism-zone", "crates/netsim/src/faults.rs", 6)]
+    );
+}
+
+#[test]
 fn unordered_iter_fires_on_hashmap_iteration() {
     let report = scan_one(
         "crates/core/src/campaign.rs",

@@ -43,6 +43,16 @@ pub struct WireStats {
     pub batches: u64,
     /// Most frames processed by a single delivery event.
     pub max_batch: u64,
+    /// Data frames discarded by the channel-fidelity layer (independent or
+    /// burst loss).
+    pub frames_dropped: u64,
+    /// Data frames enqueued twice by the channel-fidelity layer.
+    pub frames_duplicated: u64,
+    /// Data frames held back by an extra reordering lag.
+    pub frames_reordered: u64,
+    /// TCP-style link-layer retransmissions (delay-only; the frame still
+    /// arrives exactly once).
+    pub link_retransmits: u64,
 }
 
 impl WireStats {
@@ -53,6 +63,10 @@ impl WireStats {
         self.buf_misses += other.buf_misses;
         self.batches += other.batches;
         self.max_batch = self.max_batch.max(other.max_batch);
+        self.frames_dropped += other.frames_dropped;
+        self.frames_duplicated += other.frames_duplicated;
+        self.frames_reordered += other.frames_reordered;
+        self.link_retransmits += other.link_retransmits;
     }
 }
 
@@ -345,6 +359,10 @@ mod tests {
             buf_misses: 2,
             batches: 3,
             max_batch: 4,
+            frames_dropped: 5,
+            frames_duplicated: 6,
+            frames_reordered: 7,
+            link_retransmits: 8,
         };
         a.absorb(WireStats {
             wire_bytes: 5,
@@ -352,11 +370,19 @@ mod tests {
             buf_misses: 1,
             batches: 1,
             max_batch: 2,
+            frames_dropped: 1,
+            frames_duplicated: 2,
+            frames_reordered: 3,
+            link_retransmits: 4,
         });
         assert_eq!(a.wire_bytes, 15);
         assert_eq!(a.buf_hits, 2);
         assert_eq!(a.buf_misses, 3);
         assert_eq!(a.batches, 4);
         assert_eq!(a.max_batch, 4, "max, not sum");
+        assert_eq!(a.frames_dropped, 6);
+        assert_eq!(a.frames_duplicated, 8);
+        assert_eq!(a.frames_reordered, 10);
+        assert_eq!(a.link_retransmits, 12);
     }
 }

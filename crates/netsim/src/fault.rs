@@ -37,10 +37,20 @@ impl FaultPlan {
         Self::default()
     }
 
-    /// Add a fault at an absolute simulated time. Entries may be added in
-    /// any order; they are sorted on first application.
+    /// Add a fault at an absolute simulated time.
+    ///
+    /// Contract: entries may be added in any order, *including after some
+    /// of the plan has already been applied*. The applied prefix is
+    /// immutable; the pending tail is kept time-sorted on every add (the
+    /// plan used to sort only once, on first application, so late adds
+    /// silently fired out of order). Duplicate-time entries keep their
+    /// insertion order (stable sort), and an entry scheduled before
+    /// `sim.now()` fires on the next [`FaultPlan::apply_due`] /
+    /// [`FaultPlan::run_with_faults`] call — clamped-to-now semantics, same
+    /// as [`Simulator::schedule_fault`].
     pub fn at(mut self, t: SimTime, action: FaultAction) -> Self {
         self.entries.push((t, action));
+        self.entries[self.applied..].sort_by_key(|(t, _)| *t);
         self
     }
 
@@ -52,9 +62,6 @@ impl FaultPlan {
     /// Apply every fault scheduled at or before `sim.now()`.
     /// Call interleaved with `run_until` steps.
     pub fn apply_due(&mut self, sim: &mut Simulator) {
-        if self.applied == 0 {
-            self.entries.sort_by_key(|(t, _)| *t);
-        }
         while self.applied < self.entries.len() {
             let (t, action) = &self.entries[self.applied];
             if *t > sim.now() {
@@ -72,10 +79,9 @@ impl FaultPlan {
     }
 
     /// Drive `sim` to `end`, applying faults at their scheduled instants.
+    /// Past-due entries (added late) are applied immediately.
     pub fn run_with_faults(&mut self, sim: &mut Simulator, end: SimTime) {
-        if self.applied == 0 {
-            self.entries.sort_by_key(|(t, _)| *t);
-        }
+        self.apply_due(sim);
         while self.applied < self.entries.len() {
             let (t, _) = self.entries[self.applied];
             if t > end {
@@ -166,6 +172,84 @@ mod tests {
         assert!(sim.crashed(NodeId(1)).is_none());
         assert!(sim.session_up(NodeId(0), NodeId(1)));
         assert!(sim.session_up(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn late_out_of_order_adds_are_resorted() {
+        let mut sim = sim3();
+        let mut plan = FaultPlan::new().at(
+            SimTime::from_nanos(1_000_000_000),
+            FaultAction::LinkDown(NodeId(0), NodeId(1)),
+        );
+        plan.run_with_faults(&mut sim, SimTime::from_nanos(1_500_000_000));
+        assert!(!sim.session_up(NodeId(0), NodeId(1)));
+        assert_eq!(plan.pending(), 0);
+        // Late adds, out of time order, after the first application: the
+        // heal at 2s must still fire before the second outage at 3s (the
+        // old sorted-once plan would have applied them in push order and
+        // left the link up at 4s).
+        plan = plan
+            .at(
+                SimTime::from_nanos(3_000_000_000),
+                FaultAction::LinkDown(NodeId(0), NodeId(1)),
+            )
+            .at(
+                SimTime::from_nanos(2_000_000_000),
+                FaultAction::LinkUp(NodeId(0), NodeId(1)),
+            );
+        plan.run_with_faults(&mut sim, SimTime::from_nanos(2_500_000_000));
+        assert!(
+            sim.session_up(NodeId(0), NodeId(1)),
+            "heal added late must fire at its own time, not after the outage"
+        );
+        plan.run_with_faults(&mut sim, SimTime::from_nanos(4_000_000_000));
+        assert!(!sim.session_up(NodeId(0), NodeId(1)), "second outage at 3s");
+        assert_eq!(plan.pending(), 0);
+    }
+
+    #[test]
+    fn late_past_due_add_applies_on_next_pump() {
+        let mut sim = sim3();
+        let mut plan = FaultPlan::new().at(
+            SimTime::from_nanos(1_000_000_000),
+            FaultAction::NodeCrash(NodeId(2)),
+        );
+        plan.run_with_faults(&mut sim, SimTime::from_nanos(2_000_000_000));
+        assert!(sim.crashed(NodeId(2)).is_some());
+        // Scheduled in the past relative to `sim.now()`: clamped-to-now
+        // semantics, fires on the next pump.
+        plan = plan.at(
+            SimTime::from_nanos(500_000_000),
+            FaultAction::NodeRestart(NodeId(2)),
+        );
+        assert_eq!(plan.pending(), 1);
+        plan.apply_due(&mut sim);
+        assert!(sim.crashed(NodeId(2)).is_none(), "past-due entry applied");
+        assert_eq!(plan.pending(), 0);
+    }
+
+    #[test]
+    fn duplicate_time_entries_apply_in_insertion_order() {
+        let t = SimTime::from_nanos(1_000_000_000);
+        // Crash then restart at the same instant: only insertion order
+        // makes the node end up alive (restart before crash would be a
+        // no-op restart followed by a crash).
+        let mut sim = sim3();
+        let mut plan = FaultPlan::new()
+            .at(t, FaultAction::NodeCrash(NodeId(1)))
+            .at(t, FaultAction::NodeRestart(NodeId(1)));
+        plan.run_with_faults(&mut sim, SimTime::from_nanos(2_000_000_000));
+        assert!(sim.crashed(NodeId(1)).is_none(), "crash, then restart");
+
+        let mut sim = sim3();
+        let mut plan = FaultPlan::new()
+            .at(t, FaultAction::NodeRestart(NodeId(1)))
+            .at(t, FaultAction::NodeCrash(NodeId(1)));
+        plan.run_with_faults(&mut sim, SimTime::from_nanos(2_000_000_000));
+        assert!(
+            sim.crashed(NodeId(1)).is_some(),
+            "restart (no-op), then crash"
+        );
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //!   ([`Simulator::from_shadow`]). This is the mechanism behind DiCE's
 //!   "explore over isolated snapshots".
 //! * **Fault injection:** scheduled session resets, link failures and node
-//!   crashes ([`fault::FaultPlan`]).
+//!   crashes ([`fault::FaultPlan`]), plus an opt-in per-link
+//!   channel-fidelity layer — probabilistic drop, duplication, bounded
+//!   reordering and Gilbert–Elliott burst loss ([`faults::LinkFaults`],
+//!   gated by [`SimConfig::unreliable_links`]).
 //!
 //! ## Quick example
 //!
@@ -60,6 +63,7 @@
 
 pub mod buf;
 pub mod fault;
+pub mod faults;
 pub mod link;
 pub mod node;
 pub mod rng;
@@ -72,6 +76,7 @@ pub mod trace;
 
 pub use buf::{BufPool, Payload, PooledBuf, WireStats};
 pub use fault::{FaultAction, FaultPlan};
+pub use faults::{BurstLoss, FaultVerdict, LinkFaultState, LinkFaults};
 pub use link::{LatencyModel, LinkParams};
 pub use node::{DownReason, Effect, Node, NodeApi, NodeId, SessionEvent};
 pub use rng::SimRng;

@@ -109,6 +109,13 @@ impl LinkParams {
     /// Total one-way delay for a frame of `bytes` bytes: serialization +
     /// propagation + (possibly) retransmission penalties.
     pub fn delay_for(&self, bytes: usize, rng: &mut SimRng) -> SimDuration {
+        self.delay_and_retries_for(bytes, rng).0
+    }
+
+    /// Like [`LinkParams::delay_for`], also reporting how many TCP-style
+    /// retransmissions the frame suffered (each costs ~1 RTT of delay; the
+    /// simulator folds the count into its wire counters).
+    pub fn delay_and_retries_for(&self, bytes: usize, rng: &mut SimRng) -> (SimDuration, u32) {
         let prop = self.latency.sample(rng);
         let ser = match self.bandwidth_bps {
             Some(bps) if bps > 0 => {
@@ -117,9 +124,9 @@ impl LinkParams {
             _ => SimDuration::ZERO,
         };
         let mut total = prop + ser;
+        let mut retries = 0u32;
         if self.loss > 0.0 {
             // Geometric number of retransmissions, each costing ~1 RTT.
-            let mut retries = 0u32;
             while retries < 8 && rng.chance(self.loss) {
                 retries += 1;
             }
@@ -128,7 +135,7 @@ impl LinkParams {
                 total = total + rtt.saturating_mul(retries as u64);
             }
         }
-        total
+        (total, retries)
     }
 }
 

@@ -10,6 +10,7 @@ use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
 use crate::buf::{BufPool, Payload, WireStats};
 use crate::fault::FaultAction;
+use crate::faults::{FaultVerdict, LinkFaultState, LinkFaults};
 use crate::link::LinkParams;
 use crate::node::{DownReason, Effect, Node, NodeApi, NodeId, SessionEvent};
 use crate::rng::SimRng;
@@ -176,6 +177,16 @@ pub struct SimConfig {
     /// `clone_node`, so the knob is observable only in perf counters
     /// ([`SnapshotStats`]), never in simulation outcomes.
     pub delta_snapshots: bool,
+    /// Enable the channel-fidelity layer: data frames are subjected to the
+    /// per-link [`LinkFaults`] model in `link_faults` (drop, duplication,
+    /// bounded reordering, burst loss), sampled from dedicated per-link
+    /// RNG streams. Off by default — the reliable in-order channel model.
+    /// Chandy–Lamport markers are always exempt, and sampling is suspended
+    /// while a consistent cut is in progress (the marker protocol requires
+    /// FIFO channels).
+    pub unreliable_links: bool,
+    /// The fault profile applied when `unreliable_links` is on.
+    pub link_faults: LinkFaults,
 }
 
 impl Default for SimConfig {
@@ -188,6 +199,8 @@ impl Default for SimConfig {
             payload_pool: true,
             batch_delivery: true,
             delta_snapshots: true,
+            unreliable_links: false,
+            link_faults: LinkFaults::default(),
         }
     }
 }
@@ -238,6 +251,12 @@ pub struct Simulator {
     sessions: BTreeMap<(NodeId, NodeId), SessionState>,
     admin_down: BTreeSet<(NodeId, NodeId)>,
     link_rngs: BTreeMap<(NodeId, NodeId), SimRng>,
+    /// Channel-fidelity streams, one per link direction — seeded from a
+    /// *separate* parent than `link_rngs` so toggling `unreliable_links`
+    /// never perturbs latency sampling (and vice versa).
+    fault_rngs: BTreeMap<(NodeId, NodeId), SimRng>,
+    /// Per-direction Gilbert–Elliott burst state.
+    fault_state: BTreeMap<(NodeId, NodeId), LinkFaultState>,
     trace: Trace,
     last_activity: SimTime,
     started: bool,
@@ -268,9 +287,12 @@ impl Simulator {
     /// Like [`Simulator::new`] with explicit configuration.
     pub fn with_config(topo: Topology, seed: u64, config: SimConfig) -> Self {
         let mut rng = SimRng::seed_from_u64(seed);
+        let mut fault_parent = SimRng::seed_from_u64(seed ^ Self::FAULT_STREAM_SALT);
         let mut channels = BTreeMap::new();
         let mut sessions = BTreeMap::new();
         let mut link_rngs = BTreeMap::new();
+        let mut fault_rngs = BTreeMap::new();
+        let mut fault_state = BTreeMap::new();
         for e in topo.edges() {
             channels.insert((e.a, e.b), Channel::default());
             channels.insert((e.b, e.a), Channel::default());
@@ -278,6 +300,10 @@ impl Simulator {
             let label = ((e.a.0 as u64) << 32) | e.b.0 as u64;
             link_rngs.insert((e.a, e.b), rng.split(label));
             link_rngs.insert((e.b, e.a), rng.split(label ^ 0xFFFF_FFFF));
+            fault_rngs.insert((e.a, e.b), fault_parent.split(label));
+            fault_rngs.insert((e.b, e.a), fault_parent.split(label ^ 0xFFFF_FFFF));
+            fault_state.insert((e.a, e.b), LinkFaultState::default());
+            fault_state.insert((e.b, e.a), LinkFaultState::default());
         }
         let nodes: Vec<NodeSlot> = (0..topo.len())
             .map(|_| NodeSlot {
@@ -298,6 +324,8 @@ impl Simulator {
             sessions,
             admin_down: BTreeSet::new(),
             link_rngs,
+            fault_rngs,
+            fault_state,
             last_activity: SimTime::ZERO,
             started: false,
             pristine: BTreeMap::new(),
@@ -344,6 +372,26 @@ impl Simulator {
                 *c = None;
             }
         }
+    }
+
+    /// Seed salt separating the channel-fidelity RNG parent from the
+    /// latency RNG parent (both are split per link direction, in edge
+    /// order, with the same labels).
+    const FAULT_STREAM_SALT: u64 = 0x5EED_FA17;
+
+    /// Toggle the channel-fidelity layer on an existing simulator (clone
+    /// pools apply this right after [`Simulator::reset_from_shadow`],
+    /// exactly like [`Simulator::set_wire_config`]). Unlike the wire-path
+    /// knobs this one *does* change outcomes — that is its whole point —
+    /// but identically for identical seeds: the fault streams are reseeded
+    /// by construction and by `reset_from_shadow`, never by this setter.
+    pub fn set_unreliable_links(&mut self, on: bool) {
+        self.config.unreliable_links = on;
+    }
+
+    /// Replace the fault profile applied when `unreliable_links` is on.
+    pub fn set_link_faults(&mut self, faults: LinkFaults) {
+        self.config.link_faults = faults;
     }
 
     /// Drain this simulator's snapshot-delta and dynamics-schedule counters,
@@ -753,7 +801,8 @@ impl Simulator {
             Frame::Data { bytes, .. } => bytes.len(),
             Frame::Marker(_) => 32,
         };
-        if matches!(&frame, Frame::Data { .. }) {
+        let is_data = matches!(&frame, Frame::Data { .. });
+        if is_data {
             self.wire.wire_bytes += size as u64;
         }
         let quietness = matches!(&frame, Frame::Data { quiet: true, .. } | Frame::Marker(_));
@@ -765,23 +814,34 @@ impl Simulator {
             .link_rngs
             .get_mut(&(src, dst))
             .expect("missing link rng");
-        let delay = params.delay_for(size, rng);
-        let ch = self.channels.get_mut(&(src, dst)).expect("unknown channel");
-        // Reliable in-order channel: arrivals are monotone (non-strictly —
-        // frames sharing an instant coalesce into one delivery batch).
-        let arrival = (self.now + delay).max(ch.last_arrival);
-        ch.last_arrival = arrival;
-        ch.queue.push_back(Flight {
-            deliver_at: arrival,
-            frame,
-        });
-        let epoch = ch.epoch;
+        let (delay, retries) = params.delay_and_retries_for(size, rng);
+        self.wire.link_retransmits += retries as u64;
+        // Channel-fidelity layer: sample the per-link fault model for data
+        // frames. Markers are exempt, and sampling is suspended while a
+        // consistent cut is in progress — Chandy–Lamport is only sound over
+        // FIFO channels, so the cut window runs at full fidelity. The
+        // fault streams are separate from the latency streams, so the
+        // knob's off state is byte-identical to the pre-fault simulator.
+        let faulty = self.config.unreliable_links
+            && is_data
+            && self.snapshots.is_empty()
+            && !self.config.link_faults.is_noop();
+        let verdict = if faulty {
+            let faults = self.config.link_faults;
+            let frng = self
+                .fault_rngs
+                .get_mut(&(src, dst))
+                .expect("missing fault rng");
+            let fstate = self
+                .fault_state
+                .get_mut(&(src, dst))
+                .expect("missing fault state");
+            faults.sample(fstate, frng)
+        } else {
+            FaultVerdict::default()
+        };
         if !quietness {
             self.last_activity = self.now;
-        }
-        match self.channels.get(&(src, dst)).map(|c| &c.queue) {
-            Some(_) => {}
-            None => unreachable!(),
         }
         self.trace.push(
             self.now,
@@ -791,6 +851,64 @@ impl Simulator {
                 bytes: size,
             },
         );
+        if verdict.dropped {
+            self.wire.frames_dropped += 1;
+            if let Frame::Data { bytes, .. } = frame {
+                if self.config.payload_pool {
+                    self.buf_pool.recycle(bytes);
+                }
+            }
+            return;
+        }
+        let dup = verdict.duplicated.then(|| frame.clone());
+        let mut arrival = self.now + delay;
+        if let Some(extra) = verdict.extra_delay {
+            self.wire.frames_reordered += 1;
+            arrival += extra;
+        }
+        self.enqueue_flight(src, dst, frame, arrival, faulty);
+        if let Some(copy) = dup {
+            self.wire.frames_duplicated += 1;
+            self.enqueue_flight(src, dst, copy, self.now + delay + verdict.dup_lag, faulty);
+        }
+    }
+
+    /// Enqueue one frame on `src -> dst` arriving at `arrival` and schedule
+    /// its delivery event. With `relaxed` off (the reliable channel model)
+    /// arrivals are clamped monotone, so `push_back` keeps the queue sorted
+    /// by `deliver_at`; with `relaxed` on (fault layer live) the clamp is
+    /// skipped — that is what lets frames overtake each other — and the
+    /// frame is instead inserted in `deliver_at` order, stably after equal
+    /// instants, preserving `process_deliver`'s front-matured invariant.
+    /// `last_arrival` stays the running maximum either way, so an exempt
+    /// marker sent later is always clamped behind every data frame already
+    /// in flight.
+    fn enqueue_flight(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        frame: Frame,
+        arrival: SimTime,
+        relaxed: bool,
+    ) {
+        let ch = self.channels.get_mut(&(src, dst)).expect("unknown channel");
+        let arrival = if relaxed {
+            arrival
+        } else {
+            arrival.max(ch.last_arrival)
+        };
+        ch.last_arrival = ch.last_arrival.max(arrival);
+        let epoch = ch.epoch;
+        let flight = Flight {
+            deliver_at: arrival,
+            frame,
+        };
+        if relaxed {
+            let pos = ch.queue.partition_point(|f| f.deliver_at <= arrival);
+            ch.queue.insert(pos, flight);
+        } else {
+            ch.queue.push_back(flight);
+        }
         self.schedule(arrival, Ev::Deliver { src, dst, epoch });
     }
 
@@ -1194,13 +1312,23 @@ impl Simulator {
             "shadow does not match the simulator's topology"
         );
         // Reseed the per-link randomness streams exactly as construction
-        // does: one parent stream split twice per edge, in edge order.
+        // does: one parent stream split twice per edge, in edge order —
+        // and likewise for the channel-fidelity streams from their salted
+        // parent, with the burst state returned to good.
         let mut rng = SimRng::seed_from_u64(seed);
+        let mut fault_parent = SimRng::seed_from_u64(seed ^ Self::FAULT_STREAM_SALT);
         for e in self.topo.edges() {
             let label = ((e.a.0 as u64) << 32) | e.b.0 as u64;
             self.link_rngs.insert((e.a, e.b), rng.split(label));
             self.link_rngs
                 .insert((e.b, e.a), rng.split(label ^ 0xFFFF_FFFF));
+            self.fault_rngs
+                .insert((e.a, e.b), fault_parent.split(label));
+            self.fault_rngs
+                .insert((e.b, e.a), fault_parent.split(label ^ 0xFFFF_FFFF));
+        }
+        for s in self.fault_state.values_mut() {
+            *s = LinkFaultState::default();
         }
         // Channel structures survive; their contents do not.
         for ch in self.channels.values_mut() {
@@ -1768,5 +1896,142 @@ mod tests {
             .unwrap();
         assert_eq!(p1.got.len(), before + 1);
         assert_eq!(p1.got.last().unwrap().1, vec![99]);
+    }
+
+    // ------------------------------------------------------------------
+    // Channel-fidelity layer (SimConfig::unreliable_links)
+    // ------------------------------------------------------------------
+
+    fn unreliable_two_node(seed: u64, faults: crate::faults::LinkFaults) -> Simulator {
+        let topo = Topology::line(2, LinkParams::fixed(SimDuration::from_millis(5)));
+        let mut sim = Simulator::with_config(
+            topo,
+            seed,
+            SimConfig {
+                unreliable_links: true,
+                link_faults: faults,
+                ..SimConfig::default()
+            },
+        );
+        sim.set_node(NodeId(0), Box::new(Pinger::new(true)));
+        sim.set_node(NodeId(1), Box::new(Pinger::new(false)));
+        sim.start();
+        sim
+    }
+
+    #[test]
+    fn noop_fault_profile_is_byte_identical_to_reliable() {
+        let mut unreliable = unreliable_two_node(11, crate::faults::LinkFaults::lossy(0.0));
+        let mut reliable = two_node_sim(11);
+        unreliable.run_until(SimTime::from_nanos(10_000_000_000));
+        reliable.run_until(SimTime::from_nanos(10_000_000_000));
+        assert_eq!(unreliable.trace().stats(), reliable.trace().stats());
+        let wire = unreliable.take_wire_stats();
+        assert_eq!(wire.frames_dropped, 0);
+        assert_eq!(wire.frames_duplicated, 0);
+        assert_eq!(wire.frames_reordered, 0);
+    }
+
+    #[test]
+    fn certain_drop_loses_every_data_frame() {
+        let mut sim = unreliable_two_node(
+            12,
+            crate::faults::LinkFaults {
+                drop: 1.0,
+                ..crate::faults::LinkFaults::lossy(0.0)
+            },
+        );
+        sim.run_until(SimTime::from_nanos(10_000_000_000));
+        let stats = sim.trace().stats();
+        assert_eq!(stats.msgs_delivered, 0, "every frame dropped");
+        assert!(stats.msgs_sent >= 1, "the initiator did send");
+        let wire = sim.take_wire_stats();
+        assert_eq!(wire.frames_dropped, stats.msgs_sent);
+    }
+
+    #[test]
+    fn certain_duplication_doubles_deliveries() {
+        let mut sim = unreliable_two_node(
+            13,
+            crate::faults::LinkFaults {
+                duplicate: 1.0,
+                reorder_window: SimDuration::from_millis(2),
+                ..crate::faults::LinkFaults::lossy(0.0)
+            },
+        );
+        sim.run_until(SimTime::from_nanos(30_000_000_000));
+        let stats = sim.trace().stats();
+        assert_eq!(
+            stats.msgs_delivered,
+            2 * stats.msgs_sent,
+            "every data frame arrives exactly twice"
+        );
+        let wire = sim.take_wire_stats();
+        assert_eq!(wire.frames_duplicated, stats.msgs_sent);
+        assert_eq!(wire.frames_dropped, 0);
+    }
+
+    #[test]
+    fn faulty_runs_replay_byte_identically() {
+        let faults = crate::faults::LinkFaults {
+            burst: Some(crate::faults::BurstLoss::harsh()),
+            ..crate::faults::LinkFaults::lossy(0.2)
+        };
+        let mut a = unreliable_two_node(42, faults);
+        let mut b = unreliable_two_node(42, faults);
+        a.run_until(SimTime::from_nanos(30_000_000_000));
+        b.run_until(SimTime::from_nanos(30_000_000_000));
+        assert_eq!(a.trace().stats(), b.trace().stats());
+        assert_eq!(a.take_wire_stats(), b.take_wire_stats());
+    }
+
+    #[test]
+    fn reset_from_shadow_reseeds_fault_streams() {
+        let faults = crate::faults::LinkFaults::lossy(0.3);
+        let mut live = two_node_sim(21);
+        live.run_until(SimTime::from_nanos(2_000_000_000));
+        let shadow = live.instant_snapshot();
+        let topo = live.topology().clone();
+
+        let mut fresh = Simulator::from_shadow(&shadow, &topo, 77);
+        fresh.set_unreliable_links(true);
+        fresh.set_link_faults(faults);
+
+        // A pooled simulator that already consumed fault randomness …
+        let mut pooled = unreliable_two_node(99, faults);
+        pooled.run_until(SimTime::from_nanos(5_000_000_000));
+        // … must replay identically to the fresh clone after a reset.
+        // (Wire counters are drained by the clone pool at release, not by
+        // the reset itself — mirror that here.)
+        let _ = pooled.take_wire_stats();
+        pooled.reset_from_shadow(&shadow, 77);
+        pooled.set_unreliable_links(true);
+        pooled.set_link_faults(faults);
+
+        let horizon = shadow.base_time() + SimDuration::from_secs(20);
+        fresh.run_until(horizon);
+        pooled.run_until(horizon);
+        assert_eq!(fresh.trace().stats(), pooled.trace().stats());
+        assert_eq!(fresh.take_wire_stats(), pooled.take_wire_stats());
+    }
+
+    #[test]
+    fn consistent_snapshot_completes_under_heavy_loss() {
+        let mut sim = unreliable_two_node(
+            14,
+            crate::faults::LinkFaults {
+                drop: 0.9,
+                ..crate::faults::LinkFaults::lossy(0.0)
+            },
+        );
+        sim.run_until(SimTime::from_nanos(2_000_000_000));
+        assert!(sim.session_up(NodeId(0), NodeId(1)));
+        let id = sim.start_snapshot(NodeId(0));
+        sim.run_until(SimTime::from_nanos(4_000_000_000));
+        match sim.poll_snapshot(id) {
+            SnapshotProgress::Complete(_) => {}
+            SnapshotProgress::InProgress => panic!("cut stuck under loss (markers exempt)"),
+            SnapshotProgress::Failed(e) => panic!("cut failed under loss: {e}"),
+        }
     }
 }

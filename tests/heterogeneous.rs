@@ -608,6 +608,85 @@ fn delta_and_schedule_knobs_are_byte_identical_across_the_whole_matrix() {
 }
 
 #[test]
+fn link_fault_knobs_are_byte_identical_across_pair_workers() {
+    // Channel fidelity is sampled from per-link RNG streams split off a
+    // salted parent, so a lossy campaign is just as deterministic as a
+    // reliable one: for a fixed seed and fault knob, the normalized
+    // report must be byte-identical across round-level parallelism. A
+    // no-op fault table behind `unreliable_links = true` must be
+    // indistinguishable from the knob being off — `is_noop` short-circuits
+    // before any stream is consumed.
+    use dice_system::netsim::LinkFaults;
+    let run = |unreliable: bool, faults: Option<LinkFaults>, pair_workers: usize| {
+        let mut sim = three_kind_system(49);
+        sim.run_until(SimTime::from_nanos(12_000_000_000));
+        let mut campaign = Campaign::with_catalog(&sim, mixed_catalog())
+            .executions(96)
+            .validate_top(5)
+            .horizon(SimDuration::from_secs(30))
+            .workers(2)
+            .pair_workers(pair_workers)
+            .unreliable_links(unreliable);
+        if let Some(f) = faults {
+            campaign = campaign.link_faults(f);
+        }
+        let report = campaign.run(&mut sim).expect("three-kind campaign runs");
+        if unreliable && faults.is_some_and(|f| !f.is_noop()) {
+            assert!(
+                report.perf.frames_dropped
+                    + report.perf.frames_duplicated
+                    + report.perf.frames_reordered
+                    > 0,
+                "lossy clones must meter channel perturbation: {:?}",
+                report.perf
+            );
+            assert!(
+                report
+                    .faults
+                    .iter()
+                    .any(|f| f.detail.contains("digest count overflow")),
+                "seeded gossip bug still detected at 5% loss"
+            );
+        } else {
+            assert_eq!(
+                report.perf.frames_dropped, 0,
+                "reliable clones never drop frames"
+            );
+        }
+        serde_json::to_string(&report.normalized()).unwrap()
+    };
+    let noop = LinkFaults {
+        drop: 0.0,
+        duplicate: 0.0,
+        reorder: 0.0,
+        reorder_window: SimDuration::ZERO,
+        burst: None,
+    };
+    let reliable = run(false, None, 1);
+    assert_eq!(run(false, None, 4), reliable, "reliable parallel differs");
+    assert_eq!(
+        run(true, Some(noop), 1),
+        reliable,
+        "no-op faults must be indistinguishable from reliable links"
+    );
+    assert_eq!(
+        run(true, Some(noop), 4),
+        reliable,
+        "no-op faults parallel differs"
+    );
+    let lossy = run(true, Some(LinkFaults::lossy(0.05)), 1);
+    assert_eq!(
+        run(true, Some(LinkFaults::lossy(0.05)), 4),
+        lossy,
+        "lossy campaign must be byte-identical across pair_workers"
+    );
+    assert!(
+        lossy.contains("\"frames_dropped\":0"),
+        "normalized() must zero the channel-fidelity counters"
+    );
+}
+
+#[test]
 fn real_dynamics_schedule_replays_deterministically() {
     // A *non-empty* schedule changes what the campaign observes (nodes
     // leave and rejoin between sweeps) — but it must do so
